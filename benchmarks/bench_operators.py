@@ -1,0 +1,88 @@
+"""Micro-benchmarks for the Section 5 physical operators.
+
+The special operators must run in (near-)linear time over sorted interval
+relations: Roots (Algorithm 5.2), DeepCompare (Algorithm 5.3), the
+label-select pass, and the canonical structural keys behind sorting and
+merge joins.
+"""
+
+import pytest
+
+from repro.encoding.interval import encode
+from repro.engine import operators as ops
+from repro.engine.structural import canonical_key, deep_compare
+from repro.xmark.generator import generate_document
+
+
+@pytest.fixture(scope="module")
+def encoded_doc():
+    document = generate_document(0.005, seed=42)
+    encoded = encode((document,))
+    return list(encoded.tuples), encoded.width
+
+
+def test_roots_linear_pass(benchmark, encoded_doc):
+    rel, _w = encoded_doc
+    result = benchmark(ops.roots, rel)
+    assert len(result) == 1
+
+
+def test_children_linear_pass(benchmark, encoded_doc):
+    rel, _w = encoded_doc
+    result = benchmark(ops.children, rel)
+    assert len(result) == len(rel) - 1
+
+
+def test_select_label(benchmark, encoded_doc):
+    rel, _w = encoded_doc
+    result = benchmark(ops.select_label, rel, "<person>")
+    assert not result  # persons are not roots here — select sees only roots
+
+
+def test_select_after_descend(benchmark, encoded_doc):
+    rel, _w = encoded_doc
+
+    def run():
+        people = ops.select_label(ops.children(rel), "<people>")
+        return ops.select_label(ops.children(people), "<person>")
+
+    result = benchmark(run)
+    assert result
+
+
+def test_deep_compare_equal_forests(benchmark, encoded_doc):
+    rel, _w = encoded_doc
+    outcome = benchmark(deep_compare, rel, rel)
+    assert outcome == 0
+
+
+def test_canonical_key(benchmark, encoded_doc):
+    rel, _w = encoded_doc
+    key = benchmark(canonical_key, rel)
+    assert len(key) == len(rel)
+
+
+def test_data_pass(benchmark, encoded_doc):
+    rel, width = encoded_doc
+    result = benchmark(ops.data, rel, width)
+    assert isinstance(result, list)
+
+
+def test_sort_trees(benchmark, encoded_doc):
+    rel, width = encoded_doc
+    inner = ops.children(ops.children(rel))  # region lists etc.
+    result, _wout = benchmark(ops.sort, inner, width)
+    assert result
+
+
+def test_encode_speed(benchmark):
+    document = generate_document(0.005, seed=42)
+    encoded = benchmark(encode, (document,))
+    assert len(encoded) == document.size
+
+
+def test_decode_speed(benchmark, encoded_doc):
+    from repro.encoding.interval import decode
+    rel, _w = encoded_doc
+    forest = benchmark(decode, rel)
+    assert forest[0].label == "<site>"

@@ -1,0 +1,29 @@
+"""Figure 8 — XMark Q13 timings (result construction, Section 6.1).
+
+The paper's finding: Q13 has no joins, so every strategy scales roughly
+linearly and the dynamic-interval engine is competitive with (2003's)
+native XML systems.  These benchmarks compare the evaluators at a fixed
+small scale; the scale sweep behind the EXPERIMENTS.md table is produced
+by ``python -m repro.bench.run_experiments --figure fig8``.
+"""
+
+
+def test_q13_naive(benchmark, q13_runners):
+    result = benchmark(q13_runners.naive)
+    assert result
+
+
+def test_q13_di_nlj(benchmark, q13_runners):
+    result = benchmark(q13_runners.di_nlj)
+    assert result
+
+
+def test_q13_di_msj(benchmark, q13_runners):
+    result = benchmark(q13_runners.di_msj)
+    assert result
+
+
+def test_q13_results_agree(q13_runners):
+    """All systems construct the identical document fragment."""
+    assert (q13_runners.naive() == q13_runners.di_nlj()
+            == q13_runners.di_msj())

@@ -1,0 +1,36 @@
+"""Figure 11 — XMark Q9 timings (multiple join, Section 6.3).
+
+Q9 nests three FLWR levels with document-order constraints at each level.
+The paper's point: the merge-join advantage *carries over to arbitrary
+nesting* — the decorrelation fires at both join levels.  Scale sweep:
+``python -m repro.bench.run_experiments --figure fig11``.
+"""
+
+from repro.compiler.plan import JoinForNode, iter_plan
+
+
+def test_q9_naive(benchmark, q9_runners):
+    result = benchmark(q9_runners.naive)
+    assert result
+
+
+def test_q9_di_nlj(benchmark, q9_runners):
+    result = benchmark(q9_runners.di_nlj)
+    assert result
+
+
+def test_q9_di_msj(benchmark, q9_runners):
+    result = benchmark(q9_runners.di_msj)
+    assert result
+
+
+def test_q9_results_agree(q9_runners):
+    assert (q9_runners.naive() == q9_runners.di_nlj()
+            == q9_runners.di_msj())
+
+
+def test_q9_decorrelates_twice(q9_runners):
+    """Both inner loops become merge joins under MSJ."""
+    joins = [node for node in iter_plan(q9_runners.msj_plan)
+             if isinstance(node, JoinForNode)]
+    assert len(joins) == 2

@@ -1,0 +1,59 @@
+"""Benchmarks for the SQL translation pipeline and the SQLite backend.
+
+Translation itself is compile-time work and must be fast regardless of
+document size; SQLite *execution* is the stock-relational-engine path
+whose interval-predicate cost motivates Section 5 — measured here on the
+small Figure 1 sample so the suite stays quick.
+"""
+
+import pytest
+
+from repro.api import compile_xquery
+from repro.sql.sqlite_backend import SQLiteDatabase
+from repro.sql.translator import translate_query
+from repro.xmark.queries import FIGURE1_SAMPLE, QUERIES
+from repro.xml.text_parser import parse_document
+from repro.xquery.lowering import document_forest
+
+
+@pytest.mark.parametrize("query", sorted(QUERIES))
+def test_translate_speed(benchmark, query):
+    compiled = compile_xquery(QUERIES[query])
+    documents = {var: ("doc_0", 1 << 20)
+                 for var in compiled.documents.values()}
+    translation = benchmark(translate_query, compiled.core, documents)
+    assert translation.cte_count > 0
+
+
+def test_parse_and_lower_speed(benchmark):
+    result = benchmark(compile_xquery, QUERIES["Q9"])
+    assert result.documents
+
+
+@pytest.fixture(scope="module")
+def figure1_db():
+    database = SQLiteDatabase()
+    document = parse_document(FIGURE1_SAMPLE)
+    compiled = compile_xquery(QUERIES["Q8"])
+    for var in compiled.documents.values():
+        database.load_document(var, document_forest(document))
+    yield database, compiled
+    database.close()
+
+
+def test_sqlite_q8_execution(benchmark, figure1_db):
+    database, compiled = figure1_db
+    translation = database.translate(compiled.core)
+    result = benchmark(database.run_translation, translation)
+    assert len(result) == 1
+
+
+def test_sqlite_load_document(benchmark):
+    from repro.xmark.generator import generate_document
+    document = generate_document(0.002, seed=42)
+    database = SQLiteDatabase()
+    try:
+        table, width = benchmark(database.load_document, "d", (document,))
+        assert width > 0
+    finally:
+        database.close()

@@ -1,0 +1,111 @@
+"""Section 6.2's unshown experiment: structural-equality join keys.
+
+The paper: "we replaced the attribute join keys with elements containing
+trees of varying depth and fanout and verified that the costs of
+structural-equality join operators grow linearly with the number of nodes
+in the join key" — and notes several contemporary systems could not even
+compare XML structures correctly.
+
+These benchmarks join two record collections on *tree-valued* keys of
+growing size via the DI engine's structural merge join and check the
+per-key-node cost stays flat (linear total growth).
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.api import compile_xquery
+from repro.compiler.plan import JoinStrategy
+from repro.compiler.planner import compile_plan
+from repro.engine.evaluator import DIEngine
+from repro.xml.forest import Node, element, text
+from repro.xquery.lowering import document_forest
+
+JOIN_QUERY = """
+for $l in document("db.xml")/db/left/rec
+let $m := for $r in document("db.xml")/db/right/rec
+          where deep-equal($l/key, $r/key)
+          return $r/payload
+where not(empty($m))
+return <hit>{count($m)}</hit>
+"""
+
+RECORDS = 40
+
+
+def _key_tree(rng: random.Random, depth: int, fanout: int,
+              variant: int) -> Node:
+    """A deterministic tree of the given shape, tagged by ``variant``."""
+    if depth <= 1:
+        return text(f"v{variant}")
+    children = [_key_tree(rng, depth - 1, fanout, variant)
+                for _ in range(fanout)]
+    return element(f"n{variant % 3}", children)
+
+
+def build_document(depth: int, fanout: int, seed: int = 7) -> Node:
+    """Two record lists whose keys are trees with ~fanout^depth nodes."""
+    rng = random.Random(seed)
+    variants = 8  # distinct key values → selective but non-empty join
+
+    def records(count: int) -> list[Node]:
+        return [
+            element("rec", (
+                element("key", (_key_tree(rng, depth, fanout,
+                                          rng.randrange(variants)),)),
+                element("payload", (text(f"p{i}"),)),
+            ))
+            for i in range(count)
+        ]
+
+    return element("db", (
+        element("left", records(RECORDS)),
+        element("right", records(RECORDS)),
+    ))
+
+
+def _run_join(document: Node):
+    compiled = compile_xquery(JOIN_QUERY)
+    plan = compile_plan(compiled.core, JoinStrategy.MSJ,
+                        base_vars=compiled.documents.values())
+    bindings = {var: document_forest(document)
+                for var in compiled.documents.values()}
+    return DIEngine().run_plan(plan, bindings)
+
+
+@pytest.mark.parametrize("depth,fanout", [(2, 2), (3, 2), (4, 2), (3, 4)])
+def test_structural_key_join(benchmark, depth, fanout):
+    document = build_document(depth, fanout)
+    result = benchmark(_run_join, document)
+    assert result  # the join is selective but never empty
+
+
+def test_cost_grows_linearly_with_key_size():
+    """Per-key-node time must not blow up as keys grow ~16× in size."""
+    timings = []
+    for depth, fanout in ((2, 2), (4, 2), (6, 2)):
+        document = build_document(depth, fanout)
+        key_nodes = sum(1 for _ in document.iter_dfs())
+        started = time.perf_counter()
+        for _ in range(3):
+            _run_join(document)
+        elapsed = (time.perf_counter() - started) / 3
+        timings.append((key_nodes, elapsed))
+    (small_nodes, small_time), _, (large_nodes, large_time) = timings
+    node_ratio = large_nodes / small_nodes
+    time_ratio = large_time / max(small_time, 1e-9)
+    # Linear growth means time ratio tracks node ratio; allow generous
+    # constant-factor noise but reject quadratic (ratio²) behaviour.
+    assert time_ratio < node_ratio ** 1.5
+
+
+def test_join_correct_against_interpreter():
+    from repro.xquery.interpreter import evaluate
+
+    document = build_document(3, 2)
+    compiled = compile_xquery(JOIN_QUERY)
+    bindings = {var: document_forest(document)
+                for var in compiled.documents.values()}
+    assert _run_join(document) == evaluate(compiled.core, bindings)

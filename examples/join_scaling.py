@@ -1,0 +1,60 @@
+"""Reproduce the paper's headline result at laptop scale.
+
+Sweeps XMark Q8 (the single-join query of Section 6.2) over growing
+documents and times three evaluation strategies:
+
+* the naive nested-loop interpreter (the competitor class),
+* DI-NLJ — the dynamic-interval engine with nested-loop plans,
+* DI-MSJ — the same engine with the Section 5 structural merge join.
+
+The quadratic strategies blow past the time budget while DI-MSJ stays
+near-linear — Figure 9's shape.  Also prints the Figure 10 breakdown:
+where each plan spends its time (paths / join / construction).
+
+Run with:  python examples/join_scaling.py [--quick]
+"""
+
+import argparse
+
+from repro.bench.harness import sweep
+from repro.bench.reporting import format_breakdown_table, format_timing_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller scales and tighter timeout")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-cell wall-clock budget in seconds")
+    args = parser.parse_args()
+
+    if args.quick:
+        scales = [0.0005, 0.001, 0.002]
+        timeout = args.timeout or 10.0
+    else:
+        scales = [0.001, 0.002, 0.005, 0.01, 0.02]
+        timeout = args.timeout or 60.0
+
+    systems = ["naive", "di-nlj", "di-msj"]
+    print(f"Sweeping Q8 over scale factors {scales} "
+          f"(timeout {timeout:.0f}s per cell)...\n")
+    result = sweep("Q8", systems, scales, timeout=timeout, verbose=True)
+    print()
+    print(format_timing_table(result, "Q8 TIMINGS (CPU SEC) — cf. Figure 9"))
+
+    print("\nCollecting the per-component breakdown (cf. Figure 10)...")
+    breakdowns = {
+        system: sweep("Q8", [system], scales[:3], timeout=timeout,
+                      collect_breakdown=True)
+        for system in ("di-nlj", "di-msj")
+    }
+    print(format_breakdown_table(
+        breakdowns, "Q8 TIMING BREAKDOWN — cf. Figure 10"))
+
+    print("\nReading: the join share of DI-NLJ approaches 100% as documents"
+          "\ngrow (quadratic work), while DI-MSJ stays dominated by path"
+          "\nextraction — exactly the paper's Figure 10 contrast.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Dynamic Interval Encoding: a comprehensive XQuery-to-SQL translation.
+
+A faithful reproduction of DeHaan, Toman, Consens & Özsu,
+"A Comprehensive XQuery to SQL Translation using Dynamic Interval
+Encoding" (SIGMOD 2003).
+
+Quick start::
+
+    from repro import run_xquery
+
+    result = run_xquery(
+        'document("doc.xml")/site/people/person/name/text()',
+        documents={"doc.xml": "<site>…</site>"},
+    )
+    print(result.to_xml())
+
+Package layout (see DESIGN.md for the full inventory):
+
+* :mod:`repro.xml` — the XF forest model and Figure 2 operator algebra;
+* :mod:`repro.encoding` — interval and dynamic-interval encodings;
+* :mod:`repro.xquery` — surface parser, lowering, reference interpreter;
+* :mod:`repro.sql` — the single-statement SQL translation (SQLite backend);
+* :mod:`repro.engine` — the DI prototype with order-aware operators;
+* :mod:`repro.compiler` — physical plans and the merge-join decorrelation;
+* :mod:`repro.xmark` — the synthetic XMark workload generator and queries;
+* :mod:`repro.baselines` — nested-loop competitor simulations;
+* :mod:`repro.bench` — the experiment harness behind EXPERIMENTS.md.
+"""
+
+from repro.api import (
+    CompiledQuery,
+    QueryResult,
+    compile_xquery,
+    run_xquery,
+)
+from repro.errors import ReproError
+from repro.session import XQuerySession
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledQuery",
+    "QueryResult",
+    "ReproError",
+    "XQuerySession",
+    "compile_xquery",
+    "run_xquery",
+    "__version__",
+]

@@ -1,0 +1,95 @@
+"""Command-line interface: run XQuery against XML files.
+
+Examples::
+
+    python -m repro 'document("a.xml")/site/people/person/name' \
+        --doc a.xml=./auction.xml
+
+    python -m repro @query.xq --doc a.xml=./auction.xml --backend sqlite
+    python -m repro @query.xq --doc a.xml=./auction.xml --explain
+    python -m repro @query.xq --doc a.xml=./auction.xml --sql
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api import compile_xquery, run_xquery
+from repro.encoding.interval import encode
+from repro.errors import ReproError
+from repro.xml.text_parser import parse_forest
+from repro.xquery.lowering import document_forest
+
+
+def _load_query(argument: str) -> str:
+    if argument.startswith("@"):
+        with open(argument[1:]) as handle:
+            return handle.read()
+    return argument
+
+
+def _parse_doc_argument(argument: str) -> tuple[str, str]:
+    uri, separator, path = argument.partition("=")
+    if not separator:
+        raise argparse.ArgumentTypeError(
+            f"--doc expects uri=path, got {argument!r}")
+    return uri, path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run XQuery over XML documents via dynamic intervals.",
+    )
+    parser.add_argument("query",
+                        help="XQuery text, or @path to read it from a file")
+    parser.add_argument("--doc", action="append", default=[],
+                        type=_parse_doc_argument, metavar="URI=PATH",
+                        help="bind document(URI) to the XML file at PATH")
+    parser.add_argument("--backend", default="engine",
+                        choices=["engine", "sqlite", "interpreter"])
+    parser.add_argument("--strategy", default="msj", choices=["msj", "nlj"])
+    parser.add_argument("--indent", type=int, default=None,
+                        help="pretty-print the result")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the physical plan instead of running")
+    parser.add_argument("--sql", action="store_true",
+                        help="print the translated single SQL statement "
+                             "instead of running")
+    args = parser.parse_args(argv)
+
+    try:
+        query_text = _load_query(args.query)
+        compiled = compile_xquery(query_text)
+
+        if args.explain:
+            print(compiled.explain(args.strategy))
+            return 0
+
+        documents: dict[str, str] = {}
+        for uri, path in args.doc:
+            with open(path) as handle:
+                documents[uri] = handle.read()
+
+        if args.sql:
+            tables = {}
+            for uri, var in compiled.documents.items():
+                if uri not in documents:
+                    raise ReproError(f"missing --doc binding for {uri!r}")
+                wrapped = document_forest(parse_forest(documents[uri]))
+                tables[var] = (f"doc_{len(tables)}", encode(wrapped).width)
+            print(compiled.to_sql(tables).sql)
+            return 0
+
+        result = run_xquery(compiled, documents, backend=args.backend,
+                            strategy=args.strategy)
+        print(result.to_xml(indent=args.indent))
+        return 0
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""High-level public API: run XQuery text against XML documents.
+
+Typical use::
+
+    from repro import run_xquery
+
+    result = run_xquery(
+        'for $p in document("auction.xml")/site/people/person '
+        'return $p/name/text()',
+        documents={"auction.xml": xml_text},
+    )
+    print(result.to_xml())
+
+Three interchangeable backends evaluate the same compiled query:
+
+* ``"engine"`` — the DI prototype (Section 5) with merge-join (``msj``,
+  default) or nested-loop (``nlj``) iteration strategy;
+* ``"sqlite"`` — the Section 4 translation executed as SQL on SQLite;
+* ``"interpreter"`` — the Figure 3 reference semantics (the oracle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.compiler.plan import JoinStrategy, PlanNode
+from repro.compiler.planner import compile_plan, explain_plan
+from repro.engine.evaluator import DIEngine
+from repro.engine.stats import EngineStats
+from repro.errors import ReproError
+from repro.sql.sqlite_backend import SQLiteDatabase
+from repro.sql.translator import TranslationResult, translate_query
+from repro.xml.forest import Forest, Node
+from repro.xml.serializer import forest_to_xml
+from repro.xml.text_parser import parse_forest
+from repro.xquery.ast import CoreExpr
+from repro.xquery.interpreter import Interpreter
+from repro.xquery.lowering import document_forest, lower_query
+from repro.xquery.parser import parse_xquery
+
+#: Document inputs accepted by the API: XML text, a node, or a forest.
+DocumentInput = "str | Node | Forest"
+
+
+@dataclass
+class QueryResult:
+    """The forest produced by a query, with convenience accessors."""
+
+    forest: Forest
+
+    def to_xml(self, indent: int | None = None) -> str:
+        """Serialize the result as XML text."""
+        return forest_to_xml(self.forest, indent=indent)
+
+    def __iter__(self):
+        return iter(self.forest)
+
+    def __len__(self) -> int:
+        return len(self.forest)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, QueryResult):
+            return self.forest == other.forest
+        if isinstance(other, tuple):
+            return self.forest == other
+        return NotImplemented
+
+
+@dataclass
+class CompiledQuery:
+    """A parsed and lowered query, reusable across documents and backends."""
+
+    source: str
+    core: CoreExpr
+    #: URI → core-language variable name for each document() reference.
+    documents: dict[str, str]
+
+    def plan(self, strategy: str | JoinStrategy = "msj") -> PlanNode:
+        """Compile to a DI-engine physical plan."""
+        return compile_plan(self.core, _strategy(strategy),
+                            base_vars=self.documents.values())
+
+    def explain(self, strategy: str | JoinStrategy = "msj") -> str:
+        """Human-readable physical plan."""
+        return explain_plan(self.plan(strategy))
+
+    def to_sql(self, documents: Mapping[str, tuple[str, int]],
+               max_width: int | None = None) -> TranslationResult:
+        """The single-statement SQL form over the given base tables."""
+        return translate_query(self.core, documents, max_width=max_width)
+
+
+def compile_xquery(query: str, simplify: bool = False) -> CompiledQuery:
+    """Parse and lower XQuery text to the core language.
+
+    ``simplify=True`` additionally runs the algebraic simplification pass
+    (:mod:`repro.compiler.simplify`) — semantics-preserving, typically
+    shrinking the generated SQL's CTE chain.
+    """
+    parsed = parse_xquery(query)
+    core, documents = lower_query(parsed)
+    if simplify:
+        from repro.compiler.simplify import simplify as simplify_core
+        core = simplify_core(core)
+    return CompiledQuery(query, core, documents)
+
+
+def run_xquery(query: str | CompiledQuery,
+               documents: Mapping[str, object] | None = None,
+               backend: str = "engine",
+               strategy: str | JoinStrategy = "msj",
+               stats: EngineStats | None = None) -> QueryResult:
+    """Run a query against documents and return the result forest.
+
+    ``documents`` maps the URIs used in ``document(...)`` calls to XML
+    text, a parsed :class:`Node`, or a forest.  ``backend`` is one of
+    ``"engine"``, ``"sqlite"``, ``"interpreter"``; ``strategy`` selects
+    nested-loop vs merge join for the engine backend.  ``stats`` (engine
+    backend only) collects the Figure 10 time breakdown.
+    """
+    compiled = query if isinstance(query, CompiledQuery) else compile_xquery(query)
+    bindings = _bind_documents(compiled, documents or {})
+    if backend == "engine":
+        engine = DIEngine(stats=stats)
+        plan = compiled.plan(strategy)
+        return QueryResult(engine.run_plan(plan, bindings))
+    if backend == "interpreter":
+        interpreter = Interpreter()
+        return QueryResult(interpreter.evaluate(compiled.core, bindings))
+    if backend == "sqlite":
+        with SQLiteDatabase() as database:
+            for name, forest in bindings.items():
+                database.load_document(name, forest)
+            return QueryResult(database.execute(compiled.core))
+    raise ReproError(f"unknown backend {backend!r}")
+
+
+def _bind_documents(compiled: CompiledQuery,
+                    documents: Mapping[str, object]) -> dict[str, Forest]:
+    bindings: dict[str, Forest] = {}
+    for uri, var in compiled.documents.items():
+        if uri not in documents:
+            raise ReproError(f"query references document({uri!r}) but no "
+                             f"such document was supplied")
+        bindings[var] = document_forest(_as_forest(documents[uri]))
+    return bindings
+
+
+def _as_forest(value: object) -> Forest:
+    if isinstance(value, str):
+        return parse_forest(value)
+    if isinstance(value, Node):
+        return (value,)
+    if isinstance(value, tuple):
+        return value
+    raise ReproError(
+        f"cannot interpret {type(value).__name__} as a document; "
+        f"pass XML text, a Node, or a forest"
+    )
+
+
+def _strategy(value: str | JoinStrategy) -> JoinStrategy:
+    if isinstance(value, JoinStrategy):
+        return value
+    try:
+        return JoinStrategy(value.lower())
+    except ValueError:
+        raise ReproError(
+            f"unknown join strategy {value!r}; use 'nlj' or 'msj'"
+        ) from None

@@ -1,0 +1,19 @@
+"""Baseline XQuery evaluators standing in for the paper's competitors.
+
+The systems the paper compares against (Galax, Kweelt, IPSI-XQ, QuiP,
+X-Hive) are defunct or unobtainable.  What the paper establishes about
+them is *behavioural*: all evaluate nested FLWR expressions with
+nested-loop strategies and scale quadratically on Q8/Q9, several also
+exhausting memory on large documents ("IM").  :mod:`repro.baselines.naive`
+reproduces exactly that behaviour class: a direct tree-walking interpreter
+of the denotational semantics with per-iteration materialization and an
+optional memory budget.
+"""
+
+from repro.baselines.naive import (
+    MemoryLimitExceeded,
+    NaiveEvaluator,
+    WorkLimitExceeded,
+)
+
+__all__ = ["MemoryLimitExceeded", "NaiveEvaluator", "WorkLimitExceeded"]

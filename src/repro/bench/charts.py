@@ -1,0 +1,99 @@
+"""ASCII rendering of benchmark sweeps as log-log scale-up charts.
+
+The paper presents Figures 8–11 as tables; the *shape* claims (linear vs
+quadratic) are easiest to see on a log-log plot, where a polynomial of
+degree d is a straight line of slope d.  These charts render each
+system's series with one mark per cell; failed cells (DNF/IM/OV) appear
+in the legend but not on the canvas.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.harness import OK, SweepResult
+
+#: Plot marks per system, assigned in row order.
+MARKS = "*o+x#@"
+
+
+def render_chart(result: SweepResult, title: str = "",
+                 width: int = 64, height: int = 18) -> str:
+    """Render a sweep as a log-log ASCII chart (time vs scale factor)."""
+    points: dict[str, list[tuple[float, float]]] = {}
+    failures: dict[str, str] = {}
+    for system in result.systems:
+        series = []
+        for scale in result.scales:
+            cell = result.cell(system, scale)
+            if cell.status == OK and cell.seconds and cell.seconds > 0:
+                series.append((scale, cell.seconds))
+            elif cell.status != OK and system not in failures:
+                failures[system] = f"{cell.status} at sf={scale:g}"
+        points[system] = series
+
+    all_points = [point for series in points.values() for point in series]
+    if not all_points:
+        return f"{title}\n(no successful cells to plot)"
+
+    x_low = math.log10(min(x for x, _ in all_points))
+    x_high = math.log10(max(x for x, _ in all_points))
+    y_low = math.log10(min(y for _, y in all_points))
+    y_high = math.log10(max(y for _, y in all_points))
+    x_span = max(x_high - x_low, 1e-9)
+    y_span = max(y_high - y_low, 1e-9)
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def plot(x: float, y: float, mark: str) -> None:
+        column = round((math.log10(x) - x_low) / x_span * (width - 1))
+        row = round((math.log10(y) - y_low) / y_span * (height - 1))
+        canvas[height - 1 - row][column] = mark
+
+    legend_lines = []
+    for position, system in enumerate(result.systems):
+        mark = MARKS[position % len(MARKS)]
+        for x, y in points[system]:
+            plot(x, y, mark)
+        note = f"  ({failures[system]})" if system in failures else ""
+        legend_lines.append(f"  {mark}  {system}{note}")
+
+    top_label = f"{10 ** y_high:.3g}s"
+    bottom_label = f"{10 ** y_low:.3g}s"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{top_label:>9} +" + "-" * width + "+")
+    for row in canvas:
+        lines.append(" " * 10 + "|" + "".join(row) + "|")
+    lines.append(f"{bottom_label:>9} +" + "-" * width + "+")
+    lines.append(f"{'':>10} sf={10 ** x_low:g}"
+                 + " " * max(1, width - 24)
+                 + f"sf={10 ** x_high:g}")
+    lines.append("  (log-log: slope 1 = linear, slope 2 = quadratic)")
+    lines.extend(legend_lines)
+    return "\n".join(lines)
+
+
+def estimate_slope(result: SweepResult, system: str) -> float | None:
+    """Least-squares log-log slope of one system's successful cells.
+
+    Slope ≈ 1 means linear scale-up, ≈ 2 quadratic; ``None`` when fewer
+    than two cells succeeded.
+    """
+    series = [
+        (math.log10(scale), math.log10(cell.seconds))
+        for scale in result.scales
+        for cell in [result.cell(system, scale)]
+        if cell.status == OK and cell.seconds and cell.seconds > 0
+    ]
+    if len(series) < 2:
+        return None
+    n = len(series)
+    mean_x = sum(x for x, _ in series) / n
+    mean_y = sum(y for _, y in series) / n
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in series)
+    denominator = sum((x - mean_x) ** 2 for x, _ in series)
+    if denominator == 0:
+        return None
+    return numerator / denominator

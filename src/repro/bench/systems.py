@@ -1,0 +1,93 @@
+"""The systems under test, as named benchmark cells.
+
+Mapping to the paper's Section 6 rows:
+
+================  ==============================================================
+``naive``         the competitor class (Galax / Kweelt / IPSI-XQ / QuiP /
+                  X-Hive behaviour): tree-walking nested-loop interpreter
+``di-nlj``        the DI prototype with nested-loop iteration plans
+``di-msj``        the DI prototype with structural merge-sort-join plans
+``sqlite``        the generated single SQL statement on stock SQLite — the
+                  "generic relational engine" whose interval-predicate cost
+                  motivates Section 5's special operators
+================  ==============================================================
+
+Each cell generates its document (untimed, seeded), compiles the query
+(untimed), then measures CPU time of evaluation only — matching the
+paper's methodology (document load time excluded, CPU seconds reported).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.api import compile_xquery
+from repro.baselines.naive import NaiveEvaluator
+from repro.compiler.plan import JoinStrategy
+from repro.compiler.planner import compile_plan
+from repro.engine.evaluator import DIEngine
+from repro.engine.stats import EngineStats
+from repro.sql.sqlite_backend import SQLiteDatabase
+from repro.xmark.generator import cached_document
+from repro.xmark.queries import QUERIES
+from repro.xquery.lowering import document_forest
+
+SYSTEMS = ("naive", "di-nlj", "di-msj", "sqlite")
+
+
+def execute_cell(system: str, query_name: str, scale: float,
+                 seed: int = 42, memory_budget: int | None = None,
+                 collect_breakdown: bool = False) -> dict[str, Any]:
+    """Run one (system, query, scale) cell and return measurements.
+
+    Returns a dict with ``seconds`` (CPU), ``wall_seconds``, ``result_size``
+    (trees in the result), and — for engine systems with
+    ``collect_breakdown`` — a ``breakdown`` dict of per-category fractions.
+    Resource-limit failures propagate as exceptions for the harness to
+    classify.
+    """
+    if query_name not in QUERIES:
+        raise ValueError(f"unknown query {query_name!r}; "
+                         f"choose from {sorted(QUERIES)}")
+    document = cached_document(scale, seed=seed)
+    compiled = compile_xquery(QUERIES[query_name])
+    bindings = {
+        var: document_forest(document)
+        for _uri, var in compiled.documents.items()
+    }
+
+    if system == "naive":
+        evaluator = NaiveEvaluator(memory_budget=memory_budget)
+        runner = lambda: evaluator.evaluate(compiled.core, bindings)  # noqa: E731
+    elif system in ("di-nlj", "di-msj"):
+        strategy = JoinStrategy.NLJ if system == "di-nlj" else JoinStrategy.MSJ
+        plan = compile_plan(compiled.core, strategy,
+                            base_vars=compiled.documents.values())
+        stats = EngineStats() if collect_breakdown else None
+        engine = DIEngine(stats=stats)
+        runner = lambda: engine.run_plan(plan, bindings)  # noqa: E731
+    elif system == "sqlite":
+        database = SQLiteDatabase()
+        for var in bindings:
+            database.load_document(var, bindings[var])
+        translation = database.translate(compiled.core)
+        runner = lambda: database.run_translation(translation)  # noqa: E731
+        stats = None
+    else:
+        raise ValueError(f"unknown system {system!r}; choose from {SYSTEMS}")
+
+    cpu_start = time.process_time()
+    wall_start = time.perf_counter()
+    result = runner()
+    measurements: dict[str, Any] = {
+        "seconds": time.process_time() - cpu_start,
+        "wall_seconds": time.perf_counter() - wall_start,
+        "result_size": len(result),
+        "scale": scale,
+        "document_nodes": document.size,
+    }
+    if system in ("di-nlj", "di-msj") and collect_breakdown:
+        engine_stats: EngineStats = stats  # type: ignore[assignment]
+        measurements["breakdown"] = engine_stats.fractions()
+    return measurements

@@ -1,0 +1,13 @@
+"""Physical plan compilation for the DI engine (Section 5).
+
+* :mod:`repro.compiler.plan` — physical plan node types;
+* :mod:`repro.compiler.decorrelate` — the Section 5 rewrite recognizing
+  nested ``for`` loops whose inner source is independent of the outer
+  iteration variable, turning them into structural merge joins;
+* :mod:`repro.compiler.planner` — core AST → plan, per join strategy.
+"""
+
+from repro.compiler.plan import JoinStrategy, PlanNode
+from repro.compiler.planner import compile_plan, explain_plan
+
+__all__ = ["JoinStrategy", "PlanNode", "compile_plan", "explain_plan"]

@@ -1,0 +1,200 @@
+"""Physical plan nodes executed by the DI engine.
+
+The plan mirrors the core AST one-to-one except for iteration:
+
+* :class:`ForNode` is the naive dynamic-interval expansion — every
+  environment of the current sequence is split per tree of the source, and
+  every outer variable the body needs is **copied per new environment**.
+  When the source depends on the sequence being expanded this is the
+  nested-loop strategy (DI-NLJ), with its quadratic data blow-up.
+
+* :class:`JoinForNode` is the Section 5 decorrelated form: the source is
+  evaluated once against the *base* environment, join keys are computed on
+  both sides, environments are matched by a structural merge join, and only
+  the matching pairs are materialized (DI-MSJ).
+
+Plan nodes precompute ``required_outer`` — the outer variables the body
+actually references — so expansion copies no more data than necessary.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+
+class JoinStrategy(enum.Enum):
+    """Join execution strategy for nested FLWR loops."""
+
+    NLJ = "nlj"  #: nested-loop: naive environment expansion
+    MSJ = "msj"  #: merge-sort join on structural keys (Section 5)
+
+
+class PlanNode:
+    """Base class of physical plan nodes."""
+
+    __slots__ = ()
+
+
+class CondPlan:
+    """Base class of condition plan nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class VarNode(PlanNode):
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class FnNode(PlanNode):
+    fn: str
+    args: tuple[PlanNode, ...] = ()
+    params: tuple[tuple[str, str], ...] = ()
+
+    def param(self, key: str) -> str:
+        for name, value in self.params:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+
+@dataclass(frozen=True, slots=True)
+class LetNode(PlanNode):
+    var: str
+    value: PlanNode
+    body: PlanNode
+
+
+@dataclass(frozen=True, slots=True)
+class WhereNode(PlanNode):
+    condition: CondPlan
+    body: PlanNode
+    #: Free variables of the body — only these survive the index filter.
+    body_free: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True, slots=True)
+class ForNode(PlanNode):
+    """Naive iteration: expand environments per source tree."""
+
+    var: str
+    source: PlanNode
+    body: PlanNode
+    #: Outer variables to copy into the expanded sequence.
+    required_outer: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True, slots=True)
+class JoinForNode(PlanNode):
+    """Decorrelated iteration executed as an environment join.
+
+    Semantics are identical to
+    ``ForNode(var, source, WhereNode(SomeEqual(key_outer, key_inner) ∧
+    residual, body))`` — but ``source`` and ``key_inner`` are evaluated
+    against the base environment (they are provably independent of every
+    enclosing iteration variable), and only key-matching environment pairs
+    are materialized.
+
+    ``strategy`` selects the *pair-matching operator* — the paper's Q8
+    experiment uses two plans "whose only difference was that where one
+    plan used a nested-loop join operator, the other used a merge-sort
+    join":
+
+    * :attr:`JoinStrategy.MSJ` — sort both key lists by structural order,
+      merge in one pass (near-linear);
+    * :attr:`JoinStrategy.NLJ` — compare every (outer, inner) key pair
+      (quadratic in the number of environments).
+    """
+
+    var: str
+    source: PlanNode       # evaluated on the base environment
+    key_outer: PlanNode    # evaluated on the current sequence
+    key_inner: PlanNode    # evaluated on the source expansion of the base env
+    body: PlanNode
+    residual: CondPlan | None = None
+    required_outer: frozenset[str] = frozenset()
+    #: True when the key conjunct was SomeEqual (match any tree pair);
+    #: False for Equal (match whole forests).
+    existential: bool = True
+    #: The pair-matching operator (see class docstring).
+    strategy: JoinStrategy = JoinStrategy.MSJ
+
+
+# -- condition plan nodes -------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class EmptyCond(CondPlan):
+    expr: PlanNode
+
+
+@dataclass(frozen=True, slots=True)
+class EqualCond(CondPlan):
+    left: PlanNode
+    right: PlanNode
+
+
+@dataclass(frozen=True, slots=True)
+class SomeEqualCond(CondPlan):
+    left: PlanNode
+    right: PlanNode
+
+
+@dataclass(frozen=True, slots=True)
+class LessCond(CondPlan):
+    left: PlanNode
+    right: PlanNode
+
+
+@dataclass(frozen=True, slots=True)
+class NotCond(CondPlan):
+    condition: CondPlan
+
+
+@dataclass(frozen=True, slots=True)
+class AndCond(CondPlan):
+    left: CondPlan
+    right: CondPlan
+
+
+@dataclass(frozen=True, slots=True)
+class OrCond(CondPlan):
+    left: CondPlan
+    right: CondPlan
+
+
+def iter_plan(node: PlanNode) -> Iterator[PlanNode]:
+    """Yield ``node`` and every nested plan node, pre-order."""
+    stack: list[PlanNode] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if isinstance(current, FnNode):
+            stack.extend(current.args)
+        elif isinstance(current, LetNode):
+            stack.extend((current.value, current.body))
+        elif isinstance(current, WhereNode):
+            stack.extend(_condition_plans(current.condition))
+            stack.append(current.body)
+        elif isinstance(current, ForNode):
+            stack.extend((current.source, current.body))
+        elif isinstance(current, JoinForNode):
+            stack.extend((current.source, current.key_outer,
+                          current.key_inner, current.body))
+            if current.residual is not None:
+                stack.extend(_condition_plans(current.residual))
+
+
+def _condition_plans(condition: CondPlan) -> list[PlanNode]:
+    if isinstance(condition, EmptyCond):
+        return [condition.expr]
+    if isinstance(condition, (EqualCond, SomeEqualCond, LessCond)):
+        return [condition.left, condition.right]
+    if isinstance(condition, NotCond):
+        return _condition_plans(condition.condition)
+    if isinstance(condition, (AndCond, OrCond)):
+        return _condition_plans(condition.left) + _condition_plans(condition.right)
+    raise TypeError(f"unknown condition plan: {type(condition).__name__}")

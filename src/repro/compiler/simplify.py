@@ -1,0 +1,301 @@
+"""Algebraic simplification of core expressions.
+
+The lowering is deliberately mechanical (one operator chain per XPath
+step, one concat per content item), which leaves easy algebra on the
+table.  This pass applies semantics-preserving rewrites bottom-up until a
+fixpoint:
+
+emptiness propagation
+    ``children([]) → []``, ``concat([], e) → e``, ``for x in [] do e → []``,
+    ``select(l, []) → []``, … — any width-0 producer collapses its
+    consumers.
+
+operator algebra
+    ``select(l, select(l, e)) → select(l, e)`` and ``→ []`` for different
+    labels when both are label-selects; ``children(roots(e)) → []``;
+    ``roots(roots(e)) → roots(e)``; ``head(head(e)) → head(e)``;
+    ``distinct(distinct(e)) → distinct(e)``; ``sort(sort(e)) → sort(e)``;
+    ``reverse(reverse(e)) → e``; ``textnodes(textnodes(e)) →
+    textnodes(e)`` (likewise elementnodes, and the cross pairs collapse
+    to ``[]``); ``data(data(e)) → data(e)``.
+
+binding elimination
+    ``let x = e in body → body`` when ``x`` is unused and ``where true
+    return e → e`` style condition folding (``Not(Not(c)) → c``,
+    ``empty([]) → true``, boolean constant propagation through And/Or).
+
+dead branch removal
+    ``where false return e → []``.
+
+Every rewrite is checked against the reference interpreter by randomized
+tests (`tests/test_simplify.py`); the pass is used by both the SQL
+translator path and the plan compiler when requested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xquery.ast import (
+    And,
+    Condition,
+    CoreExpr,
+    Empty,
+    Equal,
+    FnApp,
+    For,
+    Less,
+    Let,
+    Not,
+    Or,
+    SomeEqual,
+    Var,
+    Where,
+    free_variables,
+)
+
+#: Sentinel conditions produced/consumed by constant folding.
+TRUE = Empty(FnApp("empty_forest"))
+FALSE = Not(TRUE)
+
+_EMPTY = FnApp("empty_forest")
+
+#: Unary operators that map the empty forest to the empty forest.
+_EMPTY_PRESERVING = frozenset({
+    "children", "roots", "select", "textnodes", "elementnodes", "head",
+    "tail", "reverse", "distinct", "sort", "subtrees_dfs", "data",
+})
+
+#: Idempotent unary operators: f(f(e)) = f(e).
+_IDEMPOTENT = frozenset({
+    "select", "textnodes", "elementnodes", "head", "distinct", "sort",
+    "roots", "data",
+})
+
+#: Node-test operators that partition by label class.
+_CLASS_TESTS = frozenset({"textnodes", "elementnodes"})
+
+
+@dataclass
+class SimplifyStats:
+    """How many rewrites fired (for tests and curiosity)."""
+
+    rewrites: int = 0
+
+
+def simplify(expr: CoreExpr, stats: SimplifyStats | None = None) -> CoreExpr:
+    """Simplify to a fixpoint; returns a semantically equal expression."""
+    stats = stats if stats is not None else SimplifyStats()
+    while True:
+        before = stats.rewrites
+        expr = _simplify_expr(expr, stats)
+        if stats.rewrites == before:
+            return expr
+
+
+def _fired(stats: SimplifyStats) -> None:
+    stats.rewrites += 1
+
+
+def _is_empty(expr: CoreExpr) -> bool:
+    return isinstance(expr, FnApp) and expr.fn == "empty_forest"
+
+
+def _simplify_expr(expr: CoreExpr, stats: SimplifyStats) -> CoreExpr:
+    if isinstance(expr, Var):
+        return expr
+    if isinstance(expr, FnApp):
+        return _simplify_fnapp(expr, stats)
+    if isinstance(expr, Let):
+        value = _simplify_expr(expr.value, stats)
+        body = _simplify_expr(expr.body, stats)
+        if expr.var not in free_variables(body):
+            _fired(stats)
+            return body
+        if isinstance(expr.value, Var):
+            # let x = $y in body → body[x := y] is sound, but substitution
+            # into conditions complicates the code for little gain; only
+            # drop the binding when body IS the variable.
+            if body == Var(expr.var):
+                _fired(stats)
+                return value
+        return Let(expr.var, value, body)
+    if isinstance(expr, Where):
+        condition = _simplify_condition(expr.condition, stats)
+        body = _simplify_expr(expr.body, stats)
+        if condition == TRUE:
+            _fired(stats)
+            return body
+        if condition == FALSE:
+            _fired(stats)
+            return _EMPTY
+        if _is_empty(body):
+            _fired(stats)
+            return _EMPTY
+        return Where(condition, body)
+    if isinstance(expr, For):
+        source = _simplify_expr(expr.source, stats)
+        body = _simplify_expr(expr.body, stats)
+        if _is_empty(source) or _is_empty(body):
+            _fired(stats)
+            return _EMPTY
+        if body == Var(expr.var):
+            # for x in e do x  ≡  e (concatenation of the trees of e).
+            _fired(stats)
+            return source
+        return For(expr.var, source, body)
+    return expr
+
+
+def _simplify_fnapp(expr: FnApp, stats: SimplifyStats) -> CoreExpr:
+    args = tuple(_simplify_expr(arg, stats) for arg in expr.args)
+    fn = expr.fn
+
+    if fn == "concat":
+        left, right = args
+        if _is_empty(left):
+            _fired(stats)
+            return right
+        if _is_empty(right):
+            _fired(stats)
+            return left
+        return FnApp("concat", (left, right))
+
+    if fn in _EMPTY_PRESERVING and args and _is_empty(args[0]):
+        _fired(stats)
+        return _EMPTY
+
+    if fn == "count" and args and _is_empty(args[0]):
+        _fired(stats)
+        return FnApp("text_const", (), (("value", "0"),))
+
+    if len(args) == 1 and isinstance(args[0], FnApp):
+        inner = args[0]
+        rewritten = _collapse_unary_pair(fn, expr, inner, stats)
+        if rewritten is not None:
+            return rewritten
+
+    return FnApp(fn, args, expr.params)
+
+
+def _collapse_unary_pair(fn: str, outer: FnApp, inner: FnApp,
+                         stats: SimplifyStats) -> CoreExpr | None:
+    """Rewrites for directly nested unary operators."""
+    # Idempotence: f(f(e)) → f(e), label-aware for select.
+    if fn == inner.fn and fn in _IDEMPOTENT:
+        if fn != "select":
+            _fired(stats)
+            return inner
+        if outer.param("label") == inner.param("label"):
+            _fired(stats)
+            return inner
+        # select(l1, select(l2, e)) with l1 ≠ l2 keeps no tree.
+        _fired(stats)
+        return _EMPTY
+
+    # Disjoint node tests: textnodes(elementnodes(e)) → [] etc.
+    if fn in _CLASS_TESTS and inner.fn in _CLASS_TESTS and fn != inner.fn:
+        _fired(stats)
+        return _EMPTY
+
+    # select of a class test: roots of the inner result are uniform, so a
+    # label select either passes everything through or nothing.
+    if fn == "select" and inner.fn in _CLASS_TESTS:
+        label = outer.param("label")
+        from repro.xml.forest import is_element_label, is_text_label
+        matches_class = (is_text_label(label) if inner.fn == "textnodes"
+                         else is_element_label(label))
+        if not matches_class:
+            _fired(stats)
+            return _EMPTY
+        return None
+
+    # roots strips children: nothing below survives.
+    if fn == "children" and inner.fn == "roots":
+        _fired(stats)
+        return _EMPTY
+
+    # reverse is an involution.
+    if fn == "reverse" and inner.fn == "reverse":
+        _fired(stats)
+        return inner.args[0]
+
+    # count only looks at roots: count(reverse(e)) = count(sort(e)) =
+    # count(distinct? NO — distinct changes the count) = count(e).
+    if fn == "count" and inner.fn in ("reverse", "sort", "roots"):
+        _fired(stats)
+        return FnApp("count", inner.args)
+
+    return None
+
+
+def _simplify_condition(condition: Condition,
+                        stats: SimplifyStats) -> Condition:
+    if isinstance(condition, Empty):
+        inner = _simplify_expr(condition.expr, stats)
+        if _is_empty(inner):
+            if condition != TRUE:
+                _fired(stats)
+            return TRUE
+        if isinstance(inner, FnApp) and inner.fn in ("xnode", "text_const",
+                                                     "count", "string_fn"):
+            # These constructors always yield exactly one tree.
+            _fired(stats)
+            return FALSE
+        return Empty(inner)
+    if isinstance(condition, Not):
+        inner = _simplify_condition(condition.condition, stats)
+        if isinstance(inner, Not):
+            _fired(stats)
+            return inner.condition
+        return Not(inner)
+    if isinstance(condition, And):
+        left = _simplify_condition(condition.left, stats)
+        right = _simplify_condition(condition.right, stats)
+        if left == TRUE:
+            _fired(stats)
+            return right
+        if right == TRUE:
+            _fired(stats)
+            return left
+        if FALSE in (left, right):
+            _fired(stats)
+            return FALSE
+        return And(left, right)
+    if isinstance(condition, Or):
+        left = _simplify_condition(condition.left, stats)
+        right = _simplify_condition(condition.right, stats)
+        if left == FALSE:
+            _fired(stats)
+            return right
+        if right == FALSE:
+            _fired(stats)
+            return left
+        if TRUE in (left, right):
+            _fired(stats)
+            return TRUE
+        return Or(left, right)
+    if isinstance(condition, (Equal, SomeEqual, Less)):
+        left = _simplify_expr(condition.left, stats)
+        right = _simplify_expr(condition.right, stats)
+        kind = type(condition)
+        if isinstance(condition, SomeEqual) and (_is_empty(left)
+                                                 or _is_empty(right)):
+            _fired(stats)
+            return FALSE
+        if isinstance(condition, Equal) and _is_empty(left) \
+                and _is_empty(right):
+            _fired(stats)
+            return TRUE
+        if isinstance(condition, Equal) and _is_empty(right):
+            _fired(stats)
+            return Empty(left)
+        if isinstance(condition, Equal) and _is_empty(left):
+            _fired(stats)
+            return Empty(right)
+        if isinstance(condition, Less) and _is_empty(right):
+            # Nothing is smaller than the empty forest.
+            _fired(stats)
+            return FALSE
+        return kind(left, right)
+    return condition

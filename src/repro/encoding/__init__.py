@@ -1,0 +1,25 @@
+"""Interval and dynamic-interval encodings of XML forests (Section 3)."""
+
+from repro.encoding.interval import (
+    EncodedForest,
+    IntervalTuple,
+    decode,
+    encode,
+    validate_encoding,
+)
+from repro.encoding.dynamic import (
+    EnvironmentSequence,
+    decode_sequence,
+    encode_sequence,
+)
+
+__all__ = [
+    "EncodedForest",
+    "EnvironmentSequence",
+    "IntervalTuple",
+    "decode",
+    "decode_sequence",
+    "encode",
+    "encode_sequence",
+    "validate_encoding",
+]

@@ -1,0 +1,251 @@
+"""Updating interval-encoded documents (the paper's orthogonal concern).
+
+Section 1 of the paper notes that updates to interval-encoded documents
+are orthogonal to the query translation and handled by known labeling
+techniques (its references [15, 16, 27]).  This module provides the
+simplest sound member of that family — *gap-based relabeling*:
+
+* encodings need not be tight (Definition 3.1), so inserting a subtree
+  only requires enough unused integers between the insertion point's
+  neighbouring endpoints;
+* when the local gap is exhausted, the document is *spread*: re-encoded
+  with a uniform stride so that every adjacent endpoint pair regains
+  breathing room (amortizing future insertions).
+
+Deletion never needs renumbering — dropping a subtree's tuples leaves a
+valid (now gappy) encoding.
+
+All operations return new :class:`UpdatableDocument` states; nothing is
+mutated, matching the package's value semantics.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+from repro.encoding.interval import (
+    EncodedForest,
+    IntervalTuple,
+    decode,
+    validate_encoding,
+)
+from repro.errors import EncodingError
+from repro.xml.forest import Forest, Node
+
+#: Default spread stride: integers of slack left after each endpoint.
+DEFAULT_STRIDE = 16
+
+
+@dataclass(frozen=True)
+class UpdateStats:
+    """What an update did (for tests and instrumentation)."""
+
+    inserted_nodes: int = 0
+    deleted_nodes: int = 0
+    relabeled: bool = False
+
+
+class UpdatableDocument:
+    """An interval-encoded forest supporting insert/delete of subtrees.
+
+    Nodes are addressed by their left endpoint (unique within an
+    encoding).  ``stride`` controls how much slack a relabeling pass
+    leaves between endpoints.
+    """
+
+    def __init__(self, encoded: EncodedForest, stride: int = DEFAULT_STRIDE):
+        if stride < 1:
+            raise ValueError("stride must be at least 1")
+        self.encoded = encoded
+        self.stride = stride
+        self.last_stats = UpdateStats()
+
+    @classmethod
+    def from_forest(cls, trees: Forest | Node,
+                    stride: int = DEFAULT_STRIDE) -> "UpdatableDocument":
+        if isinstance(trees, Node):
+            trees = (trees,)
+        document = cls(EncodedForest([], 0), stride)
+        rows, width = _spread_rows(_encode_flat(trees), stride)
+        return cls(EncodedForest(rows, width, sort=False), stride)
+
+    # -- inspection ------------------------------------------------------------
+
+    def to_forest(self) -> Forest:
+        return decode(self.encoded)
+
+    def node_count(self) -> int:
+        return len(self.encoded)
+
+    def find(self, left: int) -> IntervalTuple:
+        """The tuple whose left endpoint is ``left``."""
+        lows = [row[1] for row in self.encoded.tuples]
+        position = bisect_left(lows, left)
+        if position >= len(lows) or lows[position] != left:
+            raise EncodingError(f"no node with left endpoint {left}")
+        return self.encoded.tuples[position]
+
+    # -- updates ------------------------------------------------------------------
+
+    def delete_subtree(self, left: int) -> "UpdatableDocument":
+        """Remove the node at ``left`` together with its whole subtree."""
+        root = self.find(left)
+        kept = [row for row in self.encoded.tuples
+                if not (root[1] <= row[1] and row[2] <= root[2])]
+        removed = len(self.encoded) - len(kept)
+        result = UpdatableDocument(
+            EncodedForest(kept, self.encoded.width, sort=False), self.stride)
+        result.last_stats = UpdateStats(deleted_nodes=removed)
+        return result
+
+    def insert_child(self, parent_left: int, child_index: int,
+                     trees: Forest | Node) -> "UpdatableDocument":
+        """Insert ``trees`` as children of ``parent_left`` at ``child_index``.
+
+        ``child_index`` counts existing children 0-based; anything past
+        the end appends.
+        """
+        if isinstance(trees, Node):
+            trees = (trees,)
+        parent = self.find(parent_left)
+        boundaries = self._child_boundaries(parent)
+        index = min(child_index, len(boundaries) - 1)
+        low, high = boundaries[index]
+        return self._insert_between(low, high, trees)
+
+    def insert_tree(self, position: int,
+                    trees: Forest | Node) -> "UpdatableDocument":
+        """Insert ``trees`` as new top-level trees at ``position``."""
+        if isinstance(trees, Node):
+            trees = (trees,)
+        roots = self._top_level_roots()
+        position = min(position, len(roots))
+        low = roots[position - 1][2] if position > 0 else -1
+        if position < len(roots):
+            high = roots[position][1]
+        else:
+            high = max(self.encoded.width, low + 1)
+            # Appending may extend past the current width; widen as needed.
+        return self._insert_between(low, high, trees,
+                                    allow_widening=position >= len(roots))
+
+    # -- internals ----------------------------------------------------------------
+
+    def _top_level_roots(self) -> list[IntervalTuple]:
+        result = []
+        max_right = -1
+        for row in self.encoded.tuples:
+            if row[1] > max_right:
+                max_right = row[2]
+                result.append(row)
+        return result
+
+    def _children_of(self, parent: IntervalTuple) -> list[IntervalTuple]:
+        result = []
+        max_right = parent[1]
+        for row in self.encoded.tuples:
+            if parent[1] < row[1] and row[2] < parent[2] and row[1] > max_right:
+                max_right = row[2]
+                result.append(row)
+        return result
+
+    def _child_boundaries(self, parent: IntervalTuple
+                          ) -> list[tuple[int, int]]:
+        """(low, high) exclusive endpoint bounds for each child slot."""
+        children = self._children_of(parent)
+        bounds = []
+        previous = parent[1]
+        for child in children:
+            bounds.append((previous, child[1]))
+            previous = child[2]
+        bounds.append((previous, parent[2]))
+        return bounds
+
+    def _insert_between(self, low: int, high: int, trees: Forest,
+                        allow_widening: bool = False) -> "UpdatableDocument":
+        new_rows = _encode_flat(trees)
+        needed = 2 * len(new_rows)
+        if needed == 0:
+            result = UpdatableDocument(self.encoded, self.stride)
+            result.last_stats = UpdateStats()
+            return result
+        gap = high - low - 1
+        if allow_widening:
+            gap = max(gap, needed)  # free to extend width at the end
+        if gap >= needed:
+            placed = _place_rows(new_rows, low, high, allow_widening)
+            rows = sorted(self.encoded.tuples + placed,
+                          key=lambda row: row[1])
+            width = max(self.encoded.width,
+                        max(row[2] for row in placed) + 1)
+            validate_encoding(rows, width)
+            result = UpdatableDocument(EncodedForest(rows, width, sort=False),
+                                       self.stride)
+            result.last_stats = UpdateStats(inserted_nodes=len(new_rows))
+            return result
+        # Not enough room: spread the whole document, then retry (the
+        # spread stride guarantees success for this insertion size).
+        stride = max(self.stride, needed + 1)
+        spread_doc = self.relabel(stride)
+        mapping = _endpoint_mapping(self.encoded.tuples,
+                                    spread_doc.encoded.tuples)
+        retried = spread_doc._insert_between(
+            mapping.get(low, -1 if low < 0 else low * stride + stride - 1),
+            mapping.get(high, spread_doc.encoded.width),
+            trees, allow_widening)
+        retried.last_stats = UpdateStats(
+            inserted_nodes=len(new_rows), relabeled=True)
+        return retried
+
+    def relabel(self, stride: int | None = None) -> "UpdatableDocument":
+        """Re-encode with uniform slack (the paper's cited techniques all
+        reduce to some scheme of this kind)."""
+        stride = stride or self.stride
+        rows, width = _spread_rows(_encode_flat(self.to_forest()), stride)
+        result = UpdatableDocument(EncodedForest(rows, width, sort=False),
+                                   max(self.stride, stride))
+        result.last_stats = UpdateStats(relabeled=True)
+        return result
+
+
+def _encode_flat(trees: Forest) -> list[IntervalTuple]:
+    """Tight DFS encoding rows for ``trees`` (counter starting at 0)."""
+    from repro.encoding.interval import encode
+
+    return list(encode(trees).tuples)
+
+
+def _spread_rows(rows: list[IntervalTuple],
+                 stride: int) -> tuple[list[IntervalTuple], int]:
+    """Map endpoint ``e`` to ``e·stride + stride - 1`` (uniform slack)."""
+    spread = [(s, l * stride + stride - 1, r * stride + stride - 1)
+              for (s, l, r) in rows]
+    width = (max((row[2] for row in spread), default=0)) + stride
+    return spread, width
+
+
+def _place_rows(rows: list[IntervalTuple], low: int, high: int,
+                allow_widening: bool) -> list[IntervalTuple]:
+    """Fit tight rows into the open interval (low, high)."""
+    needed = 2 * len(rows)
+    if allow_widening:
+        high = max(high, low + needed + 1)
+    gap = high - low - 1
+    # Spread the 2k tight endpoints (0 … 2k-1) across the gap evenly.
+    step = gap // needed
+
+    def place(endpoint: int) -> int:
+        return low + 1 + endpoint * step + (step - 1 if step > 1 else 0) * 0
+
+    return [(s, place(l), place(r)) for (s, l, r) in rows]
+
+
+def _endpoint_mapping(old_rows: list[IntervalTuple],
+                      new_rows: list[IntervalTuple]) -> dict[int, int]:
+    """Old endpoint → new endpoint after a relabel (same DFS order)."""
+    mapping: dict[int, int] = {}
+    for (old, new) in zip(old_rows, new_rows):
+        mapping[old[1]] = new[1]
+        mapping[old[2]] = new[2]
+    return mapping

@@ -1,0 +1,481 @@
+"""Plan evaluation over dynamic-interval environment sequences.
+
+The evaluator executes physical plans (:mod:`repro.compiler.plan`) against
+an :class:`EnvSeq` — the in-engine form of Definition 3.3: a sorted index
+of environment ids plus one document-ordered interval relation (and width)
+per variable.  Every rule mirrors the SQL translation of Section 4, but
+runs the linear operators of :mod:`repro.engine.operators` instead of
+joins, and executes decorrelated loops with the structural merge join of
+Section 5.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.compiler.plan import (
+    AndCond,
+    CondPlan,
+    EmptyCond,
+    EqualCond,
+    FnNode,
+    ForNode,
+    JoinForNode,
+    JoinStrategy,
+    LessCond,
+    LetNode,
+    NotCond,
+    OrCond,
+    PlanNode,
+    SomeEqualCond,
+    VarNode,
+    WhereNode,
+)
+from repro.encoding.interval import decode, encode
+from repro.engine import operators as ops
+from repro.engine.relation import Relation, env_blocks, filter_by_index, group_by_env
+from repro.engine.stats import (
+    EngineStats,
+    FUNCTION_CATEGORIES,
+    JOIN,
+    OTHER,
+)
+from repro.engine.structural import canonical_key, merge_matching_keys, tree_keys
+from repro.errors import ExecutionError, PlanError, UnboundVariableError
+from repro.xml.forest import Forest
+
+#: The result of evaluating a plan node: (relation, width).
+Value = tuple[Relation, int]
+
+#: Unary XFns with an engine operator (dispatched in _apply_fn).
+_UNARY_OPERATORS = frozenset({
+    "roots", "children", "select", "textnodes", "elementnodes", "head",
+    "tail", "reverse", "subtrees_dfs", "data", "distinct", "sort",
+})
+
+
+class EnvSeq:
+    """A dynamic-interval environment sequence inside the engine."""
+
+    __slots__ = ("index", "vars")
+
+    def __init__(self, index: list[int], vars: dict[str, Value]):
+        self.index = index
+        self.vars = vars
+
+    def __repr__(self) -> str:
+        return f"EnvSeq({len(self.index)} envs, vars={sorted(self.vars)})"
+
+
+class DIEngine:
+    """The dynamic-interval query engine.
+
+    ``stats`` — optional :class:`EngineStats` collecting the Figure 10
+    breakdown.  ``tick`` — optional callback invoked per evaluation step
+    (cooperative cancellation / work accounting for the bench harness).
+    """
+
+    def __init__(self, stats: EngineStats | None = None,
+                 tick: Callable[[], None] | None = None,
+                 validate: bool = False):
+        self.stats = stats
+        self._tick = tick
+        self._validate = validate
+        self._base: EnvSeq | None = None
+
+    # -- public API --------------------------------------------------------------
+
+    def run_plan(self, plan: PlanNode, bindings: Mapping[str, Forest]) -> Forest:
+        """Evaluate ``plan`` against document bindings; decode the result."""
+        rel, _width = self.run_plan_encoded(plan, bindings)
+        return decode(rel)
+
+    def run_plan_encoded(self, plan: PlanNode,
+                         bindings: Mapping[str, Forest]) -> Value:
+        """Like :meth:`run_plan` but returning the raw encoded relation."""
+        vars: dict[str, Value] = {}
+        for name, forest in bindings.items():
+            encoded = encode(forest)
+            vars[name] = (list(encoded.tuples), max(encoded.width, 1))
+        self._base = EnvSeq([0], vars)
+        try:
+            return self.evaluate(plan, self._base)
+        finally:
+            self._base = None
+
+    # -- expression evaluation ------------------------------------------------------
+
+    def evaluate(self, node: PlanNode, seq: EnvSeq) -> Value:
+        if self._tick is not None:
+            self._tick()
+        if isinstance(node, VarNode):
+            try:
+                result = seq.vars[node.name]
+            except KeyError:
+                raise UnboundVariableError(node.name) from None
+        elif isinstance(node, FnNode):
+            result = self._eval_fn(node, seq)
+        elif isinstance(node, LetNode):
+            value = self.evaluate(node.value, seq)
+            inner = dict(seq.vars)
+            inner[node.var] = value
+            result = self.evaluate(node.body, EnvSeq(seq.index, inner))
+        elif isinstance(node, WhereNode):
+            result = self._eval_where(node, seq)
+        elif isinstance(node, ForNode):
+            result = self._eval_for(node, seq)
+        elif isinstance(node, JoinForNode):
+            result = self._eval_join_for(node, seq)
+        else:
+            raise PlanError(f"cannot evaluate {type(node).__name__}")
+        if self._validate:
+            # Every node's result — including For/JoinFor, whose output
+            # width re-blocks per *enclosing* environment — must fall in
+            # blocks of the current sequence's index.
+            from repro.engine.validate import validate_value
+            validate_value(result[0], result[1], seq.index,
+                           context=type(node).__name__)
+        return result
+
+    # -- operators -------------------------------------------------------------------
+
+    def _eval_fn(self, node: FnNode, seq: EnvSeq) -> Value:
+        args = [self.evaluate(arg, seq) for arg in node.args]
+        category = FUNCTION_CATEGORIES.get(node.fn, OTHER)
+        if self.stats is not None:
+            with self.stats.measure(category):
+                result = self._apply_fn(node, args, seq)
+                self.stats.add_tuples(category, len(result[0]))
+                return result
+        return self._apply_fn(node, args, seq)
+
+    def _apply_fn(self, node: FnNode, args: list[Value], seq: EnvSeq) -> Value:
+        fn = node.fn
+        if fn == "empty_forest":
+            return [], 0
+        if fn == "text_const":
+            return ops.text_const(node.param("value"), seq.index)
+        if fn == "concat":
+            (left, lw), (right, rw) = args
+            if lw == 0:
+                return right, rw
+            if rw == 0:
+                return left, lw
+            return ops.concat(left, lw, right, rw), lw + rw
+        if fn == "xnode":
+            (content, width), = args
+            return ops.xnode(node.param("label"), content, width, seq.index)
+        if fn == "count":
+            (rel, width), = args
+            return ops.count_roots(rel, width, seq.index)
+        if fn == "string_fn":
+            (rel, width), = args
+            if width == 0:
+                return [("", env * 2, env * 2 + 1)
+                        for env in seq.index], 2
+            return ops.string_fn(rel, width, seq.index)
+        if fn not in _UNARY_OPERATORS:
+            raise PlanError(f"no engine operator for XFn {fn!r}")
+        # Remaining operators yield the empty relation for width-0 input.
+        (rel, width), = args
+        if width == 0:
+            return [], 0
+        if fn == "roots":
+            return ops.roots(rel), width
+        if fn == "children":
+            return ops.children(rel), width
+        if fn == "select":
+            return ops.select_label(rel, node.param("label")), width
+        if fn == "textnodes":
+            return ops.textnode_trees(rel), width
+        if fn == "elementnodes":
+            return ops.elementnode_trees(rel), width
+        if fn == "head":
+            return ops.head(rel, width), width
+        if fn == "tail":
+            return ops.tail(rel, width), width
+        if fn == "reverse":
+            return ops.reverse(rel, width), width
+        if fn == "subtrees_dfs":
+            return ops.subtrees_dfs(rel, width), width * width
+        if fn == "data":
+            return ops.data(rel, width), width
+        if fn == "distinct":
+            return ops.distinct(rel, width), width
+        if fn == "sort":
+            return ops.sort(rel, width)
+        raise PlanError(f"no engine operator for XFn {fn!r}")
+
+    # -- where ------------------------------------------------------------------------
+
+    def _eval_where(self, node: WhereNode, seq: EnvSeq) -> Value:
+        satisfied = self._eval_condition(node.condition, seq)
+        if self.stats is not None:
+            context = self.stats.measure(JOIN)
+        else:
+            context = _NullContext()
+        with context:
+            surviving = [i for i in seq.index if i in satisfied]
+            inner_vars: dict[str, Value] = {}
+            for name in node.body_free:
+                value = seq.vars.get(name)
+                if value is None:
+                    continue
+                rel, width = value
+                if width == 0 or len(surviving) == len(seq.index):
+                    inner_vars[name] = value
+                else:
+                    inner_vars[name] = (
+                        filter_by_index(rel, width, surviving), width
+                    )
+        return self.evaluate(node.body, EnvSeq(surviving, inner_vars))
+
+    # -- conditions -------------------------------------------------------------------
+
+    def _eval_condition(self, condition: CondPlan, seq: EnvSeq) -> set[int]:
+        """The set of environment indices satisfying the condition."""
+        if isinstance(condition, EmptyCond):
+            rel, width = self.evaluate(condition.expr, seq)
+            occupied = ({row[1] // width for row in rel} if width else set())
+            return set(seq.index) - occupied
+        if isinstance(condition, EqualCond):
+            left_keys = self._forest_keys(condition.left, seq)
+            right_keys = self._forest_keys(condition.right, seq)
+            return {i for i in seq.index
+                    if left_keys.get(i, ()) == right_keys.get(i, ())}
+        if isinstance(condition, LessCond):
+            left_keys = self._forest_keys(condition.left, seq)
+            right_keys = self._forest_keys(condition.right, seq)
+            return {i for i in seq.index
+                    if left_keys.get(i, ()) < right_keys.get(i, ())}
+        if isinstance(condition, SomeEqualCond):
+            left_sets = self._tree_key_sets(condition.left, seq)
+            right_sets = self._tree_key_sets(condition.right, seq)
+            return {i for i in seq.index
+                    if left_sets.get(i) and right_sets.get(i)
+                    and not left_sets[i].isdisjoint(right_sets[i])}
+        if isinstance(condition, NotCond):
+            return set(seq.index) - self._eval_condition(condition.condition, seq)
+        if isinstance(condition, AndCond):
+            return (self._eval_condition(condition.left, seq)
+                    & self._eval_condition(condition.right, seq))
+        if isinstance(condition, OrCond):
+            return (self._eval_condition(condition.left, seq)
+                    | self._eval_condition(condition.right, seq))
+        raise PlanError(f"cannot evaluate condition {type(condition).__name__}")
+
+    def _forest_keys(self, node: PlanNode, seq: EnvSeq) -> dict[int, tuple]:
+        rel, width = self.evaluate(node, seq)
+        if width == 0:
+            return {}
+        return {env: canonical_key(block)
+                for env, block in group_by_env(rel, width)}
+
+    def _tree_key_sets(self, node: PlanNode, seq: EnvSeq) -> dict[int, set]:
+        rel, width = self.evaluate(node, seq)
+        if width == 0:
+            return {}
+        return {env: set(tree_keys(block))
+                for env, block in group_by_env(rel, width)}
+
+    # -- iteration ---------------------------------------------------------------------
+
+    def _eval_for(self, node: ForNode, seq: EnvSeq) -> Value:
+        source_rel, source_width = self.evaluate(node.source, seq)
+        if source_width == 0:
+            return [], 0
+        if self.stats is not None:
+            context = self.stats.measure(JOIN)
+        else:
+            context = _NullContext()
+        with context:
+            roots = ops.roots(source_rel)
+            index = [row[1] for row in roots]
+            bound = self._expand_variable(source_rel, source_width, roots)
+            inner_vars: dict[str, Value] = {node.var: (bound, source_width)}
+            for name in sorted(node.required_outer):
+                value = seq.vars.get(name)
+                if value is None:
+                    continue
+                inner_vars[name] = self._copy_per_root(
+                    value, roots, source_width
+                )
+        body_rel, body_width = self.evaluate(
+            node.body, EnvSeq(index, inner_vars)
+        )
+        return body_rel, source_width * body_width
+
+    def _expand_variable(self, source_rel: Relation, width: int,
+                         roots: Relation) -> Relation:
+        """Build ``T'_x``: one environment per tree, indexed by root left end."""
+        result: Relation = []
+        position = 0
+        for s, l, r in source_rel:
+            while roots[position][2] < l:
+                position += 1
+            root_left = roots[position][1]
+            env = root_left // width
+            offset = root_left * width - env * width
+            result.append((s, l + offset, r + offset))
+        return result
+
+    def _copy_per_root(self, value: Value, roots: Relation,
+                       source_width: int) -> Value:
+        """Copy an outer binding into every expanded environment.
+
+        This per-root duplication is the quadratic cost of nested-loop
+        iteration: |roots| × |binding blocks| tuples.
+        """
+        rel, width = value
+        if width == 0:
+            return value
+        blocks = env_blocks(rel, width)
+        result: Relation = []
+        for root in roots:
+            parent = root[1] // source_width
+            block = blocks.get(parent)
+            if not block:
+                continue
+            offset = (root[1] - parent) * width
+            result.extend((s, l + offset, r + offset) for (s, l, r) in block)
+            if self._tick is not None:
+                self._tick()
+        return result, width
+
+    def _eval_join_for(self, node: JoinForNode, seq: EnvSeq) -> Value:
+        if self._base is None:
+            raise ExecutionError("JoinForNode requires a base environment")
+        source_rel, source_width = self.evaluate(node.source, self._base)
+        if source_width == 0:
+            return [], 0
+        # Expand the source once, against the base environment.
+        roots = ops.roots(source_rel)
+        inner_index = [row[1] for row in roots]
+        bound = self._expand_variable(source_rel, source_width, roots)
+        inner_seq = EnvSeq(inner_index, {node.var: (bound, source_width)})
+        inner_rel, inner_width = self.evaluate(node.key_inner, inner_seq)
+        outer_rel, outer_width = self.evaluate(node.key_outer, seq)
+
+        if self.stats is not None:
+            context = self.stats.measure(JOIN)
+        else:
+            context = _NullContext()
+        with context:
+            pairs = self._match_pairs(
+                outer_rel, outer_width, seq.index,
+                inner_rel, inner_width, inner_index,
+                existential=node.existential,
+                strategy=node.strategy,
+            )
+            pair_index = [ix * source_width + iy for ix, iy in pairs]
+            pair_vars: dict[str, Value] = {
+                node.var: self._copy_pairs(
+                    (bound, source_width), pairs, pair_index, side="inner"
+                )
+            }
+            for name in sorted(node.required_outer):
+                value = seq.vars.get(name)
+                if value is None:
+                    continue
+                pair_vars[name] = self._copy_pairs(
+                    value, pairs, pair_index, side="outer"
+                )
+        pair_seq = EnvSeq(pair_index, pair_vars)
+        if node.residual is not None:
+            satisfied = self._eval_condition(node.residual, pair_seq)
+            surviving = [i for i in pair_index if i in satisfied]
+            filtered_vars = {
+                name: (filter_by_index(rel, width, surviving), width)
+                for name, (rel, width) in pair_vars.items()
+            }
+            pair_seq = EnvSeq(surviving, filtered_vars)
+        body_rel, body_width = self.evaluate(node.body, pair_seq)
+        return body_rel, source_width * body_width
+
+    def _match_pairs(self, outer_rel: Relation, outer_width: int,
+                     outer_index: list[int], inner_rel: Relation,
+                     inner_width: int, inner_index: list[int],
+                     existential: bool = True,
+                     strategy: JoinStrategy = JoinStrategy.MSJ,
+                     ) -> list[tuple[int, int]]:
+        """Join key forests into matching (ix, iy) environment pairs.
+
+        Keys are computed per environment — per tree for an existential
+        (SomeEqual) join, per whole forest for a deep-Equal join.  The
+        pair-matching operator is then either
+
+        * **MSJ**: sort both (key, env) lists by structural key and merge
+          in one pass (Section 5: sort by structural order, merge with
+          DeepCompare), or
+        * **NLJ**: compare every (outer, inner) key pair with the streaming
+          DeepCompare — the quadratic operator the paper's DI-NLJ plan uses.
+        """
+        if outer_width == 0 or inner_width == 0:
+            return []
+
+        def keys_of(block: Relation) -> set:
+            if existential:
+                return set(tree_keys(block))
+            return {canonical_key(block)}
+
+        outer_keys: list[tuple[tuple, int]] = []
+        for env, block in group_by_env(outer_rel, outer_width):
+            for key in keys_of(block):
+                outer_keys.append((key, env))
+        inner_keys: list[tuple[tuple, int]] = []
+        for env, block in group_by_env(inner_rel, inner_width):
+            for key in keys_of(block):
+                inner_keys.append((key, env))
+        if not existential:
+            # A deep-Equal join must also match environments whose key
+            # forest is empty (they are absent from the grouped stream).
+            outer_present = {env for _, env in outer_keys}
+            outer_keys.extend(((), env) for env in outer_index
+                              if env not in outer_present)
+            inner_present = {env for _, env in inner_keys}
+            inner_keys.extend(((), env) for env in inner_index
+                              if env not in inner_present)
+
+        if strategy is JoinStrategy.NLJ:
+            pairs = set()
+            for outer_key, outer_env in outer_keys:
+                for inner_key, inner_env in inner_keys:
+                    if self._tick is not None:
+                        self._tick()
+                    # Element-wise comparison, not hashing: this is the
+                    # honest quadratic nested-loop comparison operator.
+                    if outer_key == inner_key:
+                        pairs.add((outer_env, inner_env))
+            return sorted(pairs)
+
+        outer_keys.sort(key=lambda pair: pair[0])
+        inner_keys.sort(key=lambda pair: pair[0])
+        pairs = set(merge_matching_keys(outer_keys, inner_keys))
+        return sorted(pairs)
+
+    def _copy_pairs(self, value: Value, pairs: list[tuple[int, int]],
+                    pair_index: list[int], side: str) -> Value:
+        """Copy per-pair blocks of a binding into the pair sequence."""
+        rel, width = value
+        if width == 0:
+            return value
+        blocks = env_blocks(rel, width)
+        result: Relation = []
+        for (ix, iy), target in zip(pairs, pair_index):
+            origin = ix if side == "outer" else iy
+            block = blocks.get(origin)
+            if not block:
+                continue
+            offset = (target - origin) * width
+            result.extend((s, l + offset, r + offset) for (s, l, r) in block)
+            if self._tick is not None:
+                self._tick()
+        return result, width
+
+
+class _NullContext:
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None

@@ -1,0 +1,166 @@
+"""Per-node runtime profiling of engine plans (EXPLAIN ANALYZE).
+
+``profile_plan`` evaluates a plan while recording, for every plan node,
+its output cardinality (tuples), output width, wall-clock seconds
+(inclusive), and invocation count, then renders the physical plan
+annotated with those measurements — the dynamic-interval analogue of a
+relational ``EXPLAIN ANALYZE``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.compiler.plan import (
+    FnNode,
+    ForNode,
+    JoinForNode,
+    LetNode,
+    PlanNode,
+    WhereNode,
+)
+from repro.compiler.planner import explain_plan
+from repro.engine.evaluator import DIEngine, EnvSeq, Value
+from repro.xml.forest import Forest
+
+
+@dataclass
+class NodeProfile:
+    """Measurements for one plan node (inclusive of its children)."""
+
+    calls: int = 0
+    seconds: float = 0.0
+    output_tuples: int = 0
+    output_width: int = 0
+    environments: int = 0
+
+
+@dataclass
+class PlanProfile:
+    """The full profile: plan, per-node data, result."""
+
+    plan: PlanNode
+    nodes: dict[int, NodeProfile] = field(default_factory=dict)
+    result: Forest = ()
+    total_seconds: float = 0.0
+
+    def profile_for(self, node: PlanNode) -> NodeProfile:
+        return self.nodes.setdefault(id(node), NodeProfile())
+
+    def render(self) -> str:
+        """The explain text with per-node annotations appended."""
+        lines = []
+        for raw_line, node in _explain_lines(self.plan):
+            data = self.nodes.get(id(node)) if node is not None else None
+            if data is None or data.calls == 0:
+                lines.append(raw_line)
+                continue
+            annotation = (f"  [{data.output_tuples} tuples, "
+                          f"w={data.output_width}, "
+                          f"{data.environments} envs, "
+                          f"{data.seconds * 1000:.1f} ms"
+                          + (f", {data.calls}×" if data.calls > 1 else "")
+                          + "]")
+            lines.append(raw_line + annotation)
+        lines.append(f"total: {self.total_seconds * 1000:.1f} ms")
+        return "\n".join(lines)
+
+
+class _ProfilingEngine(DIEngine):
+    """A DIEngine that records per-node measurements."""
+
+    def __init__(self, profile: PlanProfile):
+        super().__init__()
+        self._profile = profile
+
+    def evaluate(self, node: PlanNode, seq: EnvSeq) -> Value:
+        started = time.perf_counter()
+        result = super().evaluate(node, seq)
+        elapsed = time.perf_counter() - started
+        data = self._profile.profile_for(node)
+        data.calls += 1
+        data.seconds += elapsed
+        data.output_tuples = len(result[0])
+        data.output_width = result[1]
+        data.environments = len(seq.index)
+        return result
+
+
+def profile_plan(plan: PlanNode, bindings: Mapping[str, Forest]) -> PlanProfile:
+    """Evaluate ``plan`` with profiling; returns the filled profile."""
+    profile = PlanProfile(plan)
+    engine = _ProfilingEngine(profile)
+    started = time.perf_counter()
+    profile.result = engine.run_plan(plan, bindings)
+    profile.total_seconds = time.perf_counter() - started
+    return profile
+
+
+def _explain_lines(plan: PlanNode):
+    """Pair each explain_plan line with the plan node it belongs to.
+
+    The explain renderer is line-oriented; rather than re-implementing it,
+    walk the plan in the same order and attach nodes to the lines whose
+    text introduces them.
+    """
+    text = explain_plan(plan)
+    lines = text.splitlines()
+    markers = ("Var(", "Fn:", "Let ", "Where", "For ", "JoinFor ")
+    nodes = list(_walk_in_explain_order(plan))
+    position = 0
+    for line in lines:
+        stripped = line.strip()
+        if position < len(nodes) and stripped.startswith(markers):
+            yield line, nodes[position]
+            position += 1
+        else:
+            yield line, None  # continuation lines get no annotation
+
+
+def _walk_in_explain_order(node: PlanNode):
+    """Pre-order walk matching explain_plan's node-introducing lines."""
+    yield node
+    if isinstance(node, FnNode):
+        for arg in node.args:
+            yield from _walk_in_explain_order(arg)
+    elif isinstance(node, LetNode):
+        yield from _walk_in_explain_order(node.value)
+        yield from _walk_in_explain_order(node.body)
+    elif isinstance(node, WhereNode):
+        yield from _walk_condition(node.condition)
+        yield from _walk_in_explain_order(node.body)
+    elif isinstance(node, ForNode):
+        yield from _walk_in_explain_order(node.source)
+        yield from _walk_in_explain_order(node.body)
+    elif isinstance(node, JoinForNode):
+        yield from _walk_in_explain_order(node.source)
+        yield from _walk_in_explain_order(node.key_outer)
+        yield from _walk_in_explain_order(node.key_inner)
+        if node.residual is not None:
+            yield from _walk_condition(node.residual)
+        yield from _walk_in_explain_order(node.body)
+
+
+def _walk_condition(condition):
+    from repro.compiler.plan import (
+        AndCond,
+        EmptyCond,
+        EqualCond,
+        LessCond,
+        NotCond,
+        OrCond,
+        SomeEqualCond,
+    )
+
+    if isinstance(condition, EmptyCond):
+        yield from _walk_in_explain_order(condition.expr)
+    elif isinstance(condition, (EqualCond, SomeEqualCond, LessCond)):
+        yield from _walk_in_explain_order(condition.left)
+        yield from _walk_in_explain_order(condition.right)
+    elif isinstance(condition, NotCond):
+        yield from _walk_condition(condition.condition)
+    elif isinstance(condition, (AndCond, OrCond)):
+        yield from _walk_condition(condition.left)
+        yield from _walk_condition(condition.right)

@@ -1,0 +1,102 @@
+"""Per-category cost accounting for engine plans (behind Figure 10).
+
+The paper breaks Q8's CPU time into *Paths*, *Join*, and *Construction*
+(Figure 10).  :class:`EngineStats` attributes wall-clock time to those
+categories with *exclusive* semantics: time spent inside a nested measure
+is charged to the inner category only, so the per-category numbers sum to
+the total evaluation time.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+PATHS = "paths"
+JOIN = "join"
+CONSTRUCTION = "construction"
+OTHER = "other"
+
+CATEGORIES = (PATHS, JOIN, CONSTRUCTION, OTHER)
+
+#: Category of each XFn for Figure 10 attribution.
+FUNCTION_CATEGORIES = {
+    "children": PATHS,
+    "select": PATHS,
+    "textnodes": PATHS,
+    "elementnodes": PATHS,
+    "subtrees_dfs": PATHS,
+    "data": PATHS,
+    "roots": PATHS,
+    "xnode": CONSTRUCTION,
+    "concat": CONSTRUCTION,
+    "text_const": CONSTRUCTION,
+    "empty_forest": CONSTRUCTION,
+    "count": CONSTRUCTION,
+    "string_fn": CONSTRUCTION,
+    "head": OTHER,
+    "tail": OTHER,
+    "reverse": OTHER,
+    "distinct": OTHER,
+    "sort": OTHER,
+}
+
+
+@dataclass
+class EngineStats:
+    """Exclusive wall-clock time and tuple counts per plan category."""
+
+    seconds: dict[str, float] = field(default_factory=dict)
+    tuples: dict[str, int] = field(default_factory=dict)
+    _stack: list[list] = field(default_factory=list)
+
+    @contextmanager
+    def measure(self, category: str) -> Iterator[None]:
+        """Charge the enclosed work to ``category`` (exclusive of children)."""
+        frame = [category, 0.0]  # accumulated child time to subtract
+        start = time.perf_counter()
+        self._stack.append(frame)
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._stack.pop()
+            exclusive = elapsed - frame[1]
+            self.seconds[category] = self.seconds.get(category, 0.0) + exclusive
+            if self._stack:
+                self._stack[-1][1] += elapsed
+
+    def add_tuples(self, category: str, count: int) -> None:
+        """Record output cardinality for a category."""
+        self.tuples[category] = self.tuples.get(category, 0) + count
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Per-category share of total time (the Figure 10 percentages)."""
+        total = self.total_seconds
+        if total <= 0:
+            return {category: 0.0 for category in CATEGORIES}
+        return {
+            category: self.seconds.get(category, 0.0) / total
+            for category in CATEGORIES
+        }
+
+    def reset(self) -> None:
+        self.seconds.clear()
+        self.tuples.clear()
+        self._stack.clear()
+
+    def summary(self) -> str:
+        """A one-line human-readable breakdown."""
+        fractions = self.fractions()
+        parts = [
+            f"{category}={fractions[category] * 100:.0f}%"
+            for category in CATEGORIES
+            if fractions[category] > 0
+        ]
+        return f"total={self.total_seconds:.3f}s " + " ".join(parts)

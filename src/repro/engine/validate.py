@@ -1,0 +1,73 @@
+"""Runtime invariant checks for engine values (debug mode).
+
+``DIEngine(validate=True)`` verifies, after every plan node, the three
+representation invariants everything else silently relies on:
+
+1. **document order** — the relation is sorted by left endpoint;
+2. **block containment** — every tuple lies inside the block of an
+   environment present in the current index, and never crosses a block
+   boundary;
+3. **well-formed nesting** — within each block the intervals form a valid
+   Definition 3.1 encoding.
+
+The checks are linear passes; they exist for tests and debugging, not for
+production evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.encoding.interval import IntervalTuple
+from repro.errors import ExecutionError
+
+
+def validate_value(rel: Sequence[IntervalTuple], width: int,
+                   index: Sequence[int], context: str = "") -> None:
+    """Raise :class:`ExecutionError` unless the invariants hold."""
+    where = f" (after {context})" if context else ""
+    if width == 0:
+        if rel:
+            raise ExecutionError(
+                f"zero-width relation contains tuples{where}")
+        return
+    allowed = set(index)
+    previous_left = None
+    open_rights: list[int] = []
+    current_env = None
+    for s, l, r in rel:
+        if previous_left is not None and l <= previous_left:
+            raise ExecutionError(
+                f"document order violated at ({s!r},{l},{r}){where}")
+        previous_left = l
+        if l >= r:
+            raise ExecutionError(
+                f"degenerate interval ({s!r},{l},{r}){where}")
+        env = l // width
+        if env not in allowed:
+            raise ExecutionError(
+                f"tuple ({s!r},{l},{r}) in env {env} not in the index{where}")
+        if r >= (env + 1) * width:
+            raise ExecutionError(
+                f"tuple ({s!r},{l},{r}) crosses the block boundary of env "
+                f"{env} (width {width}){where}")
+        if env != current_env:
+            current_env = env
+            open_rights.clear()
+        while open_rights and open_rights[-1] < l:
+            open_rights.pop()
+        if open_rights and r > open_rights[-1]:
+            raise ExecutionError(
+                f"tuple ({s!r},{l},{r}) partially overlaps an open "
+                f"interval{where}")
+        open_rights.append(r)
+
+
+def validate_index(index: Sequence[int], context: str = "") -> None:
+    """The environment index must be strictly increasing."""
+    where = f" (after {context})" if context else ""
+    for previous, current in zip(index, index[1:]):
+        if current <= previous:
+            raise ExecutionError(
+                f"environment index not strictly increasing{where}: "
+                f"{previous} then {current}")

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the dynamic-interval XQuery reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors such
+as ``TypeError`` raised by misuse of the Python API itself.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class XMLParseError(ReproError):
+    """Raised when XML text cannot be parsed into a forest."""
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """Raised when an interval encoding is malformed or inconsistent."""
+
+
+class WidthOverflowError(EncodingError):
+    """Raised when inferred interval widths exceed the backend's integer range.
+
+    Section 4.3 of the paper notes that interval endpoints are bounded by a
+    polynomial whose degree equals the nesting depth of the query; a backend
+    with fixed-width integers (e.g. SQLite's 64-bit ints) may overflow for
+    deeply nested queries over large documents.
+    """
+
+
+class XQuerySyntaxError(ReproError):
+    """Raised when XQuery surface text cannot be tokenized or parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class LoweringError(ReproError):
+    """Raised when a surface AST cannot be lowered to the core language."""
+
+
+class UnknownFunctionError(ReproError):
+    """Raised when a core expression references an unregistered XFn."""
+
+
+class UnboundVariableError(ReproError):
+    """Raised when evaluation encounters a variable absent from the environment."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"unbound variable: ${name}")
+
+
+class TranslationError(ReproError):
+    """Raised when a core expression cannot be translated to SQL."""
+
+
+class PlanError(ReproError):
+    """Raised when a core expression cannot be compiled to a physical plan."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a physical plan fails during execution."""
+
+
+class BenchmarkTimeout(ReproError):
+    """Raised internally by the benchmark harness when a cell exceeds its budget."""

@@ -1,0 +1,193 @@
+"""A stateful query session: documents + prepared queries + updates.
+
+:func:`repro.run_xquery` is one-shot: it re-binds documents on every call.
+:class:`XQuerySession` is the repository-style API a downstream
+application would use:
+
+* documents are registered once (from text, files, nodes, or generated
+  XMark data) and reused across queries;
+* compiled queries and physical plans are cached per (query, strategy);
+* the SQLite backend keeps its shredded tables loaded between queries;
+* documents can be *updated in place* (insert/delete subtrees via the
+  gap-based relabeling of :mod:`repro.encoding.updates`), invalidating
+  exactly the affected backend state.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping
+
+from repro.api import CompiledQuery, QueryResult, compile_xquery
+from repro.compiler.plan import JoinStrategy, PlanNode
+from repro.compiler.planner import compile_plan
+from repro.encoding.updates import UpdatableDocument
+from repro.engine.evaluator import DIEngine
+from repro.engine.stats import EngineStats
+from repro.errors import ReproError
+from repro.sql.sqlite_backend import SQLiteDatabase
+from repro.xml.forest import Forest, Node
+from repro.xml.text_parser import parse_forest
+from repro.xquery.interpreter import Interpreter
+from repro.xquery.lowering import document_forest
+
+
+class XQuerySession:
+    """Documents and prepared queries with pluggable backends."""
+
+    def __init__(self, backend: str = "engine",
+                 strategy: str | JoinStrategy = JoinStrategy.MSJ,
+                 simplify: bool = False):
+        self.backend = backend
+        self.strategy = (strategy if isinstance(strategy, JoinStrategy)
+                         else JoinStrategy(strategy))
+        self.simplify = simplify
+        self._documents: dict[str, Forest] = {}
+        self._updatable: dict[str, UpdatableDocument] = {}
+        self._compiled: dict[str, CompiledQuery] = {}
+        self._plans: dict[tuple[str, JoinStrategy], PlanNode] = {}
+        self._sqlite: SQLiteDatabase | None = None
+        self._sqlite_loaded: set[str] = set()
+
+    # -- document management ---------------------------------------------------
+
+    def add_document(self, uri: str, source: str | Node | Forest) -> None:
+        """Register (or replace) the document bound to ``document(uri)``."""
+        if isinstance(source, str):
+            forest = parse_forest(source)
+        elif isinstance(source, Node):
+            forest = (source,)
+        elif isinstance(source, tuple):
+            forest = source
+        else:
+            raise ReproError(
+                f"cannot use {type(source).__name__} as a document")
+        self._documents[uri] = forest
+        self._updatable.pop(uri, None)
+        self._sqlite_loaded.discard(uri)
+
+    def add_document_file(self, uri: str, path: str | Path) -> None:
+        """Register a document from an XML file."""
+        self.add_document(uri, Path(path).read_text())
+
+    def add_xmark_document(self, uri: str, scale: float,
+                           seed: int = 42) -> None:
+        """Register a generated XMark document."""
+        from repro.xmark.generator import generate_document
+
+        self.add_document(uri, generate_document(scale, seed=seed))
+
+    @property
+    def documents(self) -> list[str]:
+        return sorted(self._documents)
+
+    def document(self, uri: str) -> Forest:
+        try:
+            return self._documents[uri]
+        except KeyError:
+            raise ReproError(f"no document registered for {uri!r}") from None
+
+    # -- updates --------------------------------------------------------------------
+
+    def updatable(self, uri: str) -> UpdatableDocument:
+        """The updatable encoding of a document (created on first use)."""
+        if uri not in self._updatable:
+            self._updatable[uri] = UpdatableDocument.from_forest(
+                self.document(uri))
+        return self._updatable[uri]
+
+    def apply_update(self, uri: str,
+                     updated: UpdatableDocument) -> None:
+        """Commit an updated encoding back as the document's new state."""
+        self._documents[uri] = updated.to_forest()
+        self._updatable[uri] = updated
+        self._sqlite_loaded.discard(uri)
+
+    # -- querying ----------------------------------------------------------------------
+
+    def prepare(self, query: str) -> CompiledQuery:
+        """Compile (and cache) a query."""
+        compiled = self._compiled.get(query)
+        if compiled is None:
+            compiled = compile_xquery(query, simplify=self.simplify)
+            self._compiled[query] = compiled
+        return compiled
+
+    def run(self, query: str, backend: str | None = None,
+            strategy: str | JoinStrategy | None = None,
+            stats: EngineStats | None = None) -> QueryResult:
+        """Run a query against the registered documents."""
+        compiled = self.prepare(query)
+        bindings = self._bindings(compiled)
+        backend = backend or self.backend
+        if backend == "engine":
+            plan = self._plan(query, compiled, strategy)
+            return QueryResult(DIEngine(stats=stats).run_plan(plan, bindings))
+        if backend == "interpreter":
+            return QueryResult(Interpreter().evaluate(compiled.core, bindings))
+        if backend == "sqlite":
+            database = self._ensure_sqlite(compiled, bindings)
+            return QueryResult(database.execute(compiled.core))
+        raise ReproError(f"unknown backend {backend!r}")
+
+    def explain(self, query: str,
+                strategy: str | JoinStrategy | None = None) -> str:
+        compiled = self.prepare(query)
+        return compiled.explain(self._strategy(strategy))
+
+    def profile(self, query: str,
+                strategy: str | JoinStrategy | None = None):
+        """Run with per-node measurements (see :mod:`repro.engine.profile`)."""
+        from repro.engine.profile import profile_plan
+
+        compiled = self.prepare(query)
+        plan = self._plan(query, compiled, strategy)
+        return profile_plan(plan, self._bindings(compiled))
+
+    def close(self) -> None:
+        if self._sqlite is not None:
+            self._sqlite.close()
+            self._sqlite = None
+            self._sqlite_loaded.clear()
+
+    def __enter__(self) -> "XQuerySession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------------------------
+
+    def _strategy(self, strategy: str | JoinStrategy | None) -> JoinStrategy:
+        if strategy is None:
+            return self.strategy
+        if isinstance(strategy, JoinStrategy):
+            return strategy
+        return JoinStrategy(strategy)
+
+    def _plan(self, query: str, compiled: CompiledQuery,
+              strategy: str | JoinStrategy | None) -> PlanNode:
+        resolved = self._strategy(strategy)
+        key = (query, resolved)
+        plan = self._plans.get(key)
+        if plan is None:
+            plan = compile_plan(compiled.core, resolved,
+                                base_vars=compiled.documents.values())
+            self._plans[key] = plan
+        return plan
+
+    def _bindings(self, compiled: CompiledQuery) -> dict[str, Forest]:
+        bindings = {}
+        for uri, var in compiled.documents.items():
+            bindings[var] = document_forest(self.document(uri))
+        return bindings
+
+    def _ensure_sqlite(self, compiled: CompiledQuery,
+                       bindings: Mapping[str, Forest]) -> SQLiteDatabase:
+        if self._sqlite is None:
+            self._sqlite = SQLiteDatabase()
+        for uri, var in compiled.documents.items():
+            if uri not in self._sqlite_loaded:
+                self._sqlite.load_document(var, bindings[var])
+                self._sqlite_loaded.add(uri)
+        return self._sqlite

@@ -1,0 +1,22 @@
+"""XQuery-to-SQL translation over dynamic intervals (Section 4).
+
+The translator maps a core-language expression to a **single SQL
+statement** — a ``WITH`` chain of one common table expression per template
+instantiation — executable on stock SQLite.  Interval arithmetic uses
+integer division ``l / w`` to recover the environment index of a tuple, so
+no lateral joins are needed.
+"""
+
+from repro.sql.translator import SQLTranslator, TranslationResult, translate_query
+from repro.sql.sqlite_backend import SQLiteDatabase, run_core_on_sqlite
+from repro.sql.widths import infer_width, width_report
+
+__all__ = [
+    "SQLTranslator",
+    "SQLiteDatabase",
+    "TranslationResult",
+    "infer_width",
+    "run_core_on_sqlite",
+    "translate_query",
+    "width_report",
+]

@@ -1,0 +1,35 @@
+"""SQL helpers for node labels: literal quoting and label-class predicates.
+
+The label conventions of Section 2 (``"<tag>"`` elements, ``"@name"``
+attributes, raw text otherwise) are purely string-shaped, so the node
+tests of XPath (``text()``, ``*``) compile to string predicates on the
+``s`` column.
+"""
+
+from __future__ import annotations
+
+
+def sql_string(value: str) -> str:
+    """Quote a Python string as a SQL string literal (single quotes doubled)."""
+    return "'" + value.replace("'", "''") + "'"
+
+
+def is_element_predicate(column: str) -> str:
+    """A SQL predicate: ``column`` holds an element label ``<tag>``."""
+    return (
+        f"(substr({column}, 1, 1) = '<' AND substr({column}, -1, 1) = '>' "
+        f"AND length({column}) > 2)"
+    )
+
+
+def is_attribute_predicate(column: str) -> str:
+    """A SQL predicate: ``column`` holds an attribute label ``@name``."""
+    return f"(substr({column}, 1, 1) = '@' AND length({column}) > 1)"
+
+
+def is_text_predicate(column: str) -> str:
+    """A SQL predicate: ``column`` holds raw text (neither element nor attribute)."""
+    return (
+        f"(NOT {is_element_predicate(column)} "
+        f"AND NOT {is_attribute_predicate(column)})"
+    )

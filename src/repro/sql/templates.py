@@ -1,0 +1,413 @@
+"""Per-operator SQL templates (Section 4.1, lifted over environments, 4.2.1).
+
+Each XFn has a template builder producing the SQL for one CTE that computes
+``T_XFn(e1,…,ek)`` from the argument CTEs, *already lifted* over the
+sequence of environments: instead of extracting each environment's local
+encoding, applying the single-forest template, and shifting back (the
+paper's three-layer presentation), the builders fold the shift arithmetic
+into the template using integer division — a tuple with left endpoint ``l``
+in a relation of width ``w`` belongs to environment ``l / w``, so
+
+    l_out  =  l_in + (l_in / w_in) · (w_out − w_in) + local_offset
+
+re-blocks a tuple from input width to output width in one expression.
+SQLite evaluates ``x / 0`` as NULL, so zero-width (provably empty) inputs
+are simply skipped by the builders that would divide by them.
+
+Builders return :class:`TemplateResult`: the SQL text of the main CTE, the
+output width, and any helper CTEs (e.g. DFS-sequence views for ``sort`` /
+``distinct``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.errors import TranslationError
+from repro.sql.labels import (
+    is_element_predicate,
+    is_text_predicate,
+    sql_string,
+)
+from repro.sql.structural import (
+    root_sequence_sql,
+    roots_id_sql,
+    tree_equal_predicate,
+    tree_less_predicate,
+)
+
+#: Allocate a fresh CTE name with the given hint.
+Namer = Callable[[str], str]
+
+
+@dataclass(frozen=True)
+class Rel:
+    """A translated expression: the CTE (or table) holding it plus its width."""
+
+    table: str
+    width: int
+
+
+@dataclass
+class TemplateResult:
+    """Output of a template builder."""
+
+    sql: str
+    width: int
+    #: Helper CTEs as (name, sql), to be emitted before the main CTE.
+    helpers: list[tuple[str, str]] = field(default_factory=list)
+
+
+_EMPTY_SQL = "SELECT NULL AS s, NULL AS l, NULL AS r WHERE 0"
+
+
+def _is_root(table: str, width: int, alias: str) -> str:
+    """Predicate: ``alias`` is a root within its environment block."""
+    return (
+        f"NOT EXISTS (SELECT 1 FROM {table} anc\n"
+        f"             WHERE anc.l < {alias}.l AND {alias}.r < anc.r\n"
+        f"               AND anc.l / {width} = {alias}.l / {width})"
+    )
+
+
+def build_template(fn: str, params: Mapping[str, str], args: list[Rel],
+                   index: str, namer: Namer) -> TemplateResult:
+    """Build the SQL template for ``fn`` over already-translated arguments."""
+    try:
+        builder = _BUILDERS[fn]
+    except KeyError:
+        raise TranslationError(f"no SQL template for XFn {fn!r}") from None
+    return builder(params, args, index, namer)
+
+
+def _build_empty_forest(params, args, index, namer) -> TemplateResult:
+    return TemplateResult(_EMPTY_SQL, 0)
+
+
+def _build_text_const(params, args, index, namer) -> TemplateResult:
+    literal = sql_string(params["value"])
+    sql = (
+        f"SELECT {literal} AS s, idx.i * 2 AS l, idx.i * 2 + 1 AS r\n"
+        f"  FROM {index} idx"
+    )
+    return TemplateResult(sql, 2)
+
+
+def _build_xnode(params, args, index, namer) -> TemplateResult:
+    (arg,) = args
+    label = sql_string(params["label"])
+    width = arg.width + 2
+    root_branch = (
+        f"SELECT {label} AS s, idx.i * {width} AS l,\n"
+        f"       idx.i * {width} + {width - 1} AS r\n"
+        f"  FROM {index} idx"
+    )
+    if arg.width == 0:
+        return TemplateResult(root_branch, width)
+    delta = width - arg.width
+    content_branch = (
+        f"SELECT s, l + (l / {arg.width}) * {delta} + 1 AS l,\n"
+        f"       r + (l / {arg.width}) * {delta} + 1 AS r\n"
+        f"  FROM {arg.table}"
+    )
+    return TemplateResult(f"{root_branch}\nUNION ALL\n{content_branch}", width)
+
+
+def _build_concat(params, args, index, namer) -> TemplateResult:
+    left, right = args
+    width = left.width + right.width
+    branches: list[str] = []
+    if left.width > 0:
+        delta = width - left.width
+        branches.append(
+            f"SELECT s, l + (l / {left.width}) * {delta} AS l,\n"
+            f"       r + (l / {left.width}) * {delta} AS r\n"
+            f"  FROM {left.table}"
+        )
+    if right.width > 0:
+        delta = width - right.width
+        branches.append(
+            f"SELECT s, l + (l / {right.width}) * {delta} + {left.width} AS l,\n"
+            f"       r + (l / {right.width}) * {delta} + {left.width} AS r\n"
+            f"  FROM {right.table}"
+        )
+    if not branches:
+        return TemplateResult(_EMPTY_SQL, 0)
+    return TemplateResult("\nUNION ALL\n".join(branches), width)
+
+
+def _build_roots(params, args, index, namer) -> TemplateResult:
+    (arg,) = args
+    if arg.width == 0:
+        return TemplateResult(_EMPTY_SQL, 0)
+    sql = (
+        f"SELECT u.s, u.l, u.r FROM {arg.table} u\n"
+        f" WHERE {_is_root(arg.table, arg.width, 'u')}"
+    )
+    return TemplateResult(sql, arg.width)
+
+
+def _build_children(params, args, index, namer) -> TemplateResult:
+    (arg,) = args
+    if arg.width == 0:
+        return TemplateResult(_EMPTY_SQL, 0)
+    sql = (
+        f"SELECT u.s, u.l, u.r FROM {arg.table} u\n"
+        f" WHERE EXISTS (SELECT 1 FROM {arg.table} anc\n"
+        f"                WHERE anc.l < u.l AND u.r < anc.r\n"
+        f"                  AND anc.l / {arg.width} = u.l / {arg.width})"
+    )
+    return TemplateResult(sql, arg.width)
+
+
+def _root_filter_template(arg: Rel, root_predicate: str) -> str:
+    """Keep whole trees whose root satisfies ``root_predicate`` (alias rt)."""
+    width = arg.width
+    return (
+        f"SELECT u.s, u.l, u.r FROM {arg.table} u\n"
+        f" WHERE EXISTS (\n"
+        f"   SELECT 1 FROM {arg.table} rt\n"
+        f"    WHERE rt.l <= u.l AND u.r <= rt.r\n"
+        f"      AND rt.l / {width} = u.l / {width}\n"
+        f"      AND {root_predicate}\n"
+        f"      AND {_is_root(arg.table, width, 'rt')})"
+    )
+
+
+def _build_select(params, args, index, namer) -> TemplateResult:
+    (arg,) = args
+    if arg.width == 0:
+        return TemplateResult(_EMPTY_SQL, 0)
+    predicate = f"rt.s = {sql_string(params['label'])}"
+    return TemplateResult(_root_filter_template(arg, predicate), arg.width)
+
+
+def _build_textnodes(params, args, index, namer) -> TemplateResult:
+    (arg,) = args
+    if arg.width == 0:
+        return TemplateResult(_EMPTY_SQL, 0)
+    return TemplateResult(
+        _root_filter_template(arg, is_text_predicate("rt.s")), arg.width
+    )
+
+
+def _build_elementnodes(params, args, index, namer) -> TemplateResult:
+    (arg,) = args
+    if arg.width == 0:
+        return TemplateResult(_EMPTY_SQL, 0)
+    return TemplateResult(
+        _root_filter_template(arg, is_element_predicate("rt.s")), arg.width
+    )
+
+
+def _build_head(params, args, index, namer) -> TemplateResult:
+    (arg,) = args
+    if arg.width == 0:
+        return TemplateResult(_EMPTY_SQL, 0)
+    width = arg.width
+    predicate = (
+        f"NOT EXISTS (SELECT 1 FROM {arg.table} fr\n"
+        f"             WHERE fr.l < rt.l AND fr.l / {width} = rt.l / {width}\n"
+        f"               AND {_is_root(arg.table, width, 'fr')})"
+    )
+    return TemplateResult(_root_filter_template(arg, predicate), width)
+
+
+def _build_tail(params, args, index, namer) -> TemplateResult:
+    (arg,) = args
+    if arg.width == 0:
+        return TemplateResult(_EMPTY_SQL, 0)
+    width = arg.width
+    predicate = (
+        f"EXISTS (SELECT 1 FROM {arg.table} fr\n"
+        f"         WHERE fr.l < rt.l AND fr.l / {width} = rt.l / {width}\n"
+        f"           AND {_is_root(arg.table, width, 'fr')})"
+    )
+    return TemplateResult(_root_filter_template(arg, predicate), width)
+
+
+def _build_reverse(params, args, index, namer) -> TemplateResult:
+    (arg,) = args
+    if arg.width == 0:
+        return TemplateResult(_EMPTY_SQL, 0)
+    width = arg.width
+    # Local reversal: a root spanning local [a, b] moves to [w-1-b, w-1-a],
+    # and its descendants shift with it; in global coordinates the shift is
+    # (w - 1 - r.r - r.l + 2·i·w) with i = l / w.
+    shift = f"{width - 1} - rt.r - rt.l + 2 * (u.l / {width}) * {width}"
+    sql = (
+        f"SELECT u.s, u.l + {shift} AS l, u.r + {shift} AS r\n"
+        f"  FROM {arg.table} u\n"
+        f"  JOIN {arg.table} rt ON rt.l <= u.l AND u.r <= rt.r\n"
+        f"   AND rt.l / {width} = u.l / {width}\n"
+        f" WHERE {_is_root(arg.table, width, 'rt')}"
+    )
+    return TemplateResult(sql, width)
+
+
+def _build_subtrees_dfs(params, args, index, namer) -> TemplateResult:
+    (arg,) = args
+    if arg.width == 0:
+        return TemplateResult(_EMPTY_SQL, 0)
+    win = arg.width
+    wout = win * win
+    # The copy rooted at node v is placed at block offset (v.l mod w_in)·w_in
+    # inside the (l/w_in)-th output block; nodes keep their offset from v.
+    base = f"(u.l / {win}) * {wout} + (v.l - (u.l / {win}) * {win}) * {win}"
+    sql = (
+        f"SELECT u.s, {base} + (u.l - v.l) AS l, {base} + (u.r - v.l) AS r\n"
+        f"  FROM {arg.table} u\n"
+        f"  JOIN {arg.table} v ON v.l <= u.l AND u.r <= v.r\n"
+        f"   AND v.l / {win} = u.l / {win}"
+    )
+    return TemplateResult(sql, wout)
+
+
+def _build_count(params, args, index, namer) -> TemplateResult:
+    (arg,) = args
+    if arg.width == 0:
+        sql = (
+            f"SELECT '0' AS s, idx.i * 2 AS l, idx.i * 2 + 1 AS r\n"
+            f"  FROM {index} idx"
+        )
+        return TemplateResult(sql, 2)
+    width = arg.width
+    count_expr = (
+        f"(SELECT COUNT(*) FROM {arg.table} x\n"
+        f"  WHERE x.l / {width} = idx.i\n"
+        f"    AND {_is_root(arg.table, width, 'x')})"
+    )
+    sql = (
+        f"SELECT CAST({count_expr} AS TEXT) AS s,\n"
+        f"       idx.i * 2 AS l, idx.i * 2 + 1 AS r\n"
+        f"  FROM {index} idx"
+    )
+    return TemplateResult(sql, 2)
+
+
+def _build_data(params, args, index, namer) -> TemplateResult:
+    (arg,) = args
+    if arg.width == 0:
+        return TemplateResult(_EMPTY_SQL, 0)
+    width = arg.width
+    # Keep text roots, plus text children of non-text roots; descendants of
+    # kept tuples are dropped, so results decode as childless text nodes.
+    depth_expr = (
+        f"(SELECT COUNT(*) FROM {arg.table} anc\n"
+        f"  WHERE anc.l < u.l AND u.r < anc.r\n"
+        f"    AND anc.l / {width} = u.l / {width})"
+    )
+    text_ancestor = (
+        f"EXISTS (SELECT 1 FROM {arg.table} anc\n"
+        f"         WHERE anc.l < u.l AND u.r < anc.r\n"
+        f"           AND anc.l / {width} = u.l / {width}\n"
+        f"           AND {is_text_predicate('anc.s')})"
+    )
+    sql = (
+        f"SELECT u.s, u.l, u.r FROM {arg.table} u\n"
+        f" WHERE {is_text_predicate('u.s')}\n"
+        f"   AND ({depth_expr} = 0\n"
+        f"        OR ({depth_expr} = 1 AND NOT {text_ancestor}))"
+    )
+    return TemplateResult(sql, width)
+
+
+def _build_string_fn(params, args, index, namer) -> TemplateResult:
+    (arg,) = args
+    if arg.width == 0:
+        sql = (
+            f"SELECT '' AS s, idx.i * 2 AS l, idx.i * 2 + 1 AS r\n"
+            f"  FROM {index} idx"
+        )
+        return TemplateResult(sql, 2)
+    width = arg.width
+    # GROUP_CONCAT over an ORDER BY subquery: SQLite feeds the aggregate in
+    # the subquery's order (documented-as-arbitrary but stable in practice
+    # and pinned by the test suite).
+    concat_expr = (
+        f"COALESCE((SELECT GROUP_CONCAT(x.s, '') FROM\n"
+        f"   (SELECT t.s AS s FROM {arg.table} t\n"
+        f"     WHERE t.l / {width} = idx.i AND {is_text_predicate('t.s')}\n"
+        f"     ORDER BY t.l) x), '')"
+    )
+    sql = (
+        f"SELECT {concat_expr} AS s, idx.i * 2 AS l, idx.i * 2 + 1 AS r\n"
+        f"  FROM {index} idx"
+    )
+    return TemplateResult(sql, 2)
+
+
+def _build_distinct(params, args, index, namer) -> TemplateResult:
+    (arg,) = args
+    if arg.width == 0:
+        return TemplateResult(_EMPTY_SQL, 0)
+    width = arg.width
+    seq = namer("rseq")
+    helpers = [(seq, root_sequence_sql(arg.table, width))]
+    equal_earlier = tree_equal_predicate(seq, seq, "eb.l", "rt.l")
+    predicate = (
+        f"NOT EXISTS (SELECT 1 FROM {arg.table} eb\n"
+        f"             WHERE eb.l < rt.l AND eb.l / {width} = rt.l / {width}\n"
+        f"               AND {_is_root(arg.table, width, 'eb')}\n"
+        f"               AND {equal_earlier})"
+    )
+    return TemplateResult(_root_filter_template(arg, predicate), width, helpers)
+
+
+def _build_sort(params, args, index, namer) -> TemplateResult:
+    (arg,) = args
+    if arg.width == 0:
+        return TemplateResult(_EMPTY_SQL, 0)
+    win = arg.width
+    wout = win * win
+    seq = namer("rseq")
+    roots = namer("rids")
+    rank = namer("rank")
+    less = tree_less_predicate(seq, seq, "b.root", "a.root")
+    equal = tree_equal_predicate(seq, seq, "b.root", "a.root")
+    rank_sql = (
+        f"SELECT a.env AS env, a.root AS root, a.l AS l, a.r AS r,\n"
+        f"       ((SELECT COUNT(*) FROM {roots} b\n"
+        f"          WHERE b.env = a.env AND {less})\n"
+        f"        + (SELECT COUNT(*) FROM {roots} b\n"
+        f"            WHERE b.env = a.env AND b.root < a.root AND {equal})\n"
+        f"       ) AS rnk\n"
+        f"  FROM {roots} a"
+    )
+    helpers = [
+        (seq, root_sequence_sql(arg.table, win)),
+        (roots, roots_id_sql(arg.table, win)),
+        (rank, rank_sql),
+    ]
+    # Tree ranked k in environment i lands at block offset k·w_in inside the
+    # i-th output block of width w_in²; nodes keep their offset from the root.
+    base = f"(u.l / {win}) * {wout} + k.rnk * {win}"
+    sql = (
+        f"SELECT u.s, {base} + (u.l - k.root) AS l, {base} + (u.r - k.root) AS r\n"
+        f"  FROM {arg.table} u\n"
+        f"  JOIN {rank} k ON k.l <= u.l AND u.r <= k.r"
+    )
+    return TemplateResult(sql, wout, helpers)
+
+
+_BUILDERS: dict[str, Callable[..., TemplateResult]] = {
+    "empty_forest": _build_empty_forest,
+    "text_const": _build_text_const,
+    "xnode": _build_xnode,
+    "concat": _build_concat,
+    "roots": _build_roots,
+    "children": _build_children,
+    "select": _build_select,
+    "textnodes": _build_textnodes,
+    "elementnodes": _build_elementnodes,
+    "head": _build_head,
+    "tail": _build_tail,
+    "reverse": _build_reverse,
+    "subtrees_dfs": _build_subtrees_dfs,
+    "count": _build_count,
+    "data": _build_data,
+    "string_fn": _build_string_fn,
+    "distinct": _build_distinct,
+    "sort": _build_sort,
+}

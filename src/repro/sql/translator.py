@@ -1,0 +1,349 @@
+"""Compositional translation of core expressions to a single SQL statement.
+
+This is the Section 4.2 construction.  The translation context carries
+
+* an **index CTE** holding the current environment indices ``I``, and
+* a mapping from variables to :class:`~repro.sql.templates.Rel` — the CTE
+  holding ``T_x`` plus its width ``w_x``.
+
+Every core construct appends CTEs:
+
+``XFn``
+    one CTE per operator template (Section 4.2.1), lifted over environments
+    with division-based re-blocking.
+
+``let x = e in e'``
+    no new CTEs — the environment mapping is extended (Section 4.2.2).
+
+``where φ return e``
+    a new index CTE keeping the indices satisfying the translated
+    condition, plus one restriction CTE per variable free in the body
+    (Section 4.2.3).
+
+``for x in e do e'``
+    a roots CTE over ``T_e``, the new index ``I' = {root left endpoints}``
+    (these are exactly the paper's ``i·w_e + r.l`` in global coordinates),
+    the re-blocked ``T'_x`` and ``T'_y`` CTEs, and finally the body's CTEs;
+    the loop "exits" by just re-reading the body's CTE at width
+    ``w_e · w_e'`` (Section 4.2.4).
+
+The output is one statement::
+
+    WITH c0_… AS (…), c1_… AS (…), … SELECT s, l, r FROM c…  ORDER BY l
+
+Invariant maintained throughout: every emitted CTE only contains tuples
+whose block index belongs to the context's index CTE, so block-deriving
+templates never resurrect filtered-out environments.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import (
+    TranslationError,
+    UnboundVariableError,
+    WidthOverflowError,
+)
+from repro.sql import structural
+from repro.sql.templates import Rel, build_template
+from repro.xquery.ast import (
+    And,
+    Condition,
+    CoreExpr,
+    Empty,
+    Equal,
+    FnApp,
+    For,
+    Less,
+    Let,
+    Not,
+    Or,
+    SomeEqual,
+    Var,
+    Where,
+    free_variables,
+)
+
+#: Sentinel substituted with the environment index expression when a
+#: condition predicate is placed inside an index-filter CTE.
+ENV_SENTINEL = "__ENV__"
+
+_EMPTY_SEQ_SQL = (
+    "SELECT NULL AS env, NULL AS pos, NULL AS depth, NULL AS s WHERE 0"
+)
+_EMPTY_ROOTSEQ_SQL = (
+    "SELECT NULL AS env, NULL AS root, NULL AS s, NULL AS pos, NULL AS depth WHERE 0"
+)
+_EMPTY_ROOTS_SQL = (
+    "SELECT NULL AS env, NULL AS root, NULL AS s, NULL AS l, NULL AS r WHERE 0"
+)
+
+
+@dataclass(frozen=True)
+class _Ctx:
+    """Translation context: the current index CTE and variable bindings."""
+
+    index: str
+    vars: Mapping[str, Rel]
+
+
+@dataclass
+class TranslationResult:
+    """A complete translation: one SQL statement plus metadata.
+
+    ``sql`` is the single-statement form (one ``WITH`` chain).  ``ctes``
+    and ``final_select`` expose the same query in pieces: SQLite clones CTE
+    parse trees once per reference, so deeply composed queries can exceed
+    its 65535-references-per-table limit in single-statement form; the
+    backend then materializes each CTE as a temp table instead — the same
+    query, staged (see :mod:`repro.sql.sqlite_backend`).
+    """
+
+    sql: str
+    width: int
+    cte_count: int
+    #: The name of the CTE holding the final encoded result.
+    result_table: str
+    #: The (name, sql) CTE chain in dependency order.
+    ctes: list[tuple[str, str]] = field(default_factory=list)
+    #: The final SELECT reading ``result_table``.
+    final_select: str = ""
+
+    def __str__(self) -> str:
+        return self.sql
+
+
+class SQLTranslator:
+    """Translate core expressions into single SQL statements.
+
+    ``max_width`` bounds the per-expression block width; exceeding it
+    raises :class:`WidthOverflowError`.  SQLite stores 64-bit integers and
+    coordinates can exceed the width by one environment-index factor, so
+    the backend uses a conservative default of ``2**61``.
+    """
+
+    def __init__(self, max_width: int | None = None):
+        self.max_width = max_width
+        self._counter = itertools.count()
+        self._ctes: list[tuple[str, str]] = []
+
+    # -- public API ------------------------------------------------------------
+
+    def translate(self, expr: CoreExpr,
+                  documents: Mapping[str, tuple[str, int]]) -> TranslationResult:
+        """Translate ``expr`` given base tables for its free variables.
+
+        ``documents`` maps variable names to ``(table_name, width)`` pairs
+        for relations already holding valid interval encodings in
+        environment block 0.
+        """
+        self._counter = itertools.count()
+        self._ctes = []
+        index = self._add("init_idx", "SELECT 0 AS i")
+        ctx = _Ctx(index, {name: Rel(table, width)
+                           for name, (table, width) in documents.items()})
+        result = self._translate(expr, ctx)
+        body = ",\n".join(
+            f"{name} AS MATERIALIZED (\n{sql}\n)" for name, sql in self._ctes
+        )
+        final_select = f"SELECT s, l, r FROM {result.table} ORDER BY l"
+        sql = f"WITH {body}\n{final_select}"
+        return TranslationResult(sql, result.width, len(self._ctes),
+                                 result.table, list(self._ctes), final_select)
+
+    # -- CTE plumbing ------------------------------------------------------------
+
+    def _fresh(self, hint: str) -> str:
+        return f"c{next(self._counter)}_{hint}"
+
+    def _add(self, hint: str, sql: str) -> str:
+        name = self._fresh(hint)
+        self._ctes.append((name, sql))
+        return name
+
+    def _check_width(self, width: int, context: str) -> int:
+        if self.max_width is not None and width > self.max_width:
+            raise WidthOverflowError(
+                f"inferred width {width} for {context} exceeds the backend "
+                f"limit {self.max_width}; the width of nested for-blocks "
+                f"grows as a polynomial whose degree is the nesting depth "
+                f"(Section 4.3) — reduce document size or nesting"
+            )
+        return width
+
+    # -- expression translation ----------------------------------------------------
+
+    def _translate(self, expr: CoreExpr, ctx: _Ctx) -> Rel:
+        if isinstance(expr, Var):
+            try:
+                return ctx.vars[expr.name]
+            except KeyError:
+                raise UnboundVariableError(expr.name) from None
+        if isinstance(expr, FnApp):
+            return self._translate_fnapp(expr, ctx)
+        if isinstance(expr, Let):
+            value = self._translate(expr.value, ctx)
+            inner = dict(ctx.vars)
+            inner[expr.var] = value
+            return self._translate(expr.body, _Ctx(ctx.index, inner))
+        if isinstance(expr, Where):
+            return self._translate_where(expr, ctx)
+        if isinstance(expr, For):
+            return self._translate_for(expr, ctx)
+        raise TranslationError(f"cannot translate {type(expr).__name__}")
+
+    def _translate_fnapp(self, expr: FnApp, ctx: _Ctx) -> Rel:
+        args = [self._translate(arg, ctx) for arg in expr.args]
+        result = build_template(expr.fn, dict(expr.params), args,
+                                ctx.index, self._fresh)
+        for name, sql in result.helpers:
+            self._ctes.append((name, sql))
+        self._check_width(result.width, f"XFn {expr.fn}")
+        table = self._add(expr.fn, result.sql)
+        return Rel(table, result.width)
+
+    def _translate_where(self, expr: Where, ctx: _Ctx) -> Rel:
+        predicate = self._translate_condition(expr.condition, ctx)
+        filtered = self._add(
+            "where_idx",
+            f"SELECT idx.i AS i FROM {ctx.index} idx\n"
+            f" WHERE {predicate.replace(ENV_SENTINEL, 'idx.i')}",
+        )
+        inner_vars = dict(ctx.vars)
+        for name in sorted(free_variables(expr.body)):
+            rel = ctx.vars.get(name)
+            if rel is None or rel.width == 0:
+                continue
+            table = self._add(
+                "restrict",
+                f"SELECT t.s, t.l, t.r FROM {rel.table} t\n"
+                f" WHERE t.l / {rel.width} IN (SELECT i FROM {filtered})",
+            )
+            inner_vars[name] = Rel(table, rel.width)
+        return self._translate(expr.body, _Ctx(filtered, inner_vars))
+
+    def _translate_for(self, expr: For, ctx: _Ctx) -> Rel:
+        source = self._translate(expr.source, ctx)
+        if source.width == 0:
+            empty = self._add("for_empty",
+                              "SELECT NULL AS s, NULL AS l, NULL AS r WHERE 0")
+            return Rel(empty, 0)
+        ws = source.width
+        roots = self._add(
+            "for_roots",
+            f"SELECT u.s, u.l, u.r FROM {source.table} u\n"
+            f" WHERE NOT EXISTS (SELECT 1 FROM {source.table} v\n"
+            f"                    WHERE v.l < u.l AND u.r < v.r\n"
+            f"                      AND v.l / {ws} = u.l / {ws})",
+        )
+        # I' — one environment per iterated tree; the global left endpoint of
+        # a root is the paper's i·w_e + r.l in one number, and it is unique
+        # and document-ordered across all environments.
+        index = self._add("for_idx", f"SELECT rt.l AS i FROM {roots} rt")
+        bound = self._add(
+            "for_var",
+            f"SELECT u.s,\n"
+            f"       u.l - (u.l / {ws}) * {ws} + rt.l * {ws} AS l,\n"
+            f"       u.r - (u.l / {ws}) * {ws} + rt.l * {ws} AS r\n"
+            f"  FROM {source.table} u\n"
+            f"  JOIN {roots} rt ON rt.l <= u.l AND u.r <= rt.r",
+        )
+        inner_vars: dict[str, Rel] = {expr.var: Rel(bound, ws)}
+        outer_needed = free_variables(expr.body) - {expr.var}
+        for name in sorted(outer_needed):
+            rel = ctx.vars.get(name)
+            if rel is None:
+                continue  # unbound — let the body translation raise
+            if rel.width == 0:
+                inner_vars[name] = rel
+                continue
+            wy = rel.width
+            # Duplicate the outer binding once per new environment — this
+            # cross product is exactly the data blow-up that makes naive
+            # nested-loop evaluation quadratic.
+            table = self._add(
+                "for_outer",
+                f"SELECT y.s,\n"
+                f"       y.l - (y.l / {wy}) * {wy} + rt.l * {wy} AS l,\n"
+                f"       y.r - (y.l / {wy}) * {wy} + rt.l * {wy} AS r\n"
+                f"  FROM {rel.table} y\n"
+                f"  JOIN {roots} rt ON y.l / {wy} = rt.l / {ws}",
+            )
+            inner_vars[name] = Rel(table, wy)
+        for name, rel in ctx.vars.items():
+            inner_vars.setdefault(name, rel)
+        body = self._translate(expr.body, _Ctx(index, inner_vars))
+        width = self._check_width(ws * body.width, f"for ${expr.var}")
+        return Rel(body.table, width)
+
+    # -- condition translation --------------------------------------------------------
+
+    def _translate_condition(self, condition: Condition, ctx: _Ctx) -> str:
+        """Translate φ to a boolean SQL expression over ``__ENV__``."""
+        if isinstance(condition, Empty):
+            rel = self._translate(condition.expr, ctx)
+            if rel.width == 0:
+                return "(1 = 1)"
+            return (
+                f"NOT EXISTS (SELECT 1 FROM {rel.table}\n"
+                f"             WHERE l / {rel.width} = {ENV_SENTINEL})"
+            )
+        if isinstance(condition, Equal):
+            left = self._env_sequence(self._translate(condition.left, ctx))
+            right = self._env_sequence(self._translate(condition.right, ctx))
+            return structural.forest_equal_predicate(left, right, ENV_SENTINEL)
+        if isinstance(condition, Less):
+            left = self._env_sequence(self._translate(condition.left, ctx))
+            right = self._env_sequence(self._translate(condition.right, ctx))
+            return structural.forest_less_predicate(left, right, ENV_SENTINEL)
+        if isinstance(condition, SomeEqual):
+            return self._translate_some_equal(condition, ctx)
+        if isinstance(condition, Not):
+            return f"NOT ({self._translate_condition(condition.condition, ctx)})"
+        if isinstance(condition, And):
+            left = self._translate_condition(condition.left, ctx)
+            right = self._translate_condition(condition.right, ctx)
+            return f"(({left}) AND ({right}))"
+        if isinstance(condition, Or):
+            left = self._translate_condition(condition.left, ctx)
+            right = self._translate_condition(condition.right, ctx)
+            return f"(({left}) OR ({right}))"
+        raise TranslationError(f"cannot translate {type(condition).__name__}")
+
+    def _translate_some_equal(self, condition: SomeEqual, ctx: _Ctx) -> str:
+        left = self._translate(condition.left, ctx)
+        right = self._translate(condition.right, ctx)
+        if left.width == 0 or right.width == 0:
+            return "(1 = 0)"
+        left_roots = self._add("se_roots",
+                               structural.roots_id_sql(left.table, left.width))
+        right_roots = self._add("se_roots",
+                                structural.roots_id_sql(right.table, right.width))
+        left_seq = self._add("se_seq",
+                             structural.root_sequence_sql(left.table, left.width))
+        right_seq = self._add("se_seq",
+                              structural.root_sequence_sql(right.table, right.width))
+        equal = structural.tree_equal_predicate(left_seq, right_seq,
+                                                "sa.root", "sb.root")
+        return (
+            f"EXISTS (SELECT 1 FROM {left_roots} sa\n"
+            f"          JOIN {right_roots} sb ON sb.env = {ENV_SENTINEL}\n"
+            f"         WHERE sa.env = {ENV_SENTINEL}\n"
+            f"           AND {equal})"
+        )
+
+    def _env_sequence(self, rel: Rel) -> str:
+        if rel.width == 0:
+            return self._add("seq_empty", _EMPTY_SEQ_SQL)
+        return self._add("seq",
+                         structural.env_sequence_sql(rel.table, rel.width))
+
+
+def translate_query(expr: CoreExpr,
+                    documents: Mapping[str, tuple[str, int]],
+                    max_width: int | None = None) -> TranslationResult:
+    """Convenience wrapper around :class:`SQLTranslator`."""
+    return SQLTranslator(max_width=max_width).translate(expr, documents)

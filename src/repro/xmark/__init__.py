@@ -1,0 +1,38 @@
+"""Synthetic XMark benchmark workload (Section 6 substrate).
+
+The paper evaluates on documents produced by the XMark generator
+(``xmlgen``), which is unavailable here; :mod:`repro.xmark.generator` is a
+deterministic, seeded reimplementation of the slice of the XMark schema
+the paper's queries touch — ``people/person``, ``closed_auctions``,
+``open_auctions``, ``regions//item`` with rich ``description`` content —
+with the original entity-count ratios per scale factor, so join
+selectivities and document shape match the paper's workload.
+"""
+
+from repro.xmark.generator import (
+    XMarkCounts,
+    counts_for_scale,
+    generate_document,
+    generate_xml,
+)
+from repro.xmark.queries import (
+    FIGURE1_SAMPLE,
+    Q8,
+    Q8_ORIGINAL,
+    Q9,
+    Q13,
+    QUERIES,
+)
+
+__all__ = [
+    "FIGURE1_SAMPLE",
+    "Q13",
+    "Q8",
+    "Q8_ORIGINAL",
+    "Q9",
+    "QUERIES",
+    "XMarkCounts",
+    "counts_for_scale",
+    "generate_document",
+    "generate_xml",
+]

@@ -1,0 +1,327 @@
+"""The XF data model: ordered forests of rooted, node-labeled, ordered trees.
+
+Definition 2.1 of the paper defines XML forests inductively:
+
+    XF = [] | [ <s> XF </s> ] | XF @ XF
+
+A forest is represented here as a plain Python ``tuple`` of :class:`Node`
+values; the empty forest is the empty tuple.  Nodes are immutable so that
+forests can be shared freely between environments during query evaluation,
+hashed for memoization, and used as dictionary keys.
+
+The module also defines *structural* comparison of trees and forests
+(the ``equal`` and ``less`` primitives of Figure 2).  Structural order is
+the recursive lexicographic order:
+
+* trees compare by label first, then by their children forests;
+* forests compare tree-by-tree, a strict prefix being smaller.
+
+This order coincides with what the stream-based ``DeepCompare`` operator
+(Algorithm 5.3) computes over interval encodings; the equivalence is
+exercised by property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+ELEMENT_PREFIX = "<"
+ATTRIBUTE_PREFIX = "@"
+
+#: A forest is a tuple of nodes; this alias documents intent in signatures.
+Forest = tuple["Node", ...]
+
+EMPTY_FOREST: Forest = ()
+
+
+class Node:
+    """A single rooted, ordered, node-labeled tree.
+
+    ``label`` follows the paper's conventions: ``"<tag>"`` for elements,
+    ``"@name"`` for attributes, and the raw string for text nodes.
+    ``children`` is an ordered forest (tuple of nodes).
+    """
+
+    __slots__ = ("label", "children", "_hash", "_size")
+
+    def __init__(self, label: str, children: Iterable["Node"] = ()):
+        if not isinstance(label, str):
+            raise TypeError(f"node label must be a string, got {type(label).__name__}")
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "children", tuple(children))
+        for child in self.children:
+            if not isinstance(child, Node):
+                raise TypeError(
+                    f"children must be Node instances, got {type(child).__name__}"
+                )
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_size", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Node instances are immutable")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError("Node instances are immutable")
+
+    def __reduce__(self):
+        # Immutable slots + a raising __setattr__ break default pickling;
+        # rebuild through the constructor instead.  (Pickling recurses per
+        # level, so kilometre-deep pathological trees may still exceed the
+        # pickler's limits — real documents are shallow.)
+        return (Node, (self.label, self.children))
+
+    # -- structural identity ------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Node):
+            return NotImplemented
+        # Iterative comparison: document depth must not be limited by the
+        # Python recursion limit (tests exercise 5000-deep documents).
+        stack: list[tuple[Node, Node]] = [(self, other)]
+        while stack:
+            left, right = stack.pop()
+            if left is right:
+                continue
+            if left.label != right.label:
+                return False
+            if len(left.children) != len(right.children):
+                return False
+            stack.extend(zip(left.children, right.children))
+        return True
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            # Iterative post-order so deep documents hash without hitting
+            # the recursion limit; each node's hash is cached on the way up.
+            stack: list[tuple[Node, bool]] = [(self, False)]
+            while stack:
+                node, ready = stack.pop()
+                if node._hash is not None:
+                    continue
+                if ready:
+                    child_hashes = tuple(c._hash for c in node.children)
+                    object.__setattr__(
+                        node, "_hash", hash((node.label, child_hashes))
+                    )
+                else:
+                    stack.append((node, True))
+                    stack.extend((c, False) for c in node.children)
+            cached = self._hash
+        return cached
+
+    # -- structural order ---------------------------------------------------
+
+    def __lt__(self, other: "Node") -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return compare_trees(self, other) < 0
+
+    def __le__(self, other: "Node") -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return compare_trees(self, other) <= 0
+
+    def __gt__(self, other: "Node") -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return compare_trees(self, other) > 0
+
+    def __ge__(self, other: "Node") -> bool:
+        if not isinstance(other, Node):
+            return NotImplemented
+        return compare_trees(self, other) >= 0
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Total number of nodes in this tree (including this node)."""
+        cached = self._size
+        if cached is None:
+            cached = sum(1 for _ in self.iter_dfs())
+            object.__setattr__(self, "_size", cached)
+        return cached
+
+    @property
+    def depth(self) -> int:
+        """Height of this tree: 1 for a leaf."""
+        deepest = 1
+        stack: list[tuple[Node, int]] = [(self, 1)]
+        while stack:
+            node, level = stack.pop()
+            if level > deepest:
+                deepest = level
+            stack.extend((child, level + 1) for child in node.children)
+        return deepest
+
+    def is_element(self) -> bool:
+        """True if this node's label denotes an element tag."""
+        return is_element_label(self.label)
+
+    def is_attribute(self) -> bool:
+        """True if this node's label denotes an attribute."""
+        return is_attribute_label(self.label)
+
+    def is_text(self) -> bool:
+        """True if this node is a text (CDATA) node."""
+        return is_text_label(self.label)
+
+    @property
+    def tag(self) -> str:
+        """The bare element tag (without angle brackets).
+
+        Raises ``ValueError`` for non-element nodes.
+        """
+        if not self.is_element():
+            raise ValueError(f"node {self.label!r} is not an element")
+        return self.label[1:-1]
+
+    @property
+    def attribute_name(self) -> str:
+        """The bare attribute name (without the ``@`` prefix)."""
+        if not self.is_attribute():
+            raise ValueError(f"node {self.label!r} is not an attribute")
+        return self.label[1:]
+
+    def iter_dfs(self) -> Iterator["Node"]:
+        """Yield all nodes of this tree in document (depth-first) order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def string_value(self) -> str:
+        """The XPath string value: concatenated text descendants in order."""
+        parts = [n.label for n in self.iter_dfs() if n.is_text()]
+        return "".join(parts)
+
+    def __repr__(self) -> str:
+        if not self.children:
+            return f"Node({self.label!r})"
+        return f"Node({self.label!r}, {list(self.children)!r})"
+
+
+# -- constructors -----------------------------------------------------------
+
+
+def element(tag: str, children: Iterable[Node] = ()) -> Node:
+    """Build an element node; ``tag`` is the bare tag name."""
+    if tag.startswith(ELEMENT_PREFIX):
+        raise ValueError(f"tag must not include angle brackets: {tag!r}")
+    return Node(f"<{tag}>", children)
+
+
+def attribute(name: str, value: str) -> Node:
+    """Build an attribute node ``@name`` holding a single text child."""
+    if name.startswith(ATTRIBUTE_PREFIX):
+        raise ValueError(f"attribute name must not include '@': {name!r}")
+    return Node(f"@{name}", (Node(value),))
+
+
+def text(value: str) -> Node:
+    """Build a text node whose label is the raw character data."""
+    return Node(value)
+
+
+def forest(*nodes: Node) -> Forest:
+    """Build a forest from the given trees (convenience constructor)."""
+    return tuple(nodes)
+
+
+# -- label classification ----------------------------------------------------
+
+
+def is_element_label(label: str) -> bool:
+    """True if ``label`` follows the ``"<tag>"`` element convention."""
+    return label.startswith(ELEMENT_PREFIX) and label.endswith(">") and len(label) > 2
+
+
+def is_attribute_label(label: str) -> bool:
+    """True if ``label`` follows the ``"@name"`` attribute convention."""
+    return label.startswith(ATTRIBUTE_PREFIX) and len(label) > 1
+
+
+def is_text_label(label: str) -> bool:
+    """True if ``label`` is raw character data (neither element nor attribute)."""
+    return not is_element_label(label) and not is_attribute_label(label)
+
+
+# -- structural comparison ----------------------------------------------------
+
+
+def compare_trees(left: Node, right: Node) -> int:
+    """Three-way structural comparison of two trees.
+
+    Returns a negative number, zero, or a positive number as ``left`` is
+    structurally smaller than, equal to, or greater than ``right``.
+    """
+    if left is right:
+        return 0
+    return compare_forests((left,), (right,))
+
+
+def _dfs_pairs(trees: Forest) -> Iterator[tuple[int, str]]:
+    """The (depth, label) DFS stream that canonically encodes a forest."""
+    stack: list[tuple[Node, int]] = [(node, 0) for node in reversed(trees)]
+    while stack:
+        node, depth = stack.pop()
+        yield depth, node.label
+        stack.extend((child, depth + 1) for child in reversed(node.children))
+
+
+def compare_forests(left: Forest, right: Forest) -> int:
+    """Three-way structural comparison of two forests (Figure 2 ``less``).
+
+    Equivalent to the recursive lexicographic order (label first, then
+    children forests, a prefix sorting smaller) but computed iteratively by
+    comparing the canonical (depth, label) DFS streams: at the first
+    difference, greater depth means an extra sibling inside an ancestor the
+    other forest already closed — hence a *greater* forest — and equal
+    depths fall back to label order.
+    """
+    import itertools
+
+    for left_pair, right_pair in itertools.zip_longest(
+        _dfs_pairs(left), _dfs_pairs(right)
+    ):
+        if left_pair == right_pair:
+            continue
+        if left_pair is None:
+            return -1
+        if right_pair is None:
+            return 1
+        return -1 if left_pair < right_pair else 1
+    return 0
+
+
+def forest_size(trees: Forest) -> int:
+    """Total number of nodes across all trees of the forest."""
+    return sum(tree.size for tree in trees)
+
+
+def forest_depth(trees: Forest) -> int:
+    """Maximum tree height in the forest (0 for the empty forest)."""
+    if not trees:
+        return 0
+    return max(tree.depth for tree in trees)
+
+
+def iter_forest_dfs(trees: Forest) -> Iterator[Node]:
+    """Yield every node of the forest in document order."""
+    for tree in trees:
+        yield from tree.iter_dfs()
+
+
+def string_value(trees: Forest) -> str:
+    """Concatenated string value of all trees in the forest."""
+    return "".join(tree.string_value() for tree in trees)

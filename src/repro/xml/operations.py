@@ -1,0 +1,187 @@
+"""The operator algebra of Figure 2, implemented over the XF model.
+
+These functions define the *reference semantics* for every ``XFn`` used by
+the query core language.  The interval encoding, the SQL translation, and
+the DI engine each implement the same operators over their own
+representations; cross-representation agreement is verified by the test
+suite (this module is the oracle).
+
+All operations are pure: they never mutate their inputs.
+"""
+
+from __future__ import annotations
+
+from repro.xml.forest import (
+    Forest,
+    Node,
+    compare_forests,
+    compare_trees,
+)
+
+# -- constructors (Figure 2, top block) --------------------------------------
+
+
+def empty_forest() -> Forest:
+    """``[]`` — the empty forest constructor."""
+    return ()
+
+
+def xnode(label: str, content: Forest) -> Forest:
+    """``XNode`` — wrap a forest under a new labeled root."""
+    return (Node(label, content),)
+
+
+def concat(left: Forest, right: Forest) -> Forest:
+    """``@`` — ordered concatenation of two forests."""
+    return tuple(left) + tuple(right)
+
+
+# -- horizontal operations ----------------------------------------------------
+
+
+def head(trees: Forest) -> Forest:
+    """The first tree of the forest (empty forest if there is none)."""
+    if not trees:
+        return ()
+    return (trees[0],)
+
+
+def tail(trees: Forest) -> Forest:
+    """All but the first tree of the forest."""
+    return tuple(trees[1:])
+
+
+def reverse(trees: Forest) -> Forest:
+    """The forest with top-level trees in reverse order (subtrees untouched)."""
+    return tuple(reversed(trees))
+
+
+def select(label: str, trees: Forest) -> Forest:
+    """Subforest of trees whose root carries the given label."""
+    return tuple(tree for tree in trees if tree.label == label)
+
+
+def textnodes(trees: Forest) -> Forest:
+    """Subforest of trees whose roots are text nodes.
+
+    This is the ``text()`` XPath node test; it is ``select`` generalized to
+    the class of text labels rather than one concrete label.
+    """
+    return tuple(tree for tree in trees if tree.is_text())
+
+
+def distinct(trees: Forest) -> Forest:
+    """Subforest of structurally distinct trees, first occurrence preserved."""
+    seen: set[Node] = set()
+    result: list[Node] = []
+    for tree in trees:
+        if tree not in seen:
+            seen.add(tree)
+            result.append(tree)
+    return tuple(result)
+
+
+def sort(trees: Forest) -> Forest:
+    """The forest stably sorted by structural tree order (Figure 2 ``sort``)."""
+    import functools
+
+    return tuple(sorted(trees, key=functools.cmp_to_key(compare_trees)))
+
+
+# -- vertical operations --------------------------------------------------------
+
+
+def roots(trees: Forest) -> Forest:
+    """A forest of bare root nodes (children stripped).
+
+    Mirrors the ROOTS SQL template of Section 4.1, which keeps only tuples
+    with no proper ancestor: interpreting the resulting relation as a forest
+    yields exactly the root labels with no content below them.
+    """
+    return tuple(Node(tree.label) for tree in trees)
+
+
+def children(trees: Forest) -> Forest:
+    """Concatenated children forests of all roots, in original order.
+
+    Mirrors the CHILDREN SQL template: dropping the root tuples of an
+    interval encoding promotes every depth-1 node to a root while keeping
+    its entire subtree.
+    """
+    result: list[Node] = []
+    for tree in trees:
+        result.extend(tree.children)
+    return tuple(result)
+
+
+def subtrees_dfs(trees: Forest) -> Forest:
+    """A forest of all subtrees in depth-first (document) order.
+
+    Every node of the input becomes the root of one output tree carrying a
+    copy of its full subtree.  This is the engine of the ``//`` descendant
+    axis.
+    """
+    result: list[Node] = []
+    stack: list[Node] = list(reversed(trees))
+    while stack:
+        node = stack.pop()
+        result.append(node)
+        stack.extend(reversed(node.children))
+    return tuple(result)
+
+
+# -- boolean conditions -----------------------------------------------------------
+
+
+def equal(left: Forest, right: Forest) -> bool:
+    """Structural (deep) equality of two forests."""
+    return compare_forests(left, right) == 0
+
+
+def less(left: Forest, right: Forest) -> bool:
+    """Strict structural ordering of two forests."""
+    return compare_forests(left, right) < 0
+
+
+def empty(trees: Forest) -> bool:
+    """True if the forest contains no trees."""
+    return len(trees) == 0
+
+
+# -- derived helpers used by the query language --------------------------------
+
+
+def tree_count(trees: Forest) -> int:
+    """Number of top-level trees — the basis of XQuery ``count()``."""
+    return len(trees)
+
+
+def count_forest(trees: Forest) -> Forest:
+    """``count()`` as an XF-valued function: a single text node of digits."""
+    return (Node(str(len(trees))),)
+
+
+def string_fn(trees: Forest) -> Forest:
+    """XPath ``string()``: one text node holding the concatenated string
+    value (all text descendants in document order) of the whole forest."""
+    from repro.xml.forest import string_value
+
+    return (Node(string_value(trees)),)
+
+
+def data(trees: Forest) -> Forest:
+    """XQuery-style atomization used when lowering general comparisons.
+
+    For element and attribute roots, yields their text children; text roots
+    yield themselves.  Results are always *childless* text nodes (a text
+    node never has children in a real document; the general XF model allows
+    it, and all three evaluators agree on stripping them).
+    """
+    result: list[Node] = []
+    for tree in trees:
+        if tree.is_text():
+            result.append(Node(tree.label))
+        else:
+            result.extend(Node(child.label)
+                          for child in tree.children if child.is_text())
+    return tuple(result)

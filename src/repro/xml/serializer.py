@@ -1,0 +1,87 @@
+"""Serialize XF forests back to XML text.
+
+The serializer inverts :mod:`repro.xml.text_parser`: attribute children are
+emitted inside the opening tag, remaining children as element content, and
+reserved characters are escaped.  Round-tripping a parsed forest yields a
+structurally equal forest (verified by property-based tests).
+"""
+
+from __future__ import annotations
+
+from repro.xml.forest import Forest, Node
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", '"': "&quot;"}
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for use in element content."""
+    for char, entity in _TEXT_ESCAPES.items():
+        value = value.replace(char, entity)
+    return value
+
+
+def escape_attribute(value: str) -> str:
+    """Escape character data for use inside a double-quoted attribute value."""
+    for char, entity in _ATTR_ESCAPES.items():
+        value = value.replace(char, entity)
+    return value
+
+
+def forest_to_xml(trees: Forest | Node, indent: int | None = None) -> str:
+    """Render a forest (or a single tree) as XML text.
+
+    When ``indent`` is given, elements are pretty-printed with that many
+    spaces per nesting level; text nodes are always emitted inline so the
+    pretty-printed output is *not* guaranteed to round-trip documents with
+    significant whitespace.
+    """
+    if isinstance(trees, Node):
+        trees = (trees,)
+    parts: list[str] = []
+    for tree in trees:
+        _render(tree, parts, indent, 0)
+    if indent is not None:
+        return "\n".join(parts)
+    return "".join(parts)
+
+
+def _render(node: Node, parts: list[str], indent: int | None, level: int) -> None:
+    pad = " " * (indent * level) if indent is not None else ""
+    if node.is_text():
+        parts.append(pad + escape_text(node.label))
+        return
+    if node.is_attribute():
+        # A bare attribute at forest top level has no element to attach to;
+        # render it in a readable debug form rather than failing.
+        parts.append(pad + f'[@{node.attribute_name}="{_attribute_value(node)}"]')
+        return
+
+    attributes = [child for child in node.children if child.is_attribute()]
+    content = [child for child in node.children if not child.is_attribute()]
+    attr_text = "".join(
+        f' {attr.attribute_name}="{escape_attribute(_attribute_value(attr))}"'
+        for attr in attributes
+    )
+    tag = node.tag
+    if not content:
+        parts.append(pad + f"<{tag}{attr_text}/>")
+        return
+    if indent is None:
+        parts.append(f"<{tag}{attr_text}>")
+        for child in content:
+            _render(child, parts, None, 0)
+        parts.append(f"</{tag}>")
+        return
+    if all(child.is_text() for child in content):
+        inline = "".join(escape_text(child.label) for child in content)
+        parts.append(pad + f"<{tag}{attr_text}>{inline}</{tag}>")
+        return
+    parts.append(pad + f"<{tag}{attr_text}>")
+    for child in content:
+        _render(child, parts, indent, level + 1)
+    parts.append(pad + f"</{tag}>")
+
+
+def _attribute_value(attr: Node) -> str:
+    return "".join(child.label for child in attr.children if child.is_text())

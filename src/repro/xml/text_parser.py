@@ -1,0 +1,273 @@
+"""Parse XML text into the XF forest model.
+
+The parser is a small, dependency-free recursive-descent parser for the
+XML subset used by the paper and the XMark benchmark: elements, attributes,
+character data, comments, processing instructions (skipped), CDATA sections,
+and the five predefined entities.  It deliberately does not implement DTDs,
+namespaces-aware validation, or external entities.
+
+Parsed attributes become ``@name`` nodes holding a single text child, placed
+*before* element-content children, matching Figures 1/4/5 of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLParseError
+from repro.xml.forest import Forest, Node, attribute, element, text
+
+_ENTITY_MAP = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+_NAME_START_EXTRA = "_:"
+_NAME_EXTRA = "_:.-"
+
+
+def parse_document(source: str, strip_whitespace: bool = True) -> Node:
+    """Parse XML text that must contain exactly one root element.
+
+    Returns the root :class:`Node`.  Raises :class:`XMLParseError` when the
+    text is malformed or contains more than one top-level element.
+    """
+    trees = parse_forest(source, strip_whitespace=strip_whitespace)
+    roots = [tree for tree in trees if not tree.is_text() or tree.label.strip()]
+    if len(roots) != 1:
+        raise XMLParseError(
+            f"document must contain exactly one root element, found {len(roots)}"
+        )
+    return roots[0]
+
+
+def parse_forest(source: str, strip_whitespace: bool = True) -> Forest:
+    """Parse XML text into an ordered forest (zero or more top-level trees).
+
+    With ``strip_whitespace`` (the default) whitespace-only text nodes are
+    dropped everywhere — the convention the paper's Figure 4 encoding uses
+    for the XMark data.  Pass ``False`` to preserve all character data
+    verbatim (whitespace-only text between top-level trees is still
+    dropped: a forest boundary carries no content).
+    """
+    parser = _Parser(source, strip_whitespace=strip_whitespace)
+    trees = parser.parse_content(top_level=True)
+    parser.skip_misc()
+    if not parser.at_end():
+        raise XMLParseError("unexpected trailing content", parser.pos)
+    return tuple(tree for tree in trees if not (tree.is_text() and not tree.label.strip()))
+
+
+class _Parser:
+    """Recursive-descent XML parser over a source string."""
+
+    def __init__(self, source: str, strip_whitespace: bool = True):
+        self.source = source
+        self.pos = 0
+        self.length = len(source)
+        self.strip_whitespace = strip_whitespace
+
+    # -- character-level helpers ------------------------------------------
+
+    def at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self) -> str:
+        if self.pos >= self.length:
+            return ""
+        return self.source[self.pos]
+
+    def startswith(self, prefix: str) -> bool:
+        return self.source.startswith(prefix, self.pos)
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise XMLParseError(f"expected {token!r}", self.pos)
+        self.pos += len(token)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.source[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def skip_misc(self) -> None:
+        """Skip comments, processing instructions, and whitespace."""
+        while True:
+            self.skip_whitespace()
+            if self.startswith("<!--"):
+                self._skip_until("-->")
+            elif self.startswith("<?"):
+                self._skip_until("?>")
+            elif self.startswith("<!DOCTYPE"):
+                self._skip_doctype()
+            else:
+                return
+
+    def _skip_until(self, terminator: str) -> None:
+        end = self.source.find(terminator, self.pos)
+        if end < 0:
+            raise XMLParseError(f"unterminated construct, expected {terminator!r}", self.pos)
+        self.pos = end + len(terminator)
+
+    def _skip_doctype(self) -> None:
+        if self.startswith("<!DOCTYPE"):
+            self.pos += len("<!DOCTYPE")
+        depth = 0
+        while self.pos < self.length:
+            char = self.source[self.pos]
+            self.pos += 1
+            if char == "<":
+                depth += 1
+            elif char == ">":
+                if depth == 0:
+                    return
+                depth -= 1
+            elif char == "[":
+                self._skip_until("]")
+        raise XMLParseError("unterminated DOCTYPE", self.pos)
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_name(self) -> str:
+        start = self.pos
+        if self.at_end():
+            raise XMLParseError("expected a name", self.pos)
+        first = self.source[self.pos]
+        if not (first.isalpha() or first in _NAME_START_EXTRA):
+            raise XMLParseError(f"invalid name start character {first!r}", self.pos)
+        self.pos += 1
+        while self.pos < self.length:
+            char = self.source[self.pos]
+            if char.isalnum() or char in _NAME_EXTRA:
+                self.pos += 1
+            else:
+                break
+        return self.source[start:self.pos]
+
+    def parse_content(self, top_level: bool = False) -> list[Node]:
+        """Parse mixed content until a closing tag (or end of input)."""
+        nodes: list[Node] = []
+        buffer: list[str] = []
+
+        def flush_text() -> None:
+            if buffer:
+                value = "".join(buffer)
+                buffer.clear()
+                if self.strip_whitespace and not value.strip():
+                    return
+                nodes.append(text(value))
+
+        while self.pos < self.length:
+            if self.startswith("</"):
+                break
+            if self.startswith("<!--"):
+                self._skip_until("-->")
+            elif self.startswith("<![CDATA["):
+                self.pos += len("<![CDATA[")
+                end = self.source.find("]]>", self.pos)
+                if end < 0:
+                    raise XMLParseError("unterminated CDATA section", self.pos)
+                buffer.append(self.source[self.pos:end])
+                self.pos = end + 3
+            elif self.startswith("<?"):
+                self._skip_until("?>")
+            elif self.startswith("<!DOCTYPE"):
+                if not top_level:
+                    raise XMLParseError("DOCTYPE inside element content", self.pos)
+                self._skip_doctype()
+            elif self.peek() == "<":
+                flush_text()
+                nodes.append(self.parse_element())
+            else:
+                buffer.append(self.parse_character_data())
+        flush_text()
+        return nodes
+
+    def parse_character_data(self) -> str:
+        parts: list[str] = []
+        while self.pos < self.length:
+            char = self.source[self.pos]
+            if char == "<":
+                break
+            if char == "&":
+                parts.append(self.parse_entity())
+            else:
+                parts.append(char)
+                self.pos += 1
+        return "".join(parts)
+
+    def parse_entity(self) -> str:
+        self.expect("&")
+        end = self.source.find(";", self.pos)
+        if end < 0 or end - self.pos > 10:
+            raise XMLParseError("unterminated entity reference", self.pos)
+        name = self.source[self.pos:end]
+        self.pos = end + 1
+        if name.startswith("#x") or name.startswith("#X"):
+            try:
+                return chr(int(name[2:], 16))
+            except ValueError:
+                raise XMLParseError(f"invalid character reference &{name};", self.pos)
+        if name.startswith("#"):
+            try:
+                return chr(int(name[1:]))
+            except ValueError:
+                raise XMLParseError(f"invalid character reference &{name};", self.pos)
+        if name in _ENTITY_MAP:
+            return _ENTITY_MAP[name]
+        raise XMLParseError(f"unknown entity &{name};", self.pos)
+
+    def parse_element(self) -> Node:
+        self.expect("<")
+        tag = self.parse_name()
+        attributes = self.parse_attributes()
+        self.skip_whitespace()
+        if self.startswith("/>"):
+            self.pos += 2
+            return element(tag, attributes)
+        self.expect(">")
+        content = self.parse_content()
+        self.expect("</")
+        closing = self.parse_name()
+        if closing != tag:
+            raise XMLParseError(
+                f"mismatched closing tag </{closing}>, expected </{tag}>", self.pos
+            )
+        self.skip_whitespace()
+        self.expect(">")
+        return element(tag, tuple(attributes) + tuple(content))
+
+    def parse_attributes(self) -> list[Node]:
+        attributes: list[Node] = []
+        seen: set[str] = set()
+        while True:
+            self.skip_whitespace()
+            char = self.peek()
+            if char in (">", "/") or self.at_end():
+                return attributes
+            name = self.parse_name()
+            if name in seen:
+                raise XMLParseError(f"duplicate attribute {name!r}", self.pos)
+            seen.add(name)
+            self.skip_whitespace()
+            self.expect("=")
+            self.skip_whitespace()
+            attributes.append(attribute(name, self.parse_attribute_value()))
+
+    def parse_attribute_value(self) -> str:
+        quote = self.peek()
+        if quote not in ("'", '"'):
+            raise XMLParseError("attribute value must be quoted", self.pos)
+        self.pos += 1
+        parts: list[str] = []
+        while self.pos < self.length:
+            char = self.source[self.pos]
+            if char == quote:
+                self.pos += 1
+                return "".join(parts)
+            if char == "&":
+                parts.append(self.parse_entity())
+            else:
+                parts.append(char)
+                self.pos += 1
+        raise XMLParseError("unterminated attribute value", self.pos)

@@ -1,0 +1,83 @@
+"""Convenience XPath evaluation over forests (no query machinery needed).
+
+For callers who just want to point into a document —
+
+    >>> from repro.xml.xpath import xpath
+    >>> xpath(doc, "site/people/person/@id")
+
+— this wraps the Figure 2 operator algebra directly: each slash-separated
+step is a ``children`` + node-test pass over the forest, entirely
+in-memory, no parsing/lowering/encoding involved.  Supported steps:
+
+* ``tag`` — child elements named ``tag``
+* ``@name`` — attributes named ``name``
+* ``*`` — all child elements
+* ``text()`` — child text nodes
+* ``//tag`` (as a step prefix) — descendants named ``tag``
+* a leading ``/`` is optional and means the same thing (steps always
+  navigate downward from the given forest's trees)
+
+Returns the result forest; :func:`xpath_values` additionally atomizes to
+plain strings.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.xml import operations as ops
+from repro.xml.forest import Forest, Node
+
+
+def xpath(trees: Forest | Node, path: str) -> Forest:
+    """Evaluate a simple downward path against a forest."""
+    if isinstance(trees, Node):
+        trees = (trees,)
+    current: Forest = trees
+    for axis, test in _parse_steps(path):
+        scope = ops.children(current)
+        if axis == "descendant":
+            scope = ops.subtrees_dfs(scope)
+        if test == "text()":
+            current = ops.textnodes(scope)
+        elif test == "*":
+            current = tuple(t for t in scope if t.is_element())
+        elif test.startswith("@"):
+            current = ops.select(test, scope)
+        else:
+            current = ops.select(f"<{test}>", scope)
+    return current
+
+
+def xpath_values(trees: Forest | Node, path: str) -> list[str]:
+    """Like :func:`xpath` but returning string values of the result trees."""
+    return [tree.string_value() for tree in xpath(trees, path)]
+
+
+def xpath_first(trees: Forest | Node, path: str) -> Node | None:
+    """The first tree of the result, or ``None``."""
+    result = xpath(trees, path)
+    return result[0] if result else None
+
+
+def _parse_steps(path: str) -> list[tuple[str, str]]:
+    if not path or path.strip() != path:
+        raise ReproError(f"malformed path {path!r}")
+    # Mark '//' boundaries, then split on single slashes: a segment with
+    # the marker prefix is a descendant step.
+    marker = "\x00"
+    normalized = path.replace("//", f"/{marker}")
+    if normalized.startswith("/"):
+        normalized = normalized[1:]
+    steps: list[tuple[str, str]] = []
+    for raw in normalized.split("/"):
+        axis = "child"
+        if raw.startswith(marker):
+            axis = "descendant"
+            raw = raw[1:]
+        if not raw:
+            raise ReproError(f"malformed path {path!r}")
+        if raw not in ("*", "text()") and not raw.replace("_", "").replace(
+                "-", "").replace("@", "").replace(".", "").isalnum():
+            raise ReproError(f"unsupported step {raw!r} in {path!r}")
+        steps.append((axis, raw))
+    return steps

@@ -1,0 +1,60 @@
+"""The query language layer.
+
+* :mod:`repro.xquery.ast` — the Minimal XQuery core language (Definition
+  2.2) plus the surface (FLWR / XPath / constructor) AST.
+* :mod:`repro.xquery.lexer` / :mod:`repro.xquery.parser` — surface syntax.
+* :mod:`repro.xquery.lowering` — surface AST → core language.
+* :mod:`repro.xquery.functions` — the XFn registry with width functions.
+* :mod:`repro.xquery.interpreter` — the Figure 3 denotational semantics,
+  used as the reference oracle for the SQL translation and the DI engine.
+"""
+
+from repro.xquery.ast import (
+    And,
+    Condition,
+    CoreExpr,
+    Empty,
+    Equal,
+    FnApp,
+    For,
+    Less,
+    Let,
+    Not,
+    Or,
+    SomeEqual,
+    Var,
+    Where,
+    core_to_str,
+    free_variables,
+)
+from repro.xquery.functions import FUNCTIONS, FunctionSpec, width_of
+from repro.xquery.interpreter import Interpreter, evaluate, evaluate_condition
+from repro.xquery.lowering import lower_query
+from repro.xquery.parser import parse_xquery
+
+__all__ = [
+    "And",
+    "Condition",
+    "CoreExpr",
+    "Empty",
+    "Equal",
+    "FnApp",
+    "For",
+    "FUNCTIONS",
+    "FunctionSpec",
+    "Interpreter",
+    "Less",
+    "Let",
+    "Not",
+    "Or",
+    "SomeEqual",
+    "Var",
+    "Where",
+    "core_to_str",
+    "evaluate",
+    "evaluate_condition",
+    "free_variables",
+    "lower_query",
+    "parse_xquery",
+    "width_of",
+]

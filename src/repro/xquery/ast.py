@@ -1,0 +1,455 @@
+"""Abstract syntax for the core language (Definition 2.2) and surface XQuery.
+
+The **core language** is the paper's Minimal XQuery:
+
+    e ::= x | XFn(e1, …, ek) | let x = e in e' | where φ return e'
+        | for x in e do e'
+
+Conditions φ are boolean combinations of the three primitives of Figure 2
+(``equal``, ``less``, ``empty``) plus ``SomeEqual``, the existential general
+comparison needed to lower XQuery's ``=`` faithfully when operands may
+contain more than one tree.
+
+The **surface language** mirrors the XQuery fragment exercised by the
+paper's examples: FLWR expressions, XPath child/attribute/descendant steps,
+``text()``, element constructors with embedded expressions, ``document()``,
+``count()``, ``empty()``, ``not()`` and general comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+# ---------------------------------------------------------------------------
+# Core language
+# ---------------------------------------------------------------------------
+
+
+class CoreExpr:
+    """Base class of core-language expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Var(CoreExpr):
+    """A variable reference ``x`` resolved against the environment."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class FnApp(CoreExpr):
+    """Application of a registered XFn to argument expressions.
+
+    ``params`` carries compile-time string parameters (e.g. the label for
+    ``select`` and ``xnode``, the literal for ``text_const``); they are part
+    of the operator, not data, so they are baked into the generated SQL.
+    """
+
+    fn: str
+    args: tuple[CoreExpr, ...] = ()
+    params: tuple[tuple[str, str], ...] = ()
+
+    def param(self, key: str) -> str:
+        for name, value in self.params:
+            if name == key:
+                return value
+        raise KeyError(f"function {self.fn!r} has no parameter {key!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Let(CoreExpr):
+    """``let x = value in body``."""
+
+    var: str
+    value: CoreExpr
+    body: CoreExpr
+
+
+@dataclass(frozen=True, slots=True)
+class Where(CoreExpr):
+    """``where condition return body``."""
+
+    condition: "Condition"
+    body: CoreExpr
+
+
+@dataclass(frozen=True, slots=True)
+class For(CoreExpr):
+    """``for var in source do body`` — iterate over top-level trees."""
+
+    var: str
+    source: CoreExpr
+    body: CoreExpr
+
+
+# -- conditions ---------------------------------------------------------------
+
+
+class Condition:
+    """Base class of boolean conditions φ."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Equal(Condition):
+    """Structural equality of two forests (Figure 2 ``equal``)."""
+
+    left: CoreExpr
+    right: CoreExpr
+
+
+@dataclass(frozen=True, slots=True)
+class SomeEqual(Condition):
+    """Existential equality: some tree of ``left`` equals some tree of ``right``.
+
+    This is XQuery's general-comparison semantics for ``=``; it degenerates
+    to :class:`Equal` when both operands are single trees.
+    """
+
+    left: CoreExpr
+    right: CoreExpr
+
+
+@dataclass(frozen=True, slots=True)
+class Less(Condition):
+    """Strict structural order of two forests (Figure 2 ``less``)."""
+
+    left: CoreExpr
+    right: CoreExpr
+
+
+@dataclass(frozen=True, slots=True)
+class Empty(Condition):
+    """Emptiness test (Figure 2 ``empty``)."""
+
+    expr: CoreExpr
+
+
+@dataclass(frozen=True, slots=True)
+class Not(Condition):
+    condition: Condition
+
+
+@dataclass(frozen=True, slots=True)
+class And(Condition):
+    left: Condition
+    right: Condition
+
+
+@dataclass(frozen=True, slots=True)
+class Or(Condition):
+    left: Condition
+    right: Condition
+
+
+# -- traversal helpers --------------------------------------------------------
+
+
+def iter_subexpressions(expr: CoreExpr) -> Iterator[CoreExpr]:
+    """Yield ``expr`` and every nested core expression, pre-order."""
+    stack: list[CoreExpr] = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(_children_of(node))
+
+
+def _children_of(expr: CoreExpr) -> list[CoreExpr]:
+    if isinstance(expr, FnApp):
+        return list(expr.args)
+    if isinstance(expr, Let):
+        return [expr.value, expr.body]
+    if isinstance(expr, For):
+        return [expr.source, expr.body]
+    if isinstance(expr, Where):
+        return list(condition_expressions(expr.condition)) + [expr.body]
+    return []
+
+
+def condition_expressions(condition: Condition) -> Iterator[CoreExpr]:
+    """Yield every core expression embedded in a condition."""
+    if isinstance(condition, (Equal, SomeEqual, Less)):
+        yield condition.left
+        yield condition.right
+    elif isinstance(condition, Empty):
+        yield condition.expr
+    elif isinstance(condition, Not):
+        yield from condition_expressions(condition.condition)
+    elif isinstance(condition, (And, Or)):
+        yield from condition_expressions(condition.left)
+        yield from condition_expressions(condition.right)
+    else:
+        raise TypeError(f"unknown condition type: {type(condition).__name__}")
+
+
+def free_variables(expr: CoreExpr) -> frozenset[str]:
+    """The free variables of a core expression."""
+    if isinstance(expr, Var):
+        return frozenset((expr.name,))
+    if isinstance(expr, FnApp):
+        result: frozenset[str] = frozenset()
+        for arg in expr.args:
+            result |= free_variables(arg)
+        return result
+    if isinstance(expr, Let):
+        return free_variables(expr.value) | (free_variables(expr.body) - {expr.var})
+    if isinstance(expr, For):
+        return free_variables(expr.source) | (free_variables(expr.body) - {expr.var})
+    if isinstance(expr, Where):
+        return condition_free_variables(expr.condition) | free_variables(expr.body)
+    raise TypeError(f"unknown expression type: {type(expr).__name__}")
+
+
+def condition_free_variables(condition: Condition) -> frozenset[str]:
+    """The free variables of a condition."""
+    result: frozenset[str] = frozenset()
+    for sub in condition_expressions(condition):
+        result |= free_variables(sub)
+    return result
+
+
+def core_to_str(expr: CoreExpr, indent: int = 0) -> str:
+    """A readable multi-line rendering of a core expression (for debugging)."""
+    pad = "  " * indent
+    if isinstance(expr, Var):
+        return f"{pad}${expr.name}"
+    if isinstance(expr, FnApp):
+        params = ", ".join(f"{k}={v!r}" for k, v in expr.params)
+        header = f"{pad}{expr.fn}" + (f"[{params}]" if params else "")
+        if not expr.args:
+            return header + "()"
+        body = ",\n".join(core_to_str(arg, indent + 1) for arg in expr.args)
+        return f"{header}(\n{body}\n{pad})"
+    if isinstance(expr, Let):
+        return (
+            f"{pad}let ${expr.var} =\n{core_to_str(expr.value, indent + 1)}\n"
+            f"{pad}in\n{core_to_str(expr.body, indent + 1)}"
+        )
+    if isinstance(expr, Where):
+        return (
+            f"{pad}where {condition_to_str(expr.condition)}\n"
+            f"{pad}return\n{core_to_str(expr.body, indent + 1)}"
+        )
+    if isinstance(expr, For):
+        return (
+            f"{pad}for ${expr.var} in\n{core_to_str(expr.source, indent + 1)}\n"
+            f"{pad}do\n{core_to_str(expr.body, indent + 1)}"
+        )
+    raise TypeError(f"unknown expression type: {type(expr).__name__}")
+
+
+def condition_to_str(condition: Condition) -> str:
+    """A single-line rendering of a condition."""
+    if isinstance(condition, Equal):
+        return f"equal({_inline(condition.left)}, {_inline(condition.right)})"
+    if isinstance(condition, SomeEqual):
+        return f"some-equal({_inline(condition.left)}, {_inline(condition.right)})"
+    if isinstance(condition, Less):
+        return f"less({_inline(condition.left)}, {_inline(condition.right)})"
+    if isinstance(condition, Empty):
+        return f"empty({_inline(condition.expr)})"
+    if isinstance(condition, Not):
+        return f"not({condition_to_str(condition.condition)})"
+    if isinstance(condition, And):
+        return f"({condition_to_str(condition.left)} and {condition_to_str(condition.right)})"
+    if isinstance(condition, Or):
+        return f"({condition_to_str(condition.left)} or {condition_to_str(condition.right)})"
+    raise TypeError(f"unknown condition type: {type(condition).__name__}")
+
+
+def _inline(expr: CoreExpr) -> str:
+    return " ".join(core_to_str(expr).split())
+
+
+# ---------------------------------------------------------------------------
+# Surface language
+# ---------------------------------------------------------------------------
+
+
+class SurfaceExpr:
+    """Base class of surface (parsed XQuery) expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class SVarRef(SurfaceExpr):
+    """``$name``."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class SStringLiteral(SurfaceExpr):
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class SDocument(SurfaceExpr):
+    """``document("uri")`` / ``doc("uri")``."""
+
+    uri: str
+
+
+@dataclass(frozen=True, slots=True)
+class SStep:
+    """One XPath step.
+
+    ``axis`` is ``child``, ``attribute``, or ``descendant``;
+    ``test`` is a tag name, an attribute name, ``*`` or ``text()``.
+    """
+
+    axis: str
+    test: str
+
+
+@dataclass(frozen=True, slots=True)
+class SPath(SurfaceExpr):
+    """``base/step/step…`` with optional trailing predicate-free steps."""
+
+    base: SurfaceExpr
+    steps: tuple[SStep, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SPredicate(SurfaceExpr):
+    """``base[condition]`` — keep trees for which the condition holds.
+
+    Inside the predicate the context item is available as the reserved
+    variable ``.`` (exposed by the parser as a relative path base).
+    """
+
+    base: SurfaceExpr
+    condition: "SurfaceExpr"
+
+
+@dataclass(frozen=True, slots=True)
+class SContextItem(SurfaceExpr):
+    """The context item ``.`` inside a predicate."""
+
+
+@dataclass(frozen=True, slots=True)
+class SFunctionCall(SurfaceExpr):
+    """``name(arg, …)`` for the supported built-ins."""
+
+    name: str
+    args: tuple[SurfaceExpr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SComparison(SurfaceExpr):
+    """General comparison ``left op right`` with op in ``= != < <= > >=``."""
+
+    op: str
+    left: SurfaceExpr
+    right: SurfaceExpr
+
+
+@dataclass(frozen=True, slots=True)
+class SBooleanOp(SurfaceExpr):
+    """``and`` / ``or`` over boolean-valued surface expressions."""
+
+    op: str
+    left: SurfaceExpr
+    right: SurfaceExpr
+
+
+@dataclass(frozen=True, slots=True)
+class SSequence(SurfaceExpr):
+    """Comma-separated sequence ``(e1, e2, …)``."""
+
+    items: tuple[SurfaceExpr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SAttributeConstructor:
+    """``name="literal{expr}…"`` inside an element constructor tag."""
+
+    name: str
+    parts: tuple[SurfaceExpr, ...]  # SStringLiteral for literal runs
+
+
+@dataclass(frozen=True, slots=True)
+class SElementConstructor(SurfaceExpr):
+    """``<tag attr="…">content</tag>`` with ``{expr}`` interpolation."""
+
+    tag: str
+    attributes: tuple[SAttributeConstructor, ...]
+    content: tuple[SurfaceExpr, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class SForClause:
+    var: str
+    source: SurfaceExpr
+
+
+@dataclass(frozen=True, slots=True)
+class SLetClause:
+    var: str
+    value: SurfaceExpr
+
+
+@dataclass(frozen=True, slots=True)
+class SOrderBy:
+    """``order by key [ascending|descending]`` (single sort key)."""
+
+    key: SurfaceExpr
+    descending: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class SFLWR(SurfaceExpr):
+    """A FLWR expression: for/let clauses, where, order by, return."""
+
+    clauses: tuple[SForClause | SLetClause, ...]
+    where: SurfaceExpr | None
+    returns: SurfaceExpr
+    order_by: SOrderBy | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class SQuantified(SurfaceExpr):
+    """``some|every $var in source satisfies condition``.
+
+    Boolean-valued; usable wherever a condition is (where clauses,
+    predicates, if conditions).
+    """
+
+    quantifier: str  # "some" | "every"
+    var: str
+    source: SurfaceExpr
+    condition: SurfaceExpr
+
+
+@dataclass(frozen=True, slots=True)
+class SConditional(SurfaceExpr):
+    """``if (condition) then consequent else alternative``."""
+
+    condition: SurfaceExpr
+    consequent: SurfaceExpr
+    alternative: SurfaceExpr
+
+
+@dataclass(frozen=True, slots=True)
+class SPositional(SurfaceExpr):
+    """``base[N]`` — the N-th tree (1-based) of the base sequence.
+
+    Evaluated against the whole base sequence (the XQuery semantics of
+    ``(expr)[N]``), not per XPath step context — see the lowering notes.
+    """
+
+    base: SurfaceExpr
+    position: int
+
+
+@dataclass(frozen=True, slots=True)
+class SQuery:
+    """A full parsed query: the expression plus referenced document URIs."""
+
+    body: SurfaceExpr
+    documents: tuple[str, ...] = field(default=())

@@ -1,0 +1,245 @@
+"""The XFn registry: reference semantics and width functions (Section 4.1).
+
+Every basic operation on XML forests usable from the core language is
+registered here with
+
+* its reference implementation over the XF model (the oracle), and
+* its *width function* ``w_XFn`` mapping input widths to an upper bound on
+  the output width — the compile-time quantity Section 4.3 relies on to
+  allocate dynamic-interval blocks.
+
+Width functions from the paper: ``w_[] = 0``, ``w_XNode = w + 2``,
+``w_@ = w₁ + w₂``, ``w_head = w_tail = w_reverse = w_distinct = w_roots =
+w_children = w_select = w``, ``w_subtreesdfs = w²``.  ``sort`` repositions
+whole trees, so a safe bound is ``w²`` (tree ranked ``k`` is placed at
+offset ``k·w`` and there are fewer than ``w`` trees).  ``count`` emits a
+single text node, so its width is 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.errors import UnknownFunctionError
+from repro.xml import operations as ops
+from repro.xml.forest import Forest
+
+#: Reference implementation signature: (argument forests, params) -> forest.
+Impl = Callable[[tuple[Forest, ...], Mapping[str, str]], Forest]
+#: Width function signature: (argument widths, params) -> width.
+WidthFn = Callable[[tuple[int, ...], Mapping[str, str]], int]
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """Registry entry for one XFn."""
+
+    name: str
+    arity: int
+    impl: Impl
+    width: WidthFn
+    #: Names of required compile-time string parameters.
+    param_names: tuple[str, ...] = ()
+    #: Short human description (used in docs and error messages).
+    doc: str = ""
+
+
+def _spec(
+    name: str,
+    arity: int,
+    impl: Impl,
+    width: WidthFn,
+    param_names: tuple[str, ...] = (),
+    doc: str = "",
+) -> FunctionSpec:
+    return FunctionSpec(name, arity, impl, width, param_names, doc)
+
+
+def _w_same(widths: tuple[int, ...], _params: Mapping[str, str]) -> int:
+    return widths[0]
+
+
+def _w_square(widths: tuple[int, ...], _params: Mapping[str, str]) -> int:
+    return widths[0] * widths[0]
+
+
+FUNCTIONS: dict[str, FunctionSpec] = {}
+
+
+def _register(spec: FunctionSpec) -> None:
+    FUNCTIONS[spec.name] = spec
+
+
+_register(_spec(
+    "empty_forest", 0,
+    lambda args, params: ops.empty_forest(),
+    lambda widths, params: 0,
+    doc="[] — the empty forest constructor",
+))
+_register(_spec(
+    "text_const", 0,
+    lambda args, params: (ops.xnode(params["value"], ())),
+    lambda widths, params: 2,
+    param_names=("value",),
+    doc="a single text node with a fixed label",
+))
+_register(_spec(
+    "xnode", 1,
+    lambda args, params: ops.xnode(params["label"], args[0]),
+    lambda widths, params: widths[0] + 2,
+    param_names=("label",),
+    doc="XNode — add a labeled root above a forest",
+))
+_register(_spec(
+    "concat", 2,
+    lambda args, params: ops.concat(args[0], args[1]),
+    lambda widths, params: widths[0] + widths[1],
+    doc="@ — ordered forest concatenation",
+))
+_register(_spec(
+    "head", 1,
+    lambda args, params: ops.head(args[0]),
+    _w_same,
+    doc="first tree of the forest",
+))
+_register(_spec(
+    "tail", 1,
+    lambda args, params: ops.tail(args[0]),
+    _w_same,
+    doc="all but the first tree",
+))
+_register(_spec(
+    "reverse", 1,
+    lambda args, params: ops.reverse(args[0]),
+    _w_same,
+    doc="top-level reversal",
+))
+_register(_spec(
+    "select", 1,
+    lambda args, params: ops.select(params["label"], args[0]),
+    _w_same,
+    param_names=("label",),
+    doc="trees whose root carries the given label",
+))
+_register(_spec(
+    "textnodes", 1,
+    lambda args, params: ops.textnodes(args[0]),
+    _w_same,
+    doc="trees whose root is a text node (the text() node test)",
+))
+_register(_spec(
+    "elementnodes", 1,
+    lambda args, params: tuple(t for t in args[0] if t.is_element()),
+    _w_same,
+    doc="trees whose root is an element (the * node test)",
+))
+_register(_spec(
+    "distinct", 1,
+    lambda args, params: ops.distinct(args[0]),
+    _w_same,
+    doc="structurally distinct trees, first occurrence kept",
+))
+_register(_spec(
+    "sort", 1,
+    lambda args, params: ops.sort(args[0]),
+    _w_square,
+    doc="forest sorted by structural tree order",
+))
+_register(_spec(
+    "roots", 1,
+    lambda args, params: ops.roots(args[0]),
+    _w_same,
+    doc="bare root nodes",
+))
+_register(_spec(
+    "children", 1,
+    lambda args, params: ops.children(args[0]),
+    _w_same,
+    doc="children of all roots, in document order",
+))
+_register(_spec(
+    "subtrees_dfs", 1,
+    lambda args, params: ops.subtrees_dfs(args[0]),
+    _w_square,
+    doc="all subtrees in depth-first order",
+))
+_register(_spec(
+    "count", 1,
+    lambda args, params: ops.count_forest(args[0]),
+    lambda widths, params: 2,
+    doc="number of top-level trees, as a single text node",
+))
+_register(_spec(
+    "data", 1,
+    lambda args, params: ops.data(args[0]),
+    _w_same,
+    doc="atomization: text children of element/attribute roots",
+))
+_register(_spec(
+    "string_fn", 1,
+    lambda args, params: ops.string_fn(args[0]),
+    lambda widths, params: 2,
+    doc="string(): concatenated text descendants as a single text node",
+))
+
+
+#: Human-readable width formulas for the registry table (documentation).
+WIDTH_FORMULAS = {
+    "empty_forest": "0",
+    "text_const": "2",
+    "xnode": "w + 2",
+    "concat": "w₁ + w₂",
+    "head": "w",
+    "tail": "w",
+    "reverse": "w",
+    "select": "w",
+    "textnodes": "w",
+    "elementnodes": "w",
+    "distinct": "w",
+    "sort": "w²",
+    "roots": "w",
+    "children": "w",
+    "subtrees_dfs": "w²",
+    "count": "2",
+    "data": "w",
+    "string_fn": "2",
+}
+
+
+def registry_table() -> str:
+    """A markdown table of every registered XFn (used by docs/OPERATORS.md).
+
+    Kept in sync with the registry by a test, so the documentation cannot
+    silently drift from the implementation.
+    """
+    lines = [
+        "| XFn | arity | params | width | description |",
+        "|---|---|---|---|---|",
+    ]
+    for name in sorted(FUNCTIONS):
+        spec = FUNCTIONS[name]
+        params = ", ".join(spec.param_names) or "—"
+        width = WIDTH_FORMULAS.get(name, "?")
+        lines.append(
+            f"| `{name}` | {spec.arity} | {params} | {width} | {spec.doc} |"
+        )
+    return "\n".join(lines)
+
+
+def get_function(name: str) -> FunctionSpec:
+    """Look up a registered XFn, raising :class:`UnknownFunctionError`."""
+    try:
+        return FUNCTIONS[name]
+    except KeyError:
+        raise UnknownFunctionError(f"unknown XFn: {name!r}") from None
+
+
+def width_of(name: str, widths: tuple[int, ...], params: Mapping[str, str]) -> int:
+    """Apply the width function of ``name`` to the given input widths."""
+    spec = get_function(name)
+    if len(widths) != spec.arity:
+        raise UnknownFunctionError(
+            f"XFn {name!r} expects {spec.arity} arguments, got {len(widths)}"
+        )
+    return spec.width(widths, params)

@@ -1,0 +1,129 @@
+"""Denotational reference interpreter for the core language (Figure 3).
+
+    [[x]]E                      = E(x)
+    [[XFn(e1,…,ek)]]E           = XFn([[e1]]E, …, [[ek]]E)
+    [[let x = e in e']]E        = [[e']] E[x := [[e]]E]
+    [[where φ return e]]E       = [[e]]E  if [[φ]]E else []
+    [[for x in e do e']]E       = [[e']]E[x:=v1] @ … @ [[e']]E[x:=vk]
+                                   where [v1,…,vk] = [[e]]E
+
+This interpreter is the semantic oracle: it is deliberately simple (a
+direct transcription of the semantic equations, nested-loop iteration,
+no rewriting) and every other evaluator in the package is tested against
+it.  It is also the engine behind :mod:`repro.baselines.naive`, which
+models the behaviour the paper attributes to contemporary XQuery
+processors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.errors import UnboundVariableError
+from repro.xml import operations as ops
+from repro.xml.forest import Forest
+from repro.xquery.ast import (
+    And,
+    Condition,
+    CoreExpr,
+    Empty,
+    Equal,
+    FnApp,
+    For,
+    Less,
+    Let,
+    Not,
+    Or,
+    SomeEqual,
+    Var,
+    Where,
+)
+from repro.xquery.functions import get_function
+
+Environment = Mapping[str, Forest]
+
+
+class Interpreter:
+    """Evaluate core expressions under an environment.
+
+    ``tick`` — an optional callback invoked once per iteration step and
+    function application; the benchmark harness uses it for cooperative
+    timeouts and work accounting.
+    """
+
+    def __init__(self, tick: Callable[[], None] | None = None):
+        self._tick = tick
+
+    def evaluate(self, expr: CoreExpr, env: Environment) -> Forest:
+        """Compute ``[[expr]]env``."""
+        if self._tick is not None:
+            self._tick()
+        if isinstance(expr, Var):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise UnboundVariableError(expr.name) from None
+        if isinstance(expr, FnApp):
+            spec = get_function(expr.fn)
+            args = tuple(self.evaluate(arg, env) for arg in expr.args)
+            return spec.impl(args, dict(expr.params))
+        if isinstance(expr, Let):
+            bound = self.evaluate(expr.value, env)
+            extended = dict(env)
+            extended[expr.var] = bound
+            return self.evaluate(expr.body, extended)
+        if isinstance(expr, Where):
+            if self.evaluate_condition(expr.condition, env):
+                return self.evaluate(expr.body, env)
+            return ()
+        if isinstance(expr, For):
+            source = self.evaluate(expr.source, env)
+            pieces: list[Forest] = []
+            extended = dict(env)
+            for tree in source:
+                if self._tick is not None:
+                    self._tick()
+                extended[expr.var] = (tree,)
+                pieces.append(self.evaluate(expr.body, extended))
+            return tuple(node for piece in pieces for node in piece)
+        raise TypeError(f"unknown expression type: {type(expr).__name__}")
+
+    def evaluate_condition(self, condition: Condition, env: Environment) -> bool:
+        """Compute the truth value of φ under ``env``."""
+        if isinstance(condition, Equal):
+            return ops.equal(
+                self.evaluate(condition.left, env),
+                self.evaluate(condition.right, env),
+            )
+        if isinstance(condition, SomeEqual):
+            left = self.evaluate(condition.left, env)
+            right = self.evaluate(condition.right, env)
+            right_set = set(right)
+            return any(tree in right_set for tree in left)
+        if isinstance(condition, Less):
+            return ops.less(
+                self.evaluate(condition.left, env),
+                self.evaluate(condition.right, env),
+            )
+        if isinstance(condition, Empty):
+            return ops.empty(self.evaluate(condition.expr, env))
+        if isinstance(condition, Not):
+            return not self.evaluate_condition(condition.condition, env)
+        if isinstance(condition, And):
+            return self.evaluate_condition(condition.left, env) and \
+                self.evaluate_condition(condition.right, env)
+        if isinstance(condition, Or):
+            return self.evaluate_condition(condition.left, env) or \
+                self.evaluate_condition(condition.right, env)
+        raise TypeError(f"unknown condition type: {type(condition).__name__}")
+
+
+def evaluate(expr: CoreExpr, env: Environment | None = None,
+             tick: Callable[[], None] | None = None) -> Forest:
+    """Convenience wrapper: evaluate ``expr`` under ``env`` (default empty)."""
+    return Interpreter(tick).evaluate(expr, dict(env or {}))
+
+
+def evaluate_condition(condition: Condition, env: Environment | None = None) -> bool:
+    """Convenience wrapper for condition evaluation."""
+    return Interpreter().evaluate_condition(condition, dict(env or {}))

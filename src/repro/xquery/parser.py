@@ -1,0 +1,523 @@
+"""Recursive-descent parser for the XQuery surface subset.
+
+Grammar (simplified)::
+
+    Query      := Expr
+    Expr       := FLWR | OrExpr
+    FLWR       := (ForClause | LetClause)+ ('where' OrExpr)? 'return' Expr
+    ForClause  := 'for' $v 'in' Expr (',' $v 'in' Expr)*
+    LetClause  := 'let' $v ':=' Expr (',' $v ':=' Expr)*
+    OrExpr     := AndExpr ('or' AndExpr)*
+    AndExpr    := CmpExpr ('and' CmpExpr)*
+    CmpExpr    := PathExpr (('='|'!='|'<'|'<='|'>'|'>=') PathExpr)?
+    PathExpr   := ('/'|'//')? Primary (('/'|'//') Step | '[' Expr ']')*
+    Step       := Name | '@' Name | 'text' '(' ')' | '*'
+    Primary    := $v | '.' | StringLiteral | NumberLiteral
+                | Name '(' Args? ')' | '(' ExprSeq? ')' | Constructor
+
+Direct constructors are parsed in character mode (see
+:mod:`repro.xquery.lexer`); ``{expr}`` switches back to expression mode.
+The parser produces the surface AST of :mod:`repro.xquery.ast`; lowering to
+the core language happens in :mod:`repro.xquery.lowering`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery.ast import (
+    SAttributeConstructor,
+    SBooleanOp,
+    SComparison,
+    SConditional,
+    SContextItem,
+    SDocument,
+    SElementConstructor,
+    SFLWR,
+    SForClause,
+    SFunctionCall,
+    SLetClause,
+    SOrderBy,
+    SPath,
+    SPositional,
+    SPredicate,
+    SQuantified,
+    SQuery,
+    SSequence,
+    SStep,
+    SStringLiteral,
+    SurfaceExpr,
+    SVarRef,
+)
+from repro.xquery.lexer import Scanner, Token
+
+_COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+_XML_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+
+#: Built-in functions callable from surface syntax, with their arity.
+_BUILTIN_ARITIES = {
+    "document": 1,
+    "doc": 1,
+    "count": 1,
+    "empty": 1,
+    "not": 1,
+    "data": 1,
+    "string": 1,
+    "distinct": 1,
+    "head": 1,
+    "tail": 1,
+    "reverse": 1,
+    "sort": 1,
+    "subtrees": 1,
+    "deep-equal": 2,
+    "deep-less": 2,
+}
+
+
+def parse_xquery(source: str) -> SQuery:
+    """Parse XQuery text into a surface :class:`SQuery`.
+
+    Raises :class:`~repro.errors.XQuerySyntaxError` on malformed input.
+    """
+    parser = _Parser(Scanner(source))
+    body = parser.parse_expr()
+    trailing = parser.scanner.peek()
+    if trailing.type != "EOF":
+        raise parser.scanner.error(
+            f"unexpected trailing input: {trailing.value!r}"
+        )
+    documents = tuple(sorted(parser.documents))
+    return SQuery(body, documents)
+
+
+class _Parser:
+    def __init__(self, scanner: Scanner):
+        self.scanner = scanner
+        self.documents: set[str] = set()
+
+    # -- expressions -----------------------------------------------------------
+
+    def parse_expr(self) -> SurfaceExpr:
+        token = self.scanner.peek()
+        if token.is_keyword("for", "let"):
+            return self.parse_flwr()
+        return self.parse_or_expr()
+
+    def parse_flwr(self) -> SFLWR:
+        clauses: list[SForClause | SLetClause] = []
+        while True:
+            token = self.scanner.peek()
+            if token.is_keyword("for"):
+                self.scanner.next()
+                clauses.extend(self._parse_for_bindings())
+            elif token.is_keyword("let"):
+                self.scanner.next()
+                clauses.extend(self._parse_let_bindings())
+            else:
+                break
+        if not clauses:
+            raise self.scanner.error("FLWR expression requires for/let clauses")
+        where = None
+        if self.scanner.peek().is_keyword("where"):
+            self.scanner.next()
+            where = self.parse_or_expr()
+        order_by = self._parse_order_by()
+        self.scanner.expect_keyword("return")
+        returns = self.parse_expr()
+        return SFLWR(tuple(clauses), where, returns, order_by)
+
+    def _parse_order_by(self) -> SOrderBy | None:
+        # "order" / "by" are soft keywords: they stay valid as path steps
+        # and element names elsewhere.
+        token = self.scanner.peek()
+        if not (token.type == "NAME" and token.value == "order"):
+            return None
+        self.scanner.next()
+        by = self.scanner.next()
+        if by.type != "NAME" or by.value != "by":
+            raise self.scanner.error(f"expected 'by' after 'order', "
+                                     f"found {by.value!r}")
+        key = self.parse_path()
+        descending = False
+        direction = self.scanner.peek()
+        if direction.type == "NAME" and direction.value in ("ascending",
+                                                            "descending"):
+            self.scanner.next()
+            descending = direction.value == "descending"
+        return SOrderBy(key, descending)
+
+    def _parse_for_bindings(self) -> list[SForClause]:
+        bindings = []
+        while True:
+            var = self._expect_variable()
+            self.scanner.expect_keyword("in")
+            bindings.append(SForClause(var, self.parse_expr()))
+            if self.scanner.peek().is_op(","):
+                self.scanner.next()
+            else:
+                return bindings
+
+    def _parse_let_bindings(self) -> list[SLetClause]:
+        bindings = []
+        while True:
+            var = self._expect_variable()
+            self.scanner.expect_op(":=")
+            bindings.append(SLetClause(var, self.parse_expr()))
+            if self.scanner.peek().is_op(","):
+                self.scanner.next()
+            else:
+                return bindings
+
+    def _expect_variable(self) -> str:
+        token = self.scanner.next()
+        if token.type != "VARIABLE":
+            raise self.scanner.error(f"expected a variable, found {token.value!r}")
+        return token.value
+
+    def parse_or_expr(self) -> SurfaceExpr:
+        left = self.parse_and_expr()
+        while self.scanner.peek().is_keyword("or"):
+            self.scanner.next()
+            left = SBooleanOp("or", left, self.parse_and_expr())
+        return left
+
+    def parse_and_expr(self) -> SurfaceExpr:
+        left = self.parse_comparison()
+        while self.scanner.peek().is_keyword("and"):
+            self.scanner.next()
+            left = SBooleanOp("and", left, self.parse_comparison())
+        return left
+
+    def parse_comparison(self) -> SurfaceExpr:
+        left = self.parse_path()
+        token = self.scanner.peek()
+        if token.type == "OP" and token.value in _COMPARISON_OPS:
+            # `<` followed directly by a letter means an element constructor,
+            # which cannot appear as a comparison operator position anyway —
+            # constructors are parsed in parse_primary, so plain `<` here is
+            # always the operator.
+            self.scanner.next()
+            right = self.parse_path()
+            return SComparison(token.value, left, right)
+        return left
+
+    # -- paths ---------------------------------------------------------------
+
+    def parse_path(self) -> SurfaceExpr:
+        expr = self.parse_primary()
+        while True:
+            token = self.scanner.peek()
+            if token.is_op("/"):
+                if self._lookahead_is_constructor():
+                    break
+                self.scanner.next()
+                expr = self._append_step(expr, axis="child")
+            elif token.is_op("//"):
+                self.scanner.next()
+                expr = self._append_step(expr, axis="descendant")
+            elif token.is_op("["):
+                self.scanner.next()
+                inner = self.scanner.peek()
+                if inner.type == "NUMBER" and "." not in inner.value:
+                    self.scanner.next()
+                    self.scanner.expect_op("]")
+                    position = int(inner.value)
+                    if position < 1:
+                        raise self.scanner.error(
+                            "positional predicates are 1-based")
+                    expr = SPositional(expr, position)
+                else:
+                    condition = self.parse_or_expr()
+                    self.scanner.expect_op("]")
+                    expr = SPredicate(expr, condition)
+            else:
+                break
+        return expr
+
+    def _lookahead_is_constructor(self) -> bool:
+        # Never true for "/" in this grammar; kept for clarity/extension.
+        return False
+
+    def _append_step(self, base: SurfaceExpr, axis: str) -> SurfaceExpr:
+        step = self._parse_step(axis)
+        if isinstance(base, SPath):
+            return SPath(base.base, base.steps + (step,))
+        return SPath(base, (step,))
+
+    def _parse_step(self, axis: str) -> SStep:
+        token = self.scanner.next()
+        if token.is_op("@"):
+            name = self.scanner.next()
+            if name.type != "NAME":
+                raise self.scanner.error(
+                    f"expected attribute name after '@', found {name.value!r}"
+                )
+            return SStep("attribute", name.value)
+        if token.is_op("*"):
+            return SStep(axis, "*")
+        if token.type == "NAME":
+            if token.value == "text" and self.scanner.peek().is_op("("):
+                self.scanner.next()
+                self.scanner.expect_op(")")
+                return SStep(axis, "text()")
+            return SStep(axis, token.value)
+        raise self.scanner.error(f"expected a path step, found {token.value!r}")
+
+    # -- primaries ------------------------------------------------------------
+
+    def parse_primary(self) -> SurfaceExpr:
+        token = self.scanner.peek()
+        if token.type == "VARIABLE":
+            self.scanner.next()
+            return SVarRef(token.value)
+        if token.type == "STRING":
+            self.scanner.next()
+            return SStringLiteral(token.value)
+        if token.type == "NUMBER":
+            self.scanner.next()
+            return SStringLiteral(token.value)
+        if token.is_op("."):
+            self.scanner.next()
+            return SContextItem()
+        if token.is_op("("):
+            self.scanner.next()
+            return self._parse_parenthesized()
+        if token.is_op("<") and self._next_char_starts_name():
+            return self.parse_constructor()
+        if token.type == "NAME":
+            if token.value == "if":
+                return self._parse_conditional()
+            if token.value in ("some", "every"):
+                return self._parse_quantified(token.value)
+            return self._parse_function_call()
+        raise self.scanner.error(f"unexpected token {token.value!r}")
+
+    def _parse_quantified(self, quantifier: str) -> SQuantified:
+        """``some|every $v in expr satisfies cond`` (soft keywords)."""
+        self.scanner.next()  # 'some' / 'every'
+        var = self._expect_variable()
+        self.scanner.expect_keyword("in")
+        source = self.parse_path()
+        satisfies = self.scanner.next()
+        if satisfies.type != "NAME" or satisfies.value != "satisfies":
+            raise self.scanner.error(
+                f"expected 'satisfies', found {satisfies.value!r}")
+        condition = self.parse_or_expr()
+        return SQuantified(quantifier, var, source, condition)
+
+    def _parse_conditional(self) -> SConditional:
+        """``if (cond) then expr else expr`` — if/then/else are soft
+        keywords so they remain usable as element and step names."""
+        self.scanner.next()  # 'if'
+        self.scanner.expect_op("(")
+        condition = self.parse_or_expr()
+        self.scanner.expect_op(")")
+        then_token = self.scanner.next()
+        if then_token.type != "NAME" or then_token.value != "then":
+            raise self.scanner.error(
+                f"expected 'then', found {then_token.value!r}")
+        consequent = self.parse_expr()
+        else_token = self.scanner.next()
+        if else_token.type != "NAME" or else_token.value != "else":
+            raise self.scanner.error(
+                f"expected 'else', found {else_token.value!r}")
+        alternative = self.parse_expr()
+        return SConditional(condition, consequent, alternative)
+
+    def _next_char_starts_name(self) -> bool:
+        # When `<` has been peeked, the scanner cursor sits right after it.
+        source, pos = self.scanner.source, self.scanner.pos
+        return pos < len(source) and (source[pos].isalpha() or source[pos] == "_")
+
+    def _parse_parenthesized(self) -> SurfaceExpr:
+        if self.scanner.peek().is_op(")"):
+            self.scanner.next()
+            return SSequence(())
+        items = [self.parse_expr()]
+        while self.scanner.peek().is_op(","):
+            self.scanner.next()
+            items.append(self.parse_expr())
+        self.scanner.expect_op(")")
+        if len(items) == 1:
+            return items[0]
+        return SSequence(tuple(items))
+
+    def _parse_function_call(self) -> SurfaceExpr:
+        name_token = self.scanner.next()
+        name = name_token.value
+        if name not in _BUILTIN_ARITIES:
+            raise self.scanner.error(f"unknown function {name!r}")
+        self.scanner.expect_op("(")
+        args: list[SurfaceExpr] = []
+        if not self.scanner.peek().is_op(")"):
+            args.append(self.parse_expr())
+            while self.scanner.peek().is_op(","):
+                self.scanner.next()
+                args.append(self.parse_expr())
+        self.scanner.expect_op(")")
+        expected = _BUILTIN_ARITIES[name]
+        if len(args) != expected:
+            raise self.scanner.error(
+                f"function {name}() expects {expected} argument(s), got {len(args)}"
+            )
+        if name in ("document", "doc"):
+            literal = args[0]
+            if not isinstance(literal, SStringLiteral):
+                raise self.scanner.error("document() requires a string literal")
+            self.documents.add(literal.value)
+            return SDocument(literal.value)
+        return SFunctionCall(name, tuple(args))
+
+    # -- direct constructors ------------------------------------------------------
+
+    def parse_constructor(self) -> SElementConstructor:
+        self.scanner.expect_op("<")
+        tag_token = self.scanner.next()
+        if tag_token.type not in ("NAME", "KEYWORD"):
+            raise self.scanner.error(
+                f"expected element name, found {tag_token.value!r}"
+            )
+        tag = tag_token.value
+        attributes: list[SAttributeConstructor] = []
+        while True:
+            token = self.scanner.peek()
+            if token.is_op(">"):
+                self.scanner.next()
+                content = self._parse_constructor_content(tag)
+                return SElementConstructor(tag, tuple(attributes), tuple(content))
+            if token.is_op("/"):
+                self.scanner.next()
+                self.scanner.expect_op(">")
+                return SElementConstructor(tag, tuple(attributes), ())
+            if token.type in ("NAME", "KEYWORD"):
+                self.scanner.next()
+                attributes.append(self._parse_attribute(token))
+            else:
+                raise self.scanner.error(
+                    f"unexpected token {token.value!r} in element constructor"
+                )
+
+    def _parse_attribute(self, name_token: Token) -> SAttributeConstructor:
+        self.scanner.expect_op("=")
+        self._skip_raw_whitespace()
+        quote = self.scanner.peek_char()
+        if quote not in ("'", '"'):
+            raise self.scanner.error("attribute value must be quoted")
+        self.scanner.read_char()
+        parts: list[SurfaceExpr] = []
+        buffer: list[str] = []
+
+        def flush() -> None:
+            if buffer:
+                parts.append(SStringLiteral("".join(buffer)))
+                buffer.clear()
+
+        while True:
+            char = self.scanner.peek_char()
+            if not char:
+                raise self.scanner.error("unterminated attribute value")
+            if char == quote:
+                self.scanner.read_char()
+                break
+            if char == "{":
+                if self.scanner.startswith_raw("{{"):
+                    self.scanner.skip_raw("{{")
+                    buffer.append("{")
+                    continue
+                self.scanner.read_char()
+                flush()
+                parts.append(self._parse_enclosed_sequence())
+            elif char == "}":
+                if self.scanner.startswith_raw("}}"):
+                    self.scanner.skip_raw("}}")
+                    buffer.append("}")
+                    continue
+                raise self.scanner.error("unescaped '}' in attribute value")
+            elif char == "&":
+                buffer.append(self._parse_xml_entity())
+            else:
+                buffer.append(self.scanner.read_char())
+        flush()
+        return SAttributeConstructor(name_token.value, tuple(parts))
+
+    def _parse_constructor_content(self, tag: str) -> list[SurfaceExpr]:
+        content: list[SurfaceExpr] = []
+        buffer: list[str] = []
+
+        def flush() -> None:
+            if buffer:
+                literal = "".join(buffer)
+                buffer.clear()
+                # Boundary-whitespace stripping (XQuery default).
+                if literal.strip():
+                    content.append(SStringLiteral(literal))
+
+        while True:
+            char = self.scanner.peek_char()
+            if not char:
+                raise self.scanner.error(f"unterminated constructor <{tag}>")
+            if char == "<":
+                if self.scanner.startswith_raw("</"):
+                    flush()
+                    self.scanner.skip_raw("</")
+                    closing = self.scanner.next()
+                    if closing.type not in ("NAME", "KEYWORD") or closing.value != tag:
+                        raise self.scanner.error(
+                            f"mismatched closing tag </{closing.value}>, expected </{tag}>"
+                        )
+                    self.scanner.expect_op(">")
+                    return content
+                flush()
+                content.append(self.parse_constructor())
+            elif char == "{":
+                if self.scanner.startswith_raw("{{"):
+                    self.scanner.skip_raw("{{")
+                    buffer.append("{")
+                    continue
+                self.scanner.read_char()
+                flush()
+                content.append(self._parse_enclosed_sequence())
+            elif char == "}":
+                if self.scanner.startswith_raw("}}"):
+                    self.scanner.skip_raw("}}")
+                    buffer.append("}")
+                    continue
+                raise self.scanner.error("unescaped '}' in element content")
+            elif char == "&":
+                buffer.append(self._parse_xml_entity())
+            else:
+                buffer.append(self.scanner.read_char())
+
+    def _parse_enclosed_sequence(self) -> SurfaceExpr:
+        """Parse ``expr (, expr)*`` after an opening ``{`` up to the ``}``."""
+        items = [self.parse_expr()]
+        while self.scanner.peek().is_op(","):
+            self.scanner.next()
+            items.append(self.parse_expr())
+        self.scanner.expect_op("}")
+        if len(items) == 1:
+            return items[0]
+        return SSequence(tuple(items))
+
+    def _parse_xml_entity(self) -> str:
+        self.scanner.skip_raw("&")
+        name_chars: list[str] = []
+        while True:
+            char = self.scanner.read_char()
+            if char == ";":
+                break
+            if not char or len(name_chars) > 8:
+                raise self.scanner.error("unterminated entity reference")
+            name_chars.append(char)
+        name = "".join(name_chars)
+        if name.startswith("#x") or name.startswith("#X"):
+            return chr(int(name[2:], 16))
+        if name.startswith("#"):
+            return chr(int(name[1:]))
+        if name in _XML_ENTITIES:
+            return _XML_ENTITIES[name]
+        raise self.scanner.error(f"unknown entity &{name};")
+
+    def _skip_raw_whitespace(self) -> None:
+        while self.scanner.peek_char() in (" ", "\t", "\r", "\n") and self.scanner.peek_char():
+            self.scanner.read_char()

@@ -1,0 +1,33 @@
+"""Shared fixtures: the paper's Figure 1 sample and small XMark documents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xml.text_parser import parse_document, parse_forest
+from repro.xmark.generator import generate_document
+from repro.xmark.queries import FIGURE1_SAMPLE
+
+
+@pytest.fixture(scope="session")
+def figure1_doc():
+    """The Figure 1 XMark fragment as a parsed document root."""
+    return parse_document(FIGURE1_SAMPLE)
+
+
+@pytest.fixture(scope="session")
+def figure1_forest():
+    """The Figure 1 sample as a forest (single tree)."""
+    return parse_forest(FIGURE1_SAMPLE)
+
+
+@pytest.fixture(scope="session")
+def xmark_tiny():
+    """A deterministic tiny XMark document (~750 nodes)."""
+    return generate_document(0.0005, seed=42)
+
+
+@pytest.fixture(scope="session")
+def xmark_small():
+    """A deterministic small XMark document (~3000 nodes)."""
+    return generate_document(0.002, seed=42)

@@ -1,0 +1,101 @@
+"""Tests for core-AST traversal helpers and renderers."""
+
+import pytest
+
+from repro.xquery.ast import (
+    And,
+    Empty,
+    Equal,
+    FnApp,
+    For,
+    Less,
+    Let,
+    Not,
+    Or,
+    SomeEqual,
+    Var,
+    Where,
+    condition_expressions,
+    condition_free_variables,
+    condition_to_str,
+    core_to_str,
+    iter_subexpressions,
+)
+
+
+@pytest.fixture
+def sample():
+    return For(
+        "x", Var("doc"),
+        Let("y", FnApp("children", (Var("x"),)),
+            Where(And(Empty(Var("y")), Not(Equal(Var("x"), Var("doc")))),
+                  FnApp("concat", (Var("x"), Var("y"))))))
+
+
+class TestIterSubexpressions:
+    def test_visits_everything(self, sample):
+        nodes = list(iter_subexpressions(sample))
+        variables = [n.name for n in nodes if isinstance(n, Var)]
+        assert sorted(variables) == ["doc", "doc", "x", "x", "x", "y", "y"]
+
+    def test_includes_condition_expressions(self, sample):
+        nodes = list(iter_subexpressions(sample))
+        assert any(isinstance(n, FnApp) and n.fn == "concat" for n in nodes)
+        # Equal's operands live inside the condition and must be reached.
+        assert sum(1 for n in nodes
+                   if isinstance(n, Var) and n.name == "doc") == 2
+
+    def test_single_node(self):
+        assert list(iter_subexpressions(Var("a"))) == [Var("a")]
+
+
+class TestConditionHelpers:
+    def test_condition_expressions_all_shapes(self):
+        condition = Or(
+            And(Empty(Var("a")), SomeEqual(Var("b"), Var("c"))),
+            Not(Less(Var("d"), Var("e"))),
+        )
+        names = sorted(expr.name
+                       for expr in condition_expressions(condition))
+        assert names == ["a", "b", "c", "d", "e"]
+
+    def test_condition_free_variables(self):
+        condition = And(Empty(FnApp("children", (Var("a"),))),
+                        Equal(Var("b"), FnApp("empty_forest")))
+        assert condition_free_variables(condition) == {"a", "b"}
+
+    def test_unknown_condition_rejected(self):
+        class Rogue:
+            pass
+
+        with pytest.raises(TypeError):
+            list(condition_expressions(Rogue()))
+
+
+class TestRenderers:
+    def test_core_to_str_shapes(self, sample):
+        text = core_to_str(sample)
+        assert "for $x in" in text
+        assert "let $y =" in text
+        assert "where" in text
+        assert "concat(" in text
+
+    def test_condition_to_str_all_kinds(self):
+        condition = Or(
+            And(Empty(Var("a")), Not(Equal(Var("b"), Var("c")))),
+            SomeEqual(Var("d"), FnApp("text_const", (),
+                                      (("value", "k"),))),
+        )
+        text = condition_to_str(condition)
+        for piece in ("empty($a)", "not(equal($b, $c))", "some-equal",
+                      "or", "and"):
+            assert piece in text
+
+    def test_less_rendering(self):
+        assert condition_to_str(Less(Var("a"), Var("b"))) == \
+            "less($a, $b)"
+
+    def test_fn_params_rendered(self):
+        text = core_to_str(FnApp("select", (Var("x"),),
+                                 (("label", "<a>"),)))
+        assert "select[label='<a>']" in text

@@ -1,0 +1,105 @@
+"""Tests for the nested-loop baseline evaluator and its resource models."""
+
+import pytest
+
+from repro.baselines.naive import (
+    MemoryLimitExceeded,
+    NaiveEvaluator,
+    WorkLimitExceeded,
+)
+from repro.xml.text_parser import parse_forest
+from repro.xquery.interpreter import evaluate
+from repro.xquery.lowering import document_forest, lower_query
+from repro.xquery.parser import parse_xquery
+
+
+def compile_with_bindings(source: str, documents: dict):
+    core, docs = lower_query(parse_xquery(source))
+    bindings = {var: document_forest(documents[uri])
+                for uri, var in docs.items()}
+    return core, bindings
+
+
+SAMPLE = """
+<site><people>
+ <person id="p0"><name>Ada</name></person>
+ <person id="p1"><name>Bob</name></person>
+</people></site>
+"""
+
+
+class TestCorrectness:
+    def test_matches_reference_interpreter(self, xmark_tiny):
+        from repro.xmark.queries import Q8
+        core, bindings = compile_with_bindings(
+            Q8, {"auction.xml": (xmark_tiny,)})
+        assert NaiveEvaluator().evaluate(core, bindings) == evaluate(
+            core, bindings)
+
+    def test_simple_query(self):
+        core, bindings = compile_with_bindings(
+            'document("d")/site/people/person/name/text()',
+            {"d": parse_forest(SAMPLE)})
+        result = NaiveEvaluator().evaluate(core, bindings)
+        assert [n.label for n in result] == ["Ada", "Bob"]
+
+
+class TestWorkAccounting:
+    def test_work_counted(self):
+        core, bindings = compile_with_bindings(
+            'document("d")//name', {"d": parse_forest(SAMPLE)})
+        evaluator = NaiveEvaluator()
+        evaluator.evaluate(core, bindings)
+        assert evaluator.work > 0
+
+    def test_work_budget_enforced(self):
+        core, bindings = compile_with_bindings(
+            'document("d")//name', {"d": parse_forest(SAMPLE)})
+        with pytest.raises(WorkLimitExceeded):
+            NaiveEvaluator(work_budget=3).evaluate(core, bindings)
+
+    def test_work_superlinear_for_join(self, xmark_tiny, xmark_small):
+        """The nested-loop join's work grows faster than the document."""
+        from repro.xmark.queries import Q8
+        works = []
+        for document in (xmark_tiny, xmark_small):
+            core, bindings = compile_with_bindings(
+                Q8, {"auction.xml": (document,)})
+            evaluator = NaiveEvaluator()
+            evaluator.evaluate(core, bindings)
+            works.append(evaluator.work)
+        size_ratio = xmark_small.size / xmark_tiny.size
+        work_ratio = works[1] / works[0]
+        assert work_ratio > 1.5 * size_ratio
+
+
+class TestMemoryAccounting:
+    def test_peak_memory_tracked(self):
+        core, bindings = compile_with_bindings(
+            'for $p in document("d")/site/people/person return $p',
+            {"d": parse_forest(SAMPLE)})
+        evaluator = NaiveEvaluator()
+        evaluator.evaluate(core, bindings)
+        assert evaluator.peak_memory > 0
+
+    def test_memory_budget_enforced(self, xmark_tiny):
+        from repro.xmark.queries import Q8
+        core, bindings = compile_with_bindings(
+            Q8, {"auction.xml": (xmark_tiny,)})
+        with pytest.raises(MemoryLimitExceeded):
+            NaiveEvaluator(memory_budget=10).evaluate(core, bindings)
+
+    def test_generous_budget_succeeds(self, xmark_tiny):
+        from repro.xmark.queries import Q13
+        core, bindings = compile_with_bindings(
+            Q13, {"auction.xml": (xmark_tiny,)})
+        result = NaiveEvaluator(memory_budget=10 ** 9).evaluate(core, bindings)
+        assert result == evaluate(core, bindings)
+
+    def test_live_memory_released_after_loop(self):
+        core, bindings = compile_with_bindings(
+            'for $p in document("d")/site/people/person return $p',
+            {"d": parse_forest(SAMPLE)})
+        evaluator = NaiveEvaluator()
+        evaluator.evaluate(core, bindings)
+        assert evaluator._live == 0

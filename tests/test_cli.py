@@ -1,0 +1,88 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.xmark.queries import FIGURE1_SAMPLE
+
+
+@pytest.fixture
+def sample_file(tmp_path):
+    path = tmp_path / "auction.xml"
+    path.write_text(FIGURE1_SAMPLE)
+    return str(path)
+
+
+QUERY = 'document("a.xml")/site/people/person/name/text()'
+
+
+class TestRun:
+    def test_engine_run(self, sample_file, capsys):
+        code = main([QUERY, "--doc", f"a.xml={sample_file}"])
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "Jaak TempestiCong Rosca"
+
+    @pytest.mark.parametrize("backend", ["interpreter", "sqlite"])
+    def test_other_backends(self, sample_file, capsys, backend):
+        code = main([QUERY, "--doc", f"a.xml={sample_file}",
+                     "--backend", backend])
+        assert code == 0
+        assert "Jaak Tempesti" in capsys.readouterr().out
+
+    def test_query_from_file(self, sample_file, tmp_path, capsys):
+        query_path = tmp_path / "q.xq"
+        query_path.write_text(QUERY)
+        code = main([f"@{query_path}", "--doc", f"a.xml={sample_file}"])
+        assert code == 0
+        assert "Cong Rosca" in capsys.readouterr().out
+
+    def test_indent(self, sample_file, capsys):
+        code = main(['document("a.xml")/site/people/person[1]',
+                     "--doc", f"a.xml={sample_file}", "--indent", "2"])
+        assert code == 0
+        assert "\n  " in capsys.readouterr().out
+
+
+class TestIntrospection:
+    def test_explain(self, capsys):
+        code = main([QUERY, "--explain"])
+        assert code == 0
+        assert "Fn:select" in capsys.readouterr().out
+
+    def test_explain_nlj(self, capsys):
+        from repro.xmark.queries import Q8
+        code = main([Q8, "--explain", "--strategy", "nlj"])
+        assert code == 0
+        assert "nested-loop" in capsys.readouterr().out
+
+    def test_sql(self, sample_file, capsys):
+        code = main([QUERY, "--doc", f"a.xml={sample_file}", "--sql"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("WITH ")
+        assert "ORDER BY l" in out
+
+
+class TestErrors:
+    def test_missing_document(self, capsys):
+        code = main([QUERY])
+        assert code == 1
+        assert "a.xml" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        code = main([QUERY, "--doc", "a.xml=/does/not/exist.xml"])
+        assert code == 1
+
+    def test_syntax_error(self, capsys):
+        code = main(["for $x in"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_doc_argument(self, capsys):
+        with pytest.raises(SystemExit):
+            main([QUERY, "--doc", "no-equals-sign"])
+
+    def test_sql_requires_doc_binding(self, capsys):
+        code = main([QUERY, "--sql"])
+        assert code == 1
+        assert "missing --doc binding" in capsys.readouterr().err

@@ -1,0 +1,234 @@
+"""The DI engine must agree with the reference interpreter on everything.
+
+Each test evaluates the same core expression through the Figure 3
+interpreter and through both engine strategies (NLJ and MSJ), asserting
+identical forests — the engine-level statement of Proposition 4.4.
+"""
+
+import pytest
+
+from repro.compiler.plan import JoinStrategy
+from repro.compiler.planner import compile_plan
+from repro.engine.evaluator import DIEngine
+from repro.engine.stats import EngineStats
+from repro.xml.text_parser import parse_forest
+from repro.xquery.interpreter import evaluate
+from repro.xquery.lowering import document_forest, lower_query
+from repro.xquery.parser import parse_xquery
+
+
+def f(source: str):
+    return parse_forest(source)
+
+
+def check_query(source: str, documents: dict):
+    """Run a surface query through interpreter + both engine strategies."""
+    core, docs = lower_query(parse_xquery(source))
+    bindings = {var: document_forest(documents[uri])
+                for uri, var in docs.items()}
+    expected = evaluate(core, bindings)
+    for strategy in (JoinStrategy.NLJ, JoinStrategy.MSJ):
+        plan = compile_plan(core, strategy, base_vars=docs.values())
+        got = DIEngine().run_plan(plan, bindings)
+        assert got == expected, f"{strategy} diverged"
+    return expected
+
+
+SAMPLE = """
+<site>
+ <people>
+  <person id="p0"><name>Ada</name></person>
+  <person id="p1"><name>Bob</name></person>
+  <person id="p2"><name>Cyd</name></person>
+ </people>
+ <closed_auctions>
+  <closed_auction><buyer person="p1"/><itemref item="i0"/></closed_auction>
+  <closed_auction><buyer person="p2"/><itemref item="i1"/></closed_auction>
+  <closed_auction><buyer person="p1"/><itemref item="i9"/></closed_auction>
+ </closed_auctions>
+ <regions><europe>
+  <item id="i0"><name>clock</name></item>
+  <item id="i1"><name>vase</name></item>
+ </europe></regions>
+</site>
+"""
+
+
+class TestSimpleQueries:
+    def test_path(self):
+        check_query('document("d")/site/people/person/name/text()',
+                    {"d": f(SAMPLE)})
+
+    def test_descendants(self):
+        check_query('document("d")//name', {"d": f(SAMPLE)})
+
+    def test_construction(self):
+        check_query(
+            'for $p in document("d")/site/people/person '
+            'return <x name="{$p/name/text()}">{$p/@id}</x>',
+            {"d": f(SAMPLE)})
+
+    def test_let(self):
+        check_query(
+            'let $p := document("d")/site/people/person return count($p)',
+            {"d": f(SAMPLE)})
+
+    def test_where_filter(self):
+        check_query(
+            'for $p in document("d")/site/people/person '
+            'where $p/@id = "p1" return $p/name',
+            {"d": f(SAMPLE)})
+
+    def test_predicate(self):
+        check_query(
+            'document("d")/site/people/person[./@id = "p2"]/name/text()',
+            {"d": f(SAMPLE)})
+
+    def test_sequence_construction(self):
+        check_query(
+            'for $p in document("d")/site/people/person '
+            'return ($p/name/text(), $p/@id)',
+            {"d": f(SAMPLE)})
+
+    def test_sort_and_distinct(self):
+        check_query('sort(document("d")//name)', {"d": f(SAMPLE)})
+        check_query('distinct(document("d")//name)', {"d": f(SAMPLE)})
+
+    def test_head_tail_reverse(self):
+        check_query('head(document("d")/site/people/person)',
+                    {"d": f(SAMPLE)})
+        check_query('tail(document("d")/site/people/person)',
+                    {"d": f(SAMPLE)})
+        check_query('reverse(document("d")/site/people/person)',
+                    {"d": f(SAMPLE)})
+
+
+class TestJoins:
+    def test_single_join(self):
+        result = check_query(
+            'for $p in document("d")/site/people/person '
+            'let $a := for $t in document("d")/site/closed_auctions'
+            '/closed_auction '
+            '          where $t/buyer/@person = $p/@id return $t '
+            'where not(empty($a)) '
+            'return <hit person="{$p/@id}">{count($a)}</hit>',
+            {"d": f(SAMPLE)})
+        assert len(result) == 2  # p1 (twice) and p2
+
+    def test_join_without_filter_is_outer(self):
+        result = check_query(
+            'for $p in document("d")/site/people/person '
+            'let $a := for $t in document("d")/site/closed_auctions'
+            '/closed_auction '
+            '          where $t/buyer/@person = $p/@id return $t '
+            'return <hit>{count($a)}</hit>',
+            {"d": f(SAMPLE)})
+        assert [n.children[-1].label for n in result] == ["0", "2", "1"]
+
+    def test_three_level_join(self):
+        check_query(
+            'for $p in document("d")/site/people/person '
+            'let $a := for $t in document("d")/site/closed_auctions'
+            '/closed_auction '
+            '          let $n := for $i in document("d")/site/regions'
+            '/europe/item '
+            '                    where $t/itemref/@item = $i/@id '
+            '                    return $i '
+            '          where $p/@id = $t/buyer/@person '
+            '          return <item>{$n/name/text()}</item> '
+            'where not(empty($a)) '
+            'return <person name="{$p/name/text()}">{$a}</person>',
+            {"d": f(SAMPLE)})
+
+    def test_join_with_duplicate_keys(self):
+        doc = f("""
+        <r>
+          <l><e k="a"/><e k="b"/><e k="a"/></l>
+          <r2><e k="a"/><e k="c"/><e k="a"/></r2>
+        </r>
+        """)
+        check_query(
+            'for $x in document("d")/r/l/e '
+            'let $m := for $y in document("d")/r/r2/e '
+            '          where $y/@k = $x/@k return $y '
+            'where not(empty($m)) return <m>{count($m)}</m>',
+            {"d": doc})
+
+    def test_document_order_of_join_result(self):
+        """MSJ must restore document order after merging."""
+        result = check_query(
+            'for $p in document("d")/site/people/person '
+            'let $a := for $t in document("d")/site/closed_auctions'
+            '/closed_auction '
+            '          where $t/buyer/@person = $p/@id return $t '
+            'where not(empty($a)) return $p/@id',
+            {"d": f(SAMPLE)})
+        # p1 before p2 — document order of persons, not key order.
+        values = [attr.children[0].label for attr in result]
+        assert values == ["p1", "p2"]
+
+
+class TestXMarkQueries:
+    @pytest.mark.parametrize("name", ["Q8", "Q8_ORIGINAL", "Q9", "Q13"])
+    def test_engine_matches_interpreter(self, name, xmark_tiny):
+        from repro.xmark.queries import QUERIES
+        check_query(QUERIES[name], {"auction.xml": (xmark_tiny,)})
+
+
+class TestStats:
+    def test_breakdown_sums_to_total(self, xmark_tiny):
+        from repro.xmark.queries import Q8
+        core, docs = lower_query(parse_xquery(Q8))
+        bindings = {var: document_forest((xmark_tiny,))
+                    for var in docs.values()}
+        stats = EngineStats()
+        plan = compile_plan(core, JoinStrategy.MSJ, base_vars=docs.values())
+        DIEngine(stats=stats).run_plan(plan, bindings)
+        fractions = stats.fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-6
+        assert fractions["paths"] > 0
+        assert fractions["join"] > 0
+        assert fractions["construction"] > 0
+
+    def test_nlj_join_fraction_grows(self, xmark_tiny):
+        """Figure 10's NLJ row: join share grows with document size."""
+        from repro.xmark.generator import generate_document
+        from repro.xmark.queries import Q8
+        core, docs = lower_query(parse_xquery(Q8))
+        plan = compile_plan(core, JoinStrategy.NLJ, base_vars=docs.values())
+        shares = []
+        for document in (xmark_tiny, generate_document(0.01, seed=42)):
+            bindings = {var: document_forest((document,))
+                        for var in docs.values()}
+            stats = EngineStats()
+            DIEngine(stats=stats).run_plan(plan, bindings)
+            shares.append(stats.fractions()["join"])
+        # A 20× document: the quadratic pair comparison visibly gains on
+        # the linear path extraction (it reaches dominance at the larger
+        # sweep scales of EXPERIMENTS.md, like the paper's 98–99%).
+        assert shares[1] > shares[0]
+
+    def test_stats_reset(self):
+        stats = EngineStats()
+        with stats.measure("paths"):
+            pass
+        stats.reset()
+        assert stats.total_seconds == 0
+
+    def test_summary_renders(self):
+        stats = EngineStats()
+        with stats.measure("join"):
+            pass
+        assert "total=" in stats.summary()
+
+
+class TestTick:
+    def test_tick_invoked(self, xmark_tiny):
+        from repro.xmark.queries import Q13
+        core, docs = lower_query(parse_xquery(Q13))
+        bindings = {var: document_forest((xmark_tiny,))
+                    for var in docs.values()}
+        counter = []
+        plan = compile_plan(core, JoinStrategy.MSJ, base_vars=docs.values())
+        DIEngine(tick=lambda: counter.append(None)).run_plan(plan, bindings)
+        assert counter

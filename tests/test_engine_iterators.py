@@ -1,0 +1,128 @@
+"""Streaming iterator operators must equal their eager counterparts."""
+
+import pytest
+
+from repro.encoding.interval import encode
+from repro.engine import iterators as it
+from repro.engine import operators as ops
+from repro.xml.text_parser import parse_forest
+
+FORESTS = [
+    "<a/>",
+    "<a/><b/><c/>",
+    "<a><b><c/></b><d/></a>",
+    "<a id='1'><n>x</n></a><b>y</b>",
+    "<p>one</p>two<p>three</p>",
+]
+
+
+@pytest.fixture(params=range(len(FORESTS)))
+def encoded(request):
+    trees = parse_forest(FORESTS[request.param])
+    enc = encode(trees)
+    return list(enc.tuples), max(enc.width, 1)
+
+
+class TestRootsIterator:
+    def test_fetch_protocol(self, encoded):
+        rel, _w = encoded
+        iterator = it.RootsIterator(rel)
+        fetched = []
+        while True:
+            row = iterator.fetch()
+            if row is None:
+                break
+            fetched.append(row)
+        assert fetched == ops.roots(rel)
+
+    def test_fetch_none_is_sticky(self):
+        iterator = it.RootsIterator([])
+        assert iterator.fetch() is None
+        assert iterator.fetch() is None
+
+    def test_iterable_protocol(self, encoded):
+        rel, _w = encoded
+        assert list(it.RootsIterator(rel)) == ops.roots(rel)
+
+
+class TestStreamsMatchEager:
+    def test_roots(self, encoded):
+        rel, _w = encoded
+        assert list(it.roots_stream(rel)) == ops.roots(rel)
+
+    def test_children(self, encoded):
+        rel, _w = encoded
+        assert list(it.children_stream(rel)) == ops.children(rel)
+
+    def test_select(self, encoded):
+        rel, _w = encoded
+        assert (list(it.select_label_stream(rel, "<a>"))
+                == ops.select_label(rel, "<a>"))
+
+    def test_textnodes(self, encoded):
+        rel, _w = encoded
+        assert list(it.textnodes_stream(rel)) == ops.textnode_trees(rel)
+
+    def test_elementnodes(self, encoded):
+        rel, _w = encoded
+        assert list(it.elementnodes_stream(rel)) == ops.elementnode_trees(rel)
+
+    def test_head_tail(self, encoded):
+        rel, width = encoded
+        assert list(it.head_stream(rel, width)) == ops.head(rel, width)
+        assert list(it.tail_stream(rel, width)) == ops.tail(rel, width)
+
+    def test_data(self, encoded):
+        rel, width = encoded
+        assert list(it.data_stream(rel, width)) == ops.data(rel, width)
+
+
+class TestPipeline:
+    def test_fused_path(self, figure1_doc):
+        enc = encode((figure1_doc,))
+        rel, width = list(enc.tuples), enc.width
+        pipeline = it.path_pipeline(rel, [
+            ("children", None),
+            ("select", "<people>"),
+            ("children", None),
+            ("select", "<person>"),
+            ("children", None),
+            ("select", "<name>"),
+            ("children", None),
+            ("text", None),
+        ], width)
+        labels = [row[0] for row in pipeline]
+        assert labels == ["Jaak Tempesti", "Cong Rosca"]
+
+    def test_pipeline_is_lazy(self):
+        consumed = []
+
+        def tracked(rows):
+            for row in rows:
+                consumed.append(row)
+                yield row
+
+        rel = list(encode(parse_forest("<a><b/></a><c><d/></c>")).tuples)
+        pipeline = it.path_pipeline(tracked(rel), [("children", None)], 8)
+        next(pipeline)  # pull one output tuple only
+        assert len(consumed) < len(rel)
+
+    def test_head_step(self, figure1_doc):
+        enc = encode((figure1_doc,))
+        pipeline = it.path_pipeline(list(enc.tuples), [
+            ("children", None),
+            ("select", "<people>"),
+            ("children", None),
+            ("head", None),
+        ], enc.width)
+        rows = list(pipeline)
+        assert rows[0][0] == "<person>"
+        assert len(rows) == 11  # first person's subtree only
+
+    def test_unknown_step_rejected(self):
+        with pytest.raises(ValueError):
+            list(it.path_pipeline([], [("frobnicate", None)], 4))
+
+    def test_select_requires_label(self):
+        with pytest.raises(ValueError):
+            list(it.path_pipeline([], [("select", None)], 4))

@@ -1,0 +1,197 @@
+"""The DI engine's linear operators must agree with the reference algebra.
+
+Strategy: encode a forest (or a sequence of forests as environment blocks),
+run the engine operator, decode, and compare against
+:mod:`repro.xml.operations` applied per environment.
+"""
+
+import pytest
+
+from repro.encoding.dynamic import decode_sequence, encode_sequence
+from repro.encoding.interval import decode, encode
+from repro.engine import operators as engine_ops
+from repro.xml import operations as ref_ops
+from repro.xml.text_parser import parse_forest
+
+FORESTS = {
+    "single": "<a/>",
+    "flat": "<a/><b/><c/>",
+    "nested": "<a><b><c/></b><d/></a>",
+    "mixed": "<a id='1'><n>x</n></a><b>y</b><a id='1'><n>x</n></a>",
+    "texty": "<p>one</p>two<p>three</p>",
+    "dups": "<a>1</a><a>1</a><b/><a>2</a>",
+}
+
+SEQUENCES = [
+    ["<a/>", "<b/><c/>"],
+    ["<a><b/></a>", "", "<c>t</c><d/>"],
+    ["<x>1</x><x>1</x>", "<y/>"],
+]
+
+
+@pytest.fixture(params=sorted(FORESTS))
+def single(request):
+    trees = parse_forest(FORESTS[request.param])
+    encoded = encode(trees)
+    return trees, list(encoded.tuples), encoded.width
+
+
+@pytest.fixture(params=range(len(SEQUENCES)))
+def sequence(request):
+    forests = [parse_forest(s) for s in SEQUENCES[request.param]]
+    index, relation = encode_sequence(forests)
+    return forests, index, list(relation.tuples), relation.width
+
+
+class TestSingleForestOperators:
+    def test_roots(self, single):
+        trees, rel, _w = single
+        assert decode(engine_ops.roots(rel)) == ref_ops.roots(trees)
+
+    def test_children(self, single):
+        trees, rel, _w = single
+        assert decode(engine_ops.children(rel)) == ref_ops.children(trees)
+
+    def test_select(self, single):
+        trees, rel, _w = single
+        assert (decode(engine_ops.select_label(rel, "<a>"))
+                == ref_ops.select("<a>", trees))
+
+    def test_textnodes(self, single):
+        trees, rel, _w = single
+        assert (decode(engine_ops.textnode_trees(rel))
+                == ref_ops.textnodes(trees))
+
+    def test_head(self, single):
+        trees, rel, w = single
+        assert decode(engine_ops.head(rel, w)) == ref_ops.head(trees)
+
+    def test_tail(self, single):
+        trees, rel, w = single
+        assert decode(engine_ops.tail(rel, w)) == ref_ops.tail(trees)
+
+    def test_reverse(self, single):
+        trees, rel, w = single
+        assert decode(engine_ops.reverse(rel, w)) == ref_ops.reverse(trees)
+
+    def test_subtrees_dfs(self, single):
+        trees, rel, w = single
+        assert (decode(engine_ops.subtrees_dfs(rel, w))
+                == ref_ops.subtrees_dfs(trees))
+
+    def test_data(self, single):
+        trees, rel, w = single
+        assert decode(engine_ops.data(rel, w)) == ref_ops.data(trees)
+
+    def test_distinct(self, single):
+        trees, rel, w = single
+        assert decode(engine_ops.distinct(rel, w)) == ref_ops.distinct(trees)
+
+    def test_sort(self, single):
+        trees, rel, w = single
+        sorted_rel, _wout = engine_ops.sort(rel, w)
+        assert decode(sorted_rel) == ref_ops.sort(trees)
+
+
+class TestPerEnvironmentOperators:
+    """Operators applied to blocked relations act per environment."""
+
+    def _check(self, sequence, run_engine, run_reference, width_out=None):
+        forests, index, rel, width = sequence
+        result = run_engine(rel, width)
+        out_width = width_out if width_out is not None else width
+        decoded = decode_sequence(index, result, out_width)
+        assert decoded == [run_reference(forest) for forest in forests]
+
+    def test_roots(self, sequence):
+        self._check(sequence, lambda rel, w: engine_ops.roots(rel),
+                    ref_ops.roots)
+
+    def test_children(self, sequence):
+        self._check(sequence, lambda rel, w: engine_ops.children(rel),
+                    ref_ops.children)
+
+    def test_head(self, sequence):
+        self._check(sequence, engine_ops.head, ref_ops.head)
+
+    def test_tail(self, sequence):
+        self._check(sequence, engine_ops.tail, ref_ops.tail)
+
+    def test_reverse(self, sequence):
+        self._check(sequence, engine_ops.reverse, ref_ops.reverse)
+
+    def test_data(self, sequence):
+        self._check(sequence, engine_ops.data, ref_ops.data)
+
+    def test_distinct(self, sequence):
+        self._check(sequence, engine_ops.distinct, ref_ops.distinct)
+
+    def test_subtrees(self, sequence):
+        forests, index, rel, width = sequence
+        result = engine_ops.subtrees_dfs(rel, width)
+        decoded = decode_sequence(index, result, width * width)
+        assert decoded == [ref_ops.subtrees_dfs(forest) for forest in forests]
+
+    def test_sort(self, sequence):
+        forests, index, rel, width = sequence
+        result, wout = engine_ops.sort(rel, width)
+        assert wout == width * width
+        decoded = decode_sequence(index, result, wout)
+        assert decoded == [ref_ops.sort(forest) for forest in forests]
+
+    def test_concat(self, sequence):
+        forests, index, rel, width = sequence
+        result = engine_ops.concat(rel, width, rel, width)
+        decoded = decode_sequence(index, result, 2 * width)
+        assert decoded == [ref_ops.concat(forest, forest)
+                           for forest in forests]
+
+    def test_xnode(self, sequence):
+        forests, index, rel, width = sequence
+        result, wout = engine_ops.xnode("<w>", rel, width, index)
+        decoded = decode_sequence(index, result, wout)
+        assert decoded == [ref_ops.xnode("<w>", forest)
+                           for forest in forests]
+
+    def test_xnode_emits_for_empty_envs(self):
+        forests = [parse_forest("<a/>"), ()]
+        index, relation = encode_sequence(forests)
+        result, wout = engine_ops.xnode("<w>", relation.tuples,
+                                        relation.width, index)
+        decoded = decode_sequence(index, result, wout)
+        assert [len(forest) for forest in decoded] == [1, 1]
+
+    def test_text_const(self, sequence):
+        _forests, index, _rel, _width = sequence
+        result, wout = engine_ops.text_const("v", index)
+        decoded = decode_sequence(index, result, wout)
+        assert all(forest == (parse_forest("<x/>")[0].__class__("v"),)
+                   or forest[0].label == "v" for forest in decoded)
+
+    def test_count(self, sequence):
+        forests, index, rel, width = sequence
+        result, wout = engine_ops.count_roots(rel, width, index)
+        decoded = decode_sequence(index, result, wout)
+        assert decoded == [ref_ops.count_forest(forest)
+                           for forest in forests]
+
+
+class TestOutputsSorted:
+    """Every operator must preserve the document-order invariant."""
+
+    @pytest.mark.parametrize("operator", [
+        lambda rel, w: engine_ops.roots(rel),
+        lambda rel, w: engine_ops.children(rel),
+        lambda rel, w: engine_ops.select_label(rel, "<a>"),
+        engine_ops.head,
+        engine_ops.tail,
+        engine_ops.reverse,
+        engine_ops.subtrees_dfs,
+        engine_ops.data,
+        engine_ops.distinct,
+        lambda rel, w: engine_ops.sort(rel, w)[0],
+    ])
+    def test_sorted_output(self, operator, sequence):
+        from repro.engine.relation import check_sorted
+        _forests, _index, rel, width = sequence
+        check_sorted(operator(rel, width))

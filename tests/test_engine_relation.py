@@ -1,0 +1,100 @@
+"""Unit tests for interval-relation helpers and block arithmetic."""
+
+import pytest
+
+from repro.encoding.interval import encode
+from repro.engine.relation import (
+    check_sorted,
+    env_blocks,
+    env_of,
+    env_slice,
+    filter_by_index,
+    group_by_env,
+    localize,
+    shift_block,
+    subtree_range,
+    tree_slices,
+)
+from repro.xml.text_parser import parse_forest
+
+
+def encoded(source: str):
+    return list(encode(parse_forest(source)).tuples)
+
+
+class TestBasics:
+    def test_env_of(self):
+        assert env_of(0, 10) == 0
+        assert env_of(25, 10) == 2
+
+    def test_check_sorted_accepts(self):
+        check_sorted(encoded("<a><b/></a><c/>"))
+
+    def test_check_sorted_rejects(self):
+        with pytest.raises(AssertionError):
+            check_sorted([("b", 5, 6), ("a", 0, 1)])
+
+    def test_shift_block(self):
+        assert shift_block([("a", 0, 1)], 10) == [("a", 10, 11)]
+
+    def test_localize(self):
+        assert localize([("a", 20, 21)], 10, 2) == [("a", 0, 1)]
+
+
+class TestGrouping:
+    def test_group_by_env(self):
+        rel = [("a", 0, 1), ("b", 10, 11), ("c", 12, 13)]
+        groups = list(group_by_env(rel, 10))
+        assert groups == [
+            (0, [("a", 0, 1)]),
+            (1, [("b", 10, 11), ("c", 12, 13)]),
+        ]
+
+    def test_group_skips_empty_blocks(self):
+        rel = [("a", 0, 1), ("b", 30, 31)]
+        assert [env for env, _ in group_by_env(rel, 10)] == [0, 3]
+
+    def test_group_zero_width(self):
+        assert list(group_by_env([], 0)) == []
+
+    def test_env_blocks_dict(self):
+        rel = [("a", 0, 1), ("b", 10, 11)]
+        blocks = env_blocks(rel, 10)
+        assert set(blocks) == {0, 1}
+
+    def test_env_slice_binary_search(self):
+        rel = [("a", 0, 1), ("b", 10, 11), ("c", 20, 21)]
+        assert env_slice(rel, 10, 1) == [("b", 10, 11)]
+        assert env_slice(rel, 10, 5) == []
+
+    def test_filter_by_index(self):
+        rel = [("a", 0, 1), ("b", 10, 11), ("c", 20, 21), ("d", 22, 23)]
+        assert filter_by_index(rel, 10, [0, 2]) == [
+            ("a", 0, 1), ("c", 20, 21), ("d", 22, 23),
+        ]
+
+    def test_filter_by_empty_index(self):
+        assert filter_by_index([("a", 0, 1)], 10, []) == []
+
+
+class TestTreeSlices:
+    def test_splits_top_level(self):
+        rel = encoded("<a><b/></a><c/>")
+        slices = list(tree_slices(rel))
+        assert len(slices) == 2
+        assert [s[0][0] for s in slices] == ["<a>", "<c>"]
+
+    def test_subtree_stays_with_root(self):
+        rel = encoded("<a><b><c/></b></a><d/>")
+        slices = list(tree_slices(rel))
+        assert len(slices[0]) == 3
+        assert len(slices[1]) == 1
+
+    def test_empty_block(self):
+        assert list(tree_slices([])) == []
+
+    def test_subtree_range(self):
+        rel = encoded("<a><b><c/></b><d/></a><e/>")
+        assert subtree_range(rel, 0) == 4  # whole <a> subtree
+        assert subtree_range(rel, 1) == 3  # <b><c/></b>
+        assert subtree_range(rel, 4) == 5  # leaf <e>

@@ -1,0 +1,96 @@
+"""Tests for the engine's debug-mode invariant validation."""
+
+import pytest
+
+from repro.engine.evaluator import DIEngine
+from repro.engine.validate import validate_index, validate_value
+from repro.errors import ExecutionError
+from repro.xquery.lowering import document_forest
+
+
+class TestValidateValue:
+    def test_valid_relation_passes(self):
+        validate_value([("a", 0, 3), ("b", 1, 2), ("c", 10, 11)],
+                       width=10, index=[0, 1])
+
+    def test_zero_width_empty_ok(self):
+        validate_value([], width=0, index=[0])
+
+    def test_zero_width_with_tuples_rejected(self):
+        with pytest.raises(ExecutionError):
+            validate_value([("a", 0, 1)], width=0, index=[0])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ExecutionError, match="document order"):
+            validate_value([("b", 5, 6), ("a", 0, 1)], width=10, index=[0])
+
+    def test_degenerate_interval_rejected(self):
+        with pytest.raises(ExecutionError, match="degenerate"):
+            validate_value([("a", 3, 3)], width=10, index=[0])
+
+    def test_env_not_in_index_rejected(self):
+        with pytest.raises(ExecutionError, match="not in the index"):
+            validate_value([("a", 20, 21)], width=10, index=[0, 1])
+
+    def test_block_crossing_rejected(self):
+        with pytest.raises(ExecutionError, match="crosses"):
+            validate_value([("a", 8, 12)], width=10, index=[0, 1])
+
+    def test_partial_overlap_rejected(self):
+        with pytest.raises(ExecutionError, match="overlaps"):
+            validate_value([("a", 0, 5), ("b", 3, 8)], width=10, index=[0])
+
+    def test_context_in_message(self):
+        with pytest.raises(ExecutionError, match="after FnNode"):
+            validate_value([("a", 3, 3)], width=10, index=[0],
+                           context="FnNode")
+
+
+class TestValidateIndex:
+    def test_increasing_ok(self):
+        validate_index([1, 5, 9])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ExecutionError):
+            validate_index([1, 1])
+
+    def test_decreasing_rejected(self):
+        with pytest.raises(ExecutionError):
+            validate_index([5, 3])
+
+
+class TestEngineDebugMode:
+    """A full Q8/Q9 evaluation under validation must raise nothing."""
+
+    @pytest.mark.parametrize("name", ["Q8", "Q9", "Q13"])
+    @pytest.mark.parametrize("strategy", ["nlj", "msj"])
+    def test_xmark_queries_validate(self, name, strategy, xmark_tiny):
+        from repro.api import compile_xquery
+        from repro.compiler.plan import JoinStrategy
+        from repro.compiler.planner import compile_plan
+        from repro.xmark.queries import QUERIES
+
+        compiled = compile_xquery(QUERIES[name])
+        bindings = {var: document_forest((xmark_tiny,))
+                    for var in compiled.documents.values()}
+        plan = compile_plan(compiled.core, JoinStrategy(strategy),
+                            base_vars=compiled.documents.values())
+        engine = DIEngine(validate=True)
+        result = engine.run_plan(plan, bindings)
+        reference = DIEngine().run_plan(plan, bindings)
+        assert result == reference
+
+    def test_surface_extensions_validate(self):
+        from repro.api import compile_xquery
+        from repro.compiler.planner import compile_plan
+        from repro.xml.text_parser import parse_forest
+
+        query = compile_xquery(
+            'for $p in document("d")/r/x order by $p/text() descending '
+            'return if ($p/text() = "b") then <hit/> else string($p)')
+        bindings = {var: document_forest(
+            parse_forest("<r><x>b</x><x>a</x><x>c</x></r>"))
+            for var in query.documents.values()}
+        plan = compile_plan(query.core,
+                            base_vars=query.documents.values())
+        DIEngine(validate=True).run_plan(plan, bindings)

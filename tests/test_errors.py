@@ -1,0 +1,53 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exception_type", [
+        errors.XMLParseError,
+        errors.EncodingError,
+        errors.WidthOverflowError,
+        errors.XQuerySyntaxError,
+        errors.LoweringError,
+        errors.UnknownFunctionError,
+        errors.UnboundVariableError,
+        errors.TranslationError,
+        errors.PlanError,
+        errors.ExecutionError,
+        errors.BenchmarkTimeout,
+    ])
+    def test_all_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, errors.ReproError)
+
+    def test_width_overflow_is_encoding_error(self):
+        assert issubclass(errors.WidthOverflowError, errors.EncodingError)
+
+    def test_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.PlanError("boom")
+
+
+class TestMessages:
+    def test_xml_parse_error_position(self):
+        error = errors.XMLParseError("bad tag", position=42)
+        assert "offset 42" in str(error)
+        assert error.position == 42
+
+    def test_xml_parse_error_without_position(self):
+        error = errors.XMLParseError("bad tag")
+        assert str(error) == "bad tag"
+        assert error.position is None
+
+    def test_xquery_syntax_error_location(self):
+        error = errors.XQuerySyntaxError("oops", line=3, column=7)
+        assert "line 3" in str(error)
+        assert error.line == 3
+        assert error.column == 7
+
+    def test_unbound_variable_name(self):
+        error = errors.UnboundVariableError("person")
+        assert error.name == "person"
+        assert "$person" in str(error)

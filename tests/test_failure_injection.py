@@ -1,0 +1,127 @@
+"""Failure-injection tests: every component must fail loudly and typed.
+
+Silent corruption is the failure mode interval encodings invite; these
+tests feed each layer malformed inputs and assert the typed error
+surfaces (never a wrong answer, never a bare KeyError/IndexError).
+"""
+
+import pytest
+
+from repro.bench import harness
+from repro.errors import (
+    EncodingError,
+    ExecutionError,
+    PlanError,
+    ReproError,
+    TranslationError,
+    UnboundVariableError,
+)
+
+
+class TestHarnessFailures:
+    def test_child_exception_classified_as_error(self, monkeypatch):
+        """A crash inside the cell worker yields status 'error' + detail."""
+        def explode(*args, **kwargs):
+            raise RuntimeError("injected fault")
+
+        monkeypatch.setattr(harness, "execute_cell", explode)
+        # run_cell forks; the patched module state is inherited by fork.
+        cell = harness.run_cell("di-msj", "Q13", 0.0005, timeout=30)
+        assert cell.status == harness.ERROR
+        assert "injected fault" in cell.detail
+
+    def test_unknown_system_is_error_status(self):
+        cell = harness.run_cell("oracle9i", "Q13", 0.0005, timeout=30)
+        assert cell.status == harness.ERROR
+        assert "ValueError" in cell.detail
+
+    def test_memory_error_classified_im(self, monkeypatch):
+        def oom(*args, **kwargs):
+            raise MemoryError("boom")
+
+        monkeypatch.setattr(harness, "execute_cell", oom)
+        cell = harness.run_cell("naive", "Q13", 0.0005, timeout=30)
+        assert cell.status == harness.IM
+
+    def test_width_overflow_classified_ov(self, monkeypatch):
+        from repro.errors import WidthOverflowError
+
+        def overflow(*args, **kwargs):
+            raise WidthOverflowError("too wide")
+
+        monkeypatch.setattr(harness, "execute_cell", overflow)
+        cell = harness.run_cell("sqlite", "Q13", 0.0005, timeout=30)
+        assert cell.status == harness.OV
+
+
+class TestEngineFailures:
+    def test_corrupt_relation_caught_by_validation(self):
+        from repro.compiler.plan import FnNode, VarNode
+        from repro.engine.evaluator import DIEngine, EnvSeq
+
+        engine = DIEngine(validate=True)
+        engine._base = EnvSeq([0], {})
+        corrupt = EnvSeq([0], {"x": ([("a", 5, 3)], 10)})  # l > r
+        with pytest.raises(ExecutionError):
+            engine.evaluate(FnNode("children", (VarNode("x"),)), corrupt)
+        engine._base = None
+
+    def test_unbound_variable_typed(self):
+        from repro.compiler.plan import VarNode
+        from repro.engine.evaluator import DIEngine, EnvSeq
+
+        engine = DIEngine()
+        with pytest.raises(UnboundVariableError):
+            engine.evaluate(VarNode("ghost"), EnvSeq([0], {}))
+
+    def test_unknown_plan_node_typed(self):
+        from repro.compiler.plan import PlanNode
+        from repro.engine.evaluator import DIEngine, EnvSeq
+
+        class Rogue(PlanNode):
+            __slots__ = ()
+
+        with pytest.raises(PlanError):
+            DIEngine().evaluate(Rogue(), EnvSeq([0], {}))
+
+    def test_unknown_fn_typed(self):
+        from repro.compiler.plan import FnNode
+        from repro.engine.evaluator import DIEngine, EnvSeq
+
+        with pytest.raises(PlanError):
+            DIEngine().evaluate(
+                FnNode("frobnicate", (FnNode("empty_forest"),)),
+                EnvSeq([0], {}))
+
+
+class TestTranslatorFailures:
+    def test_unknown_fn_has_no_template(self):
+        from repro.sql.translator import translate_query
+        from repro.xquery.ast import FnApp
+
+        with pytest.raises(TranslationError):
+            translate_query(FnApp("frobnicate", ()), {})
+
+    def test_decoding_rejects_overlap_from_bad_sql(self):
+        from repro.encoding.interval import decode
+
+        with pytest.raises(EncodingError):
+            decode([("a", 0, 10), ("b", 5, 20)])
+
+
+class TestApiFailures:
+    def test_everything_is_a_repro_error(self):
+        """Library failures must be catchable with one except clause."""
+        from repro import run_xquery
+
+        failures = 0
+        for bad_call in (
+            lambda: run_xquery("for $x in", {}),           # syntax
+            lambda: run_xquery("$x", {}),                  # unbound
+            lambda: run_xquery('document("a")/x', {}),     # missing doc
+            lambda: run_xquery("empty($x)", {"a": "<a/>"}),  # boolean ctx
+        ):
+            with pytest.raises(ReproError):
+                bad_call()
+            failures += 1
+        assert failures == 4

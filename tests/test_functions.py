@@ -1,0 +1,129 @@
+"""Unit tests for the XFn registry and its width functions (Section 4.1)."""
+
+import pytest
+
+from repro.errors import UnknownFunctionError
+from repro.xquery.functions import FUNCTIONS, get_function, width_of
+
+
+class TestRegistry:
+    def test_all_figure2_operators_present(self):
+        expected = {
+            "empty_forest", "xnode", "concat",          # constructors
+            "head", "tail", "reverse", "select",        # horizontal
+            "distinct", "sort",
+            "roots", "children", "subtrees_dfs",        # vertical
+        }
+        assert expected <= set(FUNCTIONS)
+
+    def test_lowering_extensions_present(self):
+        assert {"textnodes", "elementnodes", "count", "data",
+                "text_const"} <= set(FUNCTIONS)
+
+    def test_get_function(self):
+        spec = get_function("children")
+        assert spec.arity == 1
+
+    def test_unknown_function(self):
+        with pytest.raises(UnknownFunctionError):
+            get_function("nope")
+
+    def test_param_names_declared(self):
+        assert get_function("select").param_names == ("label",)
+        assert get_function("xnode").param_names == ("label",)
+        assert get_function("text_const").param_names == ("value",)
+
+    def test_every_spec_has_doc(self):
+        for name, spec in FUNCTIONS.items():
+            assert spec.doc, f"{name} lacks a doc string"
+
+    def test_registry_table_covers_everything(self):
+        from repro.xquery.functions import WIDTH_FORMULAS, registry_table
+        assert set(WIDTH_FORMULAS) == set(FUNCTIONS)
+        table = registry_table()
+        for name in FUNCTIONS:
+            assert f"`{name}`" in table
+        assert "?" not in table
+
+    def test_operators_doc_in_sync(self):
+        """docs/OPERATORS.md embeds the generated registry table."""
+        from pathlib import Path
+        from repro.xquery.functions import registry_table
+        doc = (Path(__file__).resolve().parent.parent
+               / "docs" / "OPERATORS.md").read_text()
+        assert registry_table() in doc
+
+
+class TestWidthFunctions:
+    """The paper's width table: w_[]=0, w_XNode=w+2, w_@=w1+w2, …"""
+
+    def test_empty_forest(self):
+        assert width_of("empty_forest", (), {}) == 0
+
+    def test_xnode(self):
+        assert width_of("xnode", (86,), {"label": "<item>"}) == 88
+
+    def test_concat(self):
+        assert width_of("concat", (10, 32), {}) == 42
+
+    @pytest.mark.parametrize("fn", [
+        "head", "tail", "reverse", "distinct", "roots", "children", "data",
+    ])
+    def test_width_preserving(self, fn):
+        assert width_of(fn, (77,), {}) == 77
+
+    def test_select_preserves(self):
+        assert width_of("select", (50,), {"label": "<a>"}) == 50
+
+    def test_subtrees_squares(self):
+        assert width_of("subtrees_dfs", (9,), {}) == 81
+
+    def test_sort_squares(self):
+        assert width_of("sort", (9,), {}) == 81
+
+    def test_count_constant(self):
+        assert width_of("count", (123456,), {}) == 2
+
+    def test_text_const_constant(self):
+        assert width_of("text_const", (), {"value": "x"}) == 2
+
+    def test_arity_mismatch(self):
+        with pytest.raises(UnknownFunctionError):
+            width_of("concat", (1,), {})
+
+    def test_example41_item_constructor(self):
+        """Example 4.1: wrapping width-90 content in <item> gives 92."""
+        assert width_of("xnode", (90,), {"label": "<item>"}) == 92
+
+
+class TestWidthSoundness:
+    """Every operator's output must actually fit its declared width."""
+
+    @pytest.mark.parametrize("fn,params", [
+        ("head", {}), ("tail", {}), ("reverse", {}), ("distinct", {}),
+        ("sort", {}), ("roots", {}), ("children", {}), ("subtrees_dfs", {}),
+        ("data", {}), ("textnodes", {}), ("elementnodes", {}),
+        ("select", {"label": "<a>"}), ("xnode", {"label": "<w>"}),
+    ])
+    def test_unary_output_fits_width(self, fn, params):
+        from repro.encoding.interval import encode
+        from repro.xml.text_parser import parse_forest
+
+        trees = parse_forest("<a t='1'><b>x</b><c/></a><b>x</b><a/>")
+        spec = get_function(fn)
+        input_width = encode(trees).width
+        result = spec.impl((trees,), params)
+        output_width = width_of(fn, (input_width,), params)
+        assert encode(result).width <= output_width
+
+    def test_concat_output_fits_width(self):
+        from repro.encoding.interval import encode
+        from repro.xml.text_parser import parse_forest
+
+        left = parse_forest("<a><b/></a>")
+        right = parse_forest("<c/><d/>")
+        spec = get_function("concat")
+        result = spec.impl((left, right), {})
+        bound = width_of("concat",
+                         (encode(left).width, encode(right).width), {})
+        assert encode(result).width <= bound

@@ -1,0 +1,127 @@
+"""Unit tests for the XQuery scanner."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery.lexer import Scanner
+
+
+def tokens(source: str):
+    scanner = Scanner(source)
+    result = []
+    while True:
+        token = scanner.next()
+        if token.type == "EOF":
+            return result
+        result.append((token.type, token.value))
+
+
+class TestBasicTokens:
+    def test_keywords(self):
+        assert tokens("for let in return where and or do") == [
+            ("KEYWORD", word)
+            for word in "for let in return where and or do".split()
+        ]
+
+    def test_names_vs_keywords(self):
+        assert tokens("form fortune") == [("NAME", "form"), ("NAME", "fortune")]
+
+    def test_variable(self):
+        assert tokens("$person") == [("VARIABLE", "person")]
+
+    def test_variable_with_digits(self):
+        assert tokens("$t2") == [("VARIABLE", "t2")]
+
+    def test_string_double_quoted(self):
+        assert tokens('"hello world"') == [("STRING", "hello world")]
+
+    def test_string_single_quoted(self):
+        assert tokens("'x'") == [("STRING", "x")]
+
+    def test_string_doubled_quote_escape(self):
+        assert tokens('"say ""hi"""') == [("STRING", 'say "hi"')]
+
+    def test_number(self):
+        assert tokens("42 3.14") == [("NUMBER", "42"), ("NUMBER", "3.14")]
+
+    def test_operators(self):
+        assert tokens(":= != <= >= // = < > /") == [
+            ("OP", op) for op in [":=", "!=", "<=", ">=", "//", "=", "<", ">", "/"]
+        ]
+
+    def test_punctuation(self):
+        assert tokens("( ) [ ] { } , @ * .") == [
+            ("OP", op) for op in ["(", ")", "[", "]", "{", "}", ",", "@", "*", "."]
+        ]
+
+    def test_comments_skipped(self):
+        assert tokens("for (: a comment :) $x") == [
+            ("KEYWORD", "for"), ("VARIABLE", "x"),
+        ]
+
+    def test_name_with_hyphen(self):
+        assert tokens("deep-equal") == [("NAME", "deep-equal")]
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokens('"no end')
+
+    def test_unterminated_comment(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokens("(: never closed")
+
+    def test_error_has_position(self):
+        scanner = Scanner("for\n  §")
+        scanner.next()
+        with pytest.raises(XQuerySyntaxError) as excinfo:
+            scanner.next()
+        assert excinfo.value.line == 2
+
+    def test_bad_variable_name(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokens("$1x")
+
+
+class TestPeeking:
+    def test_peek_does_not_consume(self):
+        scanner = Scanner("for $x")
+        assert scanner.peek().value == "for"
+        assert scanner.peek().value == "for"
+        assert scanner.next().value == "for"
+        assert scanner.next().value == "x"
+
+    def test_expect_op(self):
+        scanner = Scanner("( x")
+        scanner.expect_op("(")
+        with pytest.raises(XQuerySyntaxError):
+            scanner.expect_op(")")
+
+    def test_expect_keyword(self):
+        scanner = Scanner("return x")
+        scanner.expect_keyword("return")
+        with pytest.raises(XQuerySyntaxError):
+            scanner.expect_keyword("for")
+
+
+class TestCharMode:
+    def test_read_chars_after_token(self):
+        scanner = Scanner("<a>text")
+        scanner.expect_op("<")
+        assert scanner.next().value == "a"
+        scanner.expect_op(">")
+        assert scanner.read_char() == "t"
+        assert scanner.peek_char() == "e"
+
+    def test_startswith_and_skip_raw(self):
+        scanner = Scanner("abc")
+        assert scanner.startswith_raw("ab")
+        scanner.skip_raw("ab")
+        assert scanner.read_char() == "c"
+        assert scanner.at_raw_end()
+
+    def test_skip_raw_mismatch(self):
+        scanner = Scanner("abc")
+        with pytest.raises(XQuerySyntaxError):
+            scanner.skip_raw("xyz")

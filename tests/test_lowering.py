@@ -1,0 +1,216 @@
+"""Unit tests for surface-to-core lowering."""
+
+import pytest
+
+from repro.errors import LoweringError
+from repro.xquery.ast import (
+    Empty,
+    Equal,
+    FnApp,
+    For,
+    Less,
+    Let,
+    Not,
+    SomeEqual,
+    Var,
+    Where,
+    free_variables,
+)
+from repro.xquery.lowering import (
+    DOCUMENT_LABEL,
+    document_forest,
+    document_variable,
+    lower_query,
+)
+from repro.xquery.parser import parse_xquery
+
+
+def lower(source: str):
+    core, _docs = lower_query(parse_xquery(source))
+    return core
+
+
+class TestDocumentHandling:
+    def test_document_variable_name(self):
+        assert document_variable("a.xml") == "doc:a.xml"
+
+    def test_document_lowering(self):
+        core, docs = lower_query(parse_xquery('document("a.xml")'))
+        assert core == Var("doc:a.xml")
+        assert docs == {"a.xml": "doc:a.xml"}
+
+    def test_document_forest_wraps(self):
+        from repro.xml.forest import element
+        wrapped = document_forest(element("site"))
+        assert len(wrapped) == 1
+        assert wrapped[0].label == DOCUMENT_LABEL
+        assert wrapped[0].children[0].label == "<site>"
+
+
+class TestPathLowering:
+    def test_child_step(self):
+        core = lower("$x/site")
+        assert core == FnApp("select", (FnApp("children", (Var("x"),)),),
+                             (("label", "<site>"),))
+
+    def test_attribute_step(self):
+        core = lower("$x/@id")
+        assert core.fn == "select"
+        assert core.param("label") == "@id"
+
+    def test_text_step(self):
+        core = lower("$x/text()")
+        assert core.fn == "textnodes"
+
+    def test_wildcard_step(self):
+        assert lower("$x/*").fn == "elementnodes"
+
+    def test_descendant_step(self):
+        core = lower("$x//item")
+        assert core.fn == "select"
+        inner = core.args[0]
+        assert inner.fn == "subtrees_dfs"
+
+    def test_predicate_becomes_filtered_for(self):
+        core = lower("$x/a[./@id = 'p']")
+        assert isinstance(core, For)
+        assert isinstance(core.body, Where)
+        assert core.body.body == Var(core.var)
+
+
+class TestConstructorLowering:
+    def test_empty_element(self):
+        core = lower("<a/>")
+        assert core.fn == "xnode"
+        assert core.param("label") == "<a>"
+        assert core.args[0].fn == "empty_forest"
+
+    def test_literal_content(self):
+        core = lower("<a>hi</a>")
+        assert core.args[0] == FnApp("text_const", (), (("value", "hi"),))
+
+    def test_attribute_wraps_data(self):
+        core = lower('<a id="{$x}"/>')
+        attr = core.args[0]
+        assert attr.fn == "xnode"
+        assert attr.param("label") == "@id"
+        assert attr.args[0].fn == "data"
+
+    def test_content_concatenation(self):
+        core = lower("<a>{$x}{$y}</a>")
+        assert core.args[0].fn == "concat"
+
+    def test_attribute_before_content(self):
+        core = lower('<a id="v">{$x}</a>')
+        concat = core.args[0]
+        assert concat.fn == "concat"
+        assert concat.args[0].param("label") == "@id"
+
+
+class TestFunctionLowering:
+    def test_count(self):
+        assert lower("count($x)").fn == "count"
+
+    def test_subtrees_alias(self):
+        assert lower("subtrees($x)").fn == "subtrees_dfs"
+
+    def test_boolean_function_outside_condition_rejected(self):
+        with pytest.raises(LoweringError):
+            lower("empty($x)")
+
+    def test_comparison_outside_condition_rejected(self):
+        with pytest.raises(LoweringError):
+            lower("$x = $y")
+
+    def test_context_item_outside_predicate_rejected(self):
+        with pytest.raises(LoweringError):
+            lower(".")
+
+
+class TestFLWRLowering:
+    def test_for(self):
+        core = lower("for $x in $y return $x")
+        assert core == For("x", Var("y"), Var("x"))
+
+    def test_let(self):
+        core = lower("let $x := $y return $x")
+        assert core == Let("x", Var("y"), Var("x"))
+
+    def test_where_is_innermost(self):
+        core = lower("for $x in $y where empty($x) return $x")
+        assert isinstance(core, For)
+        assert isinstance(core.body, Where)
+        assert core.body.condition == Empty(Var("x"))
+
+    def test_clause_order(self):
+        core = lower("for $x in $a let $z := $x return $z")
+        assert isinstance(core, For)
+        assert isinstance(core.body, Let)
+
+    def test_multi_binding_for(self):
+        core = lower("for $x in $a, $y in $b return $y")
+        assert isinstance(core, For)
+        assert isinstance(core.body, For)
+
+
+class TestConditionLowering:
+    def test_general_comparison_atomizes(self):
+        core = lower("for $x in $y where $x/@id = 'p' return $x")
+        condition = core.body.condition
+        assert isinstance(condition, SomeEqual)
+        assert condition.left.fn == "data"
+        assert condition.right.fn == "data"
+
+    def test_not_equal(self):
+        core = lower("for $x in $y where $x != 'p' return $x")
+        assert isinstance(core.body.condition, Not)
+        assert isinstance(core.body.condition.condition, SomeEqual)
+
+    def test_less_than(self):
+        core = lower("for $x in $y where $x < 'p' return $x")
+        assert isinstance(core.body.condition, Less)
+
+    def test_greater_than_swaps(self):
+        core = lower("for $x in $y where $x > 'p' return $x")
+        condition = core.body.condition
+        assert isinstance(condition, Less)
+        # right operand of > becomes the left of Less
+        assert condition.left.args[0] == FnApp(
+            "text_const", (), (("value", "p"),)
+        )
+
+    def test_deep_equal(self):
+        core = lower("for $x in $y where deep-equal($x, $y) return $x")
+        assert isinstance(core.body.condition, Equal)
+
+    def test_not_empty(self):
+        core = lower("for $x in $y where not(empty($x)) return $x")
+        assert core.body.condition == Not(Empty(Var("x")))
+
+    def test_effective_boolean_value(self):
+        core = lower("for $x in $y where $x/a return $x")
+        condition = core.body.condition
+        assert isinstance(condition, Not)
+        assert isinstance(condition.condition, Empty)
+
+    def test_and_or(self):
+        core = lower(
+            "for $x in $y where empty($x) and empty($y) or empty($x) return $x"
+        )
+        from repro.xquery.ast import Or
+        assert isinstance(core.body.condition, Or)
+
+
+class TestFreeVariables:
+    def test_q8_free_variables(self):
+        from repro.xmark.queries import Q8
+        core, docs = lower_query(parse_xquery(Q8))
+        assert free_variables(core) == {"doc:auction.xml"}
+
+    def test_for_binds(self):
+        core = lower("for $x in $y return $x")
+        assert free_variables(core) == {"y"}
+
+    def test_let_binds(self):
+        core = lower("let $x := $y return ($x, $z)")
+        assert free_variables(core) == {"y", "z"}

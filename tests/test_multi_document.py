@@ -1,0 +1,72 @@
+"""Cross-document queries: joins across several document() sources."""
+
+import pytest
+
+from repro import compile_xquery, run_xquery
+from repro.compiler.plan import JoinForNode, iter_plan
+
+PEOPLE = """
+<people>
+  <person id="p0"><name>Ada</name></person>
+  <person id="p1"><name>Bob</name></person>
+</people>
+"""
+
+SALES = """
+<sales>
+  <sale buyer="p1"><item>compiler</item></sale>
+  <sale buyer="p0"><item>engine</item></sale>
+  <sale buyer="p1"><item>manual</item></sale>
+</sales>
+"""
+
+DOCS = {"people.xml": PEOPLE, "sales.xml": SALES}
+
+JOIN_QUERY = """
+for $p in document("people.xml")/people/person
+let $bought := for $s in document("sales.xml")/sales/sale
+               where $s/@buyer = $p/@id
+               return $s/item/text()
+where not(empty($bought))
+return <c n="{$p/name/text()}">{count($bought)}</c>
+"""
+
+
+class TestCrossDocumentJoin:
+    def test_both_documents_registered(self):
+        compiled = compile_xquery(JOIN_QUERY)
+        assert set(compiled.documents) == {"people.xml", "sales.xml"}
+
+    @pytest.mark.parametrize("backend,strategy", [
+        ("interpreter", "msj"), ("engine", "nlj"),
+        ("engine", "msj"), ("sqlite", "msj"),
+    ])
+    def test_backends_agree(self, backend, strategy):
+        result = run_xquery(JOIN_QUERY, DOCS, backend=backend,
+                            strategy=strategy)
+        assert result.to_xml() == '<c n="Ada">1</c><c n="Bob">2</c>'
+
+    def test_cross_document_join_decorrelates(self):
+        compiled = compile_xquery(JOIN_QUERY)
+        plan = compiled.plan("msj")
+        joins = [node for node in iter_plan(plan)
+                 if isinstance(node, JoinForNode)]
+        assert len(joins) == 1
+
+    def test_concatenating_documents(self):
+        result = run_xquery(
+            '(document("people.xml")/people/person/name/text(), '
+            ' document("sales.xml")/sales/sale/item/text())',
+            DOCS)
+        assert result.to_xml() == "AdaBobcompilerenginemanual"
+
+    def test_same_document_twice_is_one_binding(self):
+        compiled = compile_xquery(
+            '(document("people.xml")/people, '
+            ' document("people.xml")/people/person)')
+        assert list(compiled.documents) == ["people.xml"]
+
+    def test_missing_second_document_reported(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError, match="sales.xml"):
+            run_xquery(JOIN_QUERY, {"people.xml": PEOPLE})

@@ -1,0 +1,201 @@
+"""Unit tests for the Figure 2 operator algebra (the reference semantics)."""
+
+import pytest
+
+from repro.xml import operations as ops
+from repro.xml.forest import Node, attribute, element, text
+from repro.xml.text_parser import parse_forest
+
+
+def f(source: str):
+    """Shorthand: parse a forest from XML text."""
+    return parse_forest(source)
+
+
+class TestConstructors:
+    def test_empty_forest(self):
+        assert ops.empty_forest() == ()
+
+    def test_xnode_wraps(self):
+        result = ops.xnode("<a>", f("<b/><c/>"))
+        assert len(result) == 1
+        assert result[0].label == "<a>"
+        assert [child.label for child in result[0].children] == ["<b>", "<c>"]
+
+    def test_xnode_empty_content(self):
+        assert ops.xnode("<a>", ()) == (element("a"),)
+
+    def test_concat_order(self):
+        result = ops.concat(f("<a/>"), f("<b/>"))
+        assert [tree.label for tree in result] == ["<a>", "<b>"]
+
+    def test_concat_identity(self):
+        trees = f("<a/>")
+        assert ops.concat((), trees) == trees
+        assert ops.concat(trees, ()) == trees
+
+
+class TestHorizontal:
+    def test_head(self):
+        assert ops.head(f("<a/><b/>")) == f("<a/>")
+        assert ops.head(()) == ()
+
+    def test_tail(self):
+        assert ops.tail(f("<a/><b/><c/>")) == f("<b/><c/>")
+        assert ops.tail(()) == ()
+        assert ops.tail(f("<a/>")) == ()
+
+    def test_head_tail_partition(self):
+        trees = f("<a><x/></a><b/><c/>")
+        assert ops.concat(ops.head(trees), ops.tail(trees)) == trees
+
+    def test_reverse_top_level_only(self):
+        trees = f("<a><x/><y/></a><b/>")
+        reversed_trees = ops.reverse(trees)
+        assert [t.label for t in reversed_trees] == ["<b>", "<a>"]
+        # Children order inside <a> is untouched.
+        assert [c.label for c in reversed_trees[1].children] == ["<x>", "<y>"]
+
+    def test_reverse_involution(self):
+        trees = f("<a/><b/><c/>")
+        assert ops.reverse(ops.reverse(trees)) == trees
+
+    def test_select(self):
+        trees = f("<a/><b/><a><c/></a>")
+        selected = ops.select("<a>", trees)
+        assert len(selected) == 2
+        assert selected[1].children[0].label == "<c>"
+
+    def test_select_no_match(self):
+        assert ops.select("<zz>", f("<a/>")) == ()
+
+    def test_textnodes(self):
+        trees = (text("x"), element("a"), text("y"), attribute("id", "v"))
+        assert ops.textnodes(trees) == (text("x"), text("y"))
+
+    def test_distinct_keeps_first(self):
+        trees = f("<a>1</a><b/><a>1</a><a>2</a>")
+        result = ops.distinct(trees)
+        assert result == f("<a>1</a><b/><a>2</a>")
+
+    def test_distinct_structural_not_identity(self):
+        # Two separately built but equal trees collapse.
+        trees = (element("a", (text("x"),)), element("a", (text("x"),)))
+        assert len(ops.distinct(trees)) == 1
+
+    def test_sort_structural_order(self):
+        trees = f("<b/><a>2</a><a>1</a>")
+        result = ops.sort(trees)
+        assert result == f("<a>1</a><a>2</a><b/>")
+
+    def test_sort_stable_for_equal_trees(self):
+        first = element("a", (text("same"),))
+        second = element("a", (text("same"),))
+        result = ops.sort((second, first))
+        assert result[0] is second  # stable: original order of equal trees
+
+
+class TestVertical:
+    def test_roots_strips_children(self):
+        result = ops.roots(f("<a><b/></a><c/>"))
+        assert result == (Node("<a>"), Node("<c>"))
+
+    def test_children_concatenates(self):
+        result = ops.children(f("<a><x/><y/></a><b><z/></b>"))
+        assert [tree.label for tree in result] == ["<x>", "<y>", "<z>"]
+
+    def test_children_keeps_subtrees(self):
+        result = ops.children(f("<a><x><deep/></x></a>"))
+        assert result[0].children[0].label == "<deep>"
+
+    def test_children_of_leaves_is_empty(self):
+        assert ops.children(f("<a/><b/>")) == ()
+
+    def test_subtrees_dfs_order(self):
+        trees = f("<a><b><c/></b><d/></a>")
+        labels = [tree.label for tree in ops.subtrees_dfs(trees)]
+        assert labels == ["<a>", "<b>", "<c>", "<d>"]
+
+    def test_subtrees_dfs_keeps_full_subtrees(self):
+        trees = f("<a><b><c/></b></a>")
+        result = ops.subtrees_dfs(trees)
+        assert result[1] == f("<b><c/></b>")[0]
+
+    def test_subtrees_dfs_count(self):
+        trees = f("<a><b/><c><d/></c></a>")
+        assert len(ops.subtrees_dfs(trees)) == 4
+
+
+class TestBooleans:
+    def test_equal(self):
+        assert ops.equal(f("<a><b/></a>"), f("<a><b/></a>"))
+        assert not ops.equal(f("<a/>"), f("<b/>"))
+        assert ops.equal((), ())
+
+    def test_less(self):
+        assert ops.less(f("<a/>"), f("<b/>"))
+        assert not ops.less(f("<b/>"), f("<a/>"))
+        assert not ops.less(f("<a/>"), f("<a/>"))
+        assert ops.less((), f("<a/>"))
+
+    def test_empty(self):
+        assert ops.empty(())
+        assert not ops.empty(f("<a/>"))
+
+
+class TestDerived:
+    def test_tree_count(self):
+        assert ops.tree_count(f("<a/><b/><c/>")) == 3
+        assert ops.tree_count(()) == 0
+
+    def test_count_forest(self):
+        assert ops.count_forest(f("<a/><b/>")) == (text("2"),)
+        assert ops.count_forest(()) == (text("0"),)
+
+    def test_data_of_attribute(self):
+        result = ops.data((attribute("id", "person0"),))
+        assert result == (text("person0"),)
+
+    def test_data_of_element(self):
+        result = ops.data(f("<name>Ada</name>"))
+        assert result == (text("Ada"),)
+
+    def test_data_passes_text_through(self):
+        result = ops.data((text("x"), element("a", (text("y"),))))
+        assert result == (text("x"), text("y"))
+
+    def test_data_skips_nested_elements(self):
+        # data() is shallow: only direct text children are extracted.
+        result = ops.data(f("<a><b>deep</b>top</a>"))
+        assert result == (text("top"),)
+
+
+class TestAlgebraicLaws:
+    """Cross-operator invariants used throughout the translation."""
+
+    @pytest.fixture
+    def trees(self):
+        return f("<a><x/><y>t</y></a><b/><c><z/></c>")
+
+    def test_roots_then_children_empty(self, trees):
+        assert ops.children(ops.roots(trees)) == ()
+
+    def test_select_is_idempotent(self, trees):
+        once = ops.select("<a>", trees)
+        assert ops.select("<a>", once) == once
+
+    def test_subtrees_includes_roots_as_heads(self, trees):
+        subtrees = ops.subtrees_dfs(trees)
+        root_labels = [tree.label for tree in ops.roots(trees)]
+        for label in root_labels:
+            assert label in [tree.label for tree in subtrees]
+
+    def test_concat_associative(self, trees):
+        a, b, c = trees[:1], trees[1:2], trees[2:]
+        assert ops.concat(ops.concat(a, b), c) == ops.concat(a, ops.concat(b, c))
+
+    def test_sort_produces_nondecreasing_sequence(self, trees):
+        from repro.xml.forest import compare_trees
+        result = ops.sort(ops.concat(trees, ops.reverse(trees)))
+        for left, right in zip(result, result[1:]):
+            assert compare_trees(left, right) <= 0

@@ -1,0 +1,78 @@
+"""Tests for plan profiling (EXPLAIN ANALYZE)."""
+
+import pytest
+
+from repro.api import compile_xquery
+from repro.compiler.plan import JoinForNode, JoinStrategy, iter_plan
+from repro.engine.profile import profile_plan
+from repro.xmark.queries import FIGURE1_SAMPLE, Q8
+from repro.xml.text_parser import parse_document
+from repro.xquery.lowering import document_forest
+
+
+@pytest.fixture(scope="module")
+def q8_profile():
+    compiled = compile_xquery(Q8)
+    document = parse_document(FIGURE1_SAMPLE)
+    bindings = {var: document_forest(document)
+                for var in compiled.documents.values()}
+    plan = compiled.plan(JoinStrategy.MSJ)
+    return plan, profile_plan(plan, bindings)
+
+
+class TestProfileData:
+    def test_result_is_correct(self, q8_profile):
+        _plan, profile = q8_profile
+        from repro.xml.serializer import forest_to_xml
+        assert forest_to_xml(profile.result) == \
+            '<item person="Cong Rosca">1</item>'
+
+    def test_total_time_positive(self, q8_profile):
+        _plan, profile = q8_profile
+        assert profile.total_seconds > 0
+
+    def test_every_executed_node_profiled(self, q8_profile):
+        plan, profile = q8_profile
+        root_data = profile.nodes.get(id(plan))
+        assert root_data is not None
+        assert root_data.calls == 1
+        assert root_data.output_tuples > 0
+
+    def test_join_node_measured(self, q8_profile):
+        plan, profile = q8_profile
+        join = next(node for node in iter_plan(plan)
+                    if isinstance(node, JoinForNode))
+        data = profile.nodes[id(join)]
+        assert data.calls == 1
+        assert data.output_width > 0
+
+    def test_inclusive_times_nest(self, q8_profile):
+        plan, profile = q8_profile
+        root_seconds = profile.nodes[id(plan)].seconds
+        for node in iter_plan(plan):
+            data = profile.nodes.get(id(node))
+            if data is not None:
+                assert data.seconds <= root_seconds + 1e-9
+
+
+class TestRendering:
+    def test_render_contains_annotations(self, q8_profile):
+        _plan, profile = q8_profile
+        text = profile.render()
+        assert "tuples" in text
+        assert "ms" in text
+        assert "total:" in text
+
+    def test_render_keeps_plan_structure(self, q8_profile):
+        _plan, profile = q8_profile
+        text = profile.render()
+        assert "JoinFor $t" in text
+        assert "Fn:select" in text
+
+    def test_annotations_on_marker_lines_only(self, q8_profile):
+        _plan, profile = q8_profile
+        for line in profile.render().splitlines():
+            if "[" in line and "tuples" in line:
+                stripped = line.strip()
+                assert stripped.startswith(
+                    ("Var(", "Fn:", "Let ", "Where", "For ", "JoinFor "))

@@ -1,0 +1,226 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These pin the cross-representation contracts everything else rests on:
+encode/decode inverses, structural-order agreement between the forest
+model, DeepCompare, and canonical keys, and operator agreement between the
+reference algebra and the DI engine.
+"""
+
+import functools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.dynamic import decode_sequence, encode_sequence
+from repro.encoding.interval import decode, encode, validate_encoding
+from repro.engine import operators as engine_ops
+from repro.engine.structural import canonical_key, deep_compare
+from repro.xml import operations as ref_ops
+from repro.xml.forest import compare_forests, compare_trees
+from repro.xml.serializer import forest_to_xml
+from repro.xml.text_parser import parse_forest
+
+from tests.strategies import forests, xml_safe_forests
+
+
+def sign(value: int) -> int:
+    return (value > 0) - (value < 0)
+
+
+class TestEncodingProperties:
+    @given(forests())
+    def test_encode_decode_roundtrip(self, trees):
+        assert decode(encode(trees)) == trees
+
+    @given(forests())
+    def test_encoding_is_valid(self, trees):
+        encoded = encode(trees)
+        validate_encoding(encoded.tuples, encoded.width)
+
+    @given(forests(), st.integers(min_value=0, max_value=1000))
+    def test_shift_invariance(self, trees, offset):
+        """Decoding only depends on relative order, not absolute values."""
+        assert decode(encode(trees).shifted(offset)) == trees
+
+    @given(st.lists(forests(max_trees=2, max_depth=3), max_size=4))
+    def test_sequence_roundtrip(self, forest_list):
+        index, relation = encode_sequence(forest_list)
+        decoded = decode_sequence(index, relation, relation.width)
+        assert decoded == forest_list
+
+    @given(forests())
+    def test_width_bounds_endpoints(self, trees):
+        encoded = encode(trees)
+        assert all(r < encoded.width for (_s, _l, r) in encoded.tuples)
+
+
+class TestSerializationProperties:
+    @given(xml_safe_forests())
+    def test_serialize_parse_roundtrip(self, trees):
+        assert parse_forest(forest_to_xml(trees),
+                            strip_whitespace=False) == trees
+
+
+class TestStructuralOrderProperties:
+    @given(forests(max_trees=3, max_depth=3),
+           forests(max_trees=3, max_depth=3))
+    def test_deep_compare_agrees_with_model(self, left, right):
+        expected = sign(compare_forests(left, right))
+        got = deep_compare(list(encode(left).tuples),
+                           list(encode(right).tuples))
+        assert got == expected
+
+    @given(forests(max_trees=3, max_depth=3),
+           forests(max_trees=3, max_depth=3))
+    def test_canonical_key_agrees_with_model(self, left, right):
+        expected = sign(compare_forests(left, right))
+        left_key = canonical_key(list(encode(left).tuples))
+        right_key = canonical_key(list(encode(right).tuples))
+        assert sign((left_key > right_key) - (left_key < right_key)) == expected
+
+    @given(forests(max_trees=2, max_depth=3),
+           forests(max_trees=2, max_depth=3))
+    def test_antisymmetry(self, left, right):
+        assert compare_forests(left, right) == -compare_forests(right, left)
+
+    @given(forests(max_trees=2, max_depth=2),
+           forests(max_trees=2, max_depth=2),
+           forests(max_trees=2, max_depth=2))
+    def test_transitivity(self, a, b, c):
+        ordered = sorted([a, b, c],
+                         key=functools.cmp_to_key(compare_forests))
+        for left, right in zip(ordered, ordered[1:]):
+            assert compare_forests(left, right) <= 0
+
+    @given(forests(max_trees=3, max_depth=3))
+    def test_equality_iff_zero(self, trees):
+        assert compare_forests(trees, trees) == 0
+
+    @given(forests(max_trees=3, max_depth=3))
+    def test_equal_forests_share_canonical_key(self, trees):
+        loose = encode(trees, start=17)
+        tight = encode(trees)
+        assert canonical_key(list(loose.tuples)) == canonical_key(
+            list(tight.tuples))
+
+
+class TestAlgebraProperties:
+    @given(forests())
+    def test_head_tail_partition(self, trees):
+        assert ref_ops.concat(ref_ops.head(trees),
+                              ref_ops.tail(trees)) == trees
+
+    @given(forests())
+    def test_reverse_involution(self, trees):
+        assert ref_ops.reverse(ref_ops.reverse(trees)) == trees
+
+    @given(forests())
+    def test_distinct_idempotent(self, trees):
+        once = ref_ops.distinct(trees)
+        assert ref_ops.distinct(once) == once
+
+    @given(forests())
+    def test_sort_idempotent(self, trees):
+        once = ref_ops.sort(trees)
+        assert ref_ops.sort(once) == once
+
+    @given(forests())
+    def test_sort_order_insensitive(self, trees):
+        assert ref_ops.sort(ref_ops.reverse(trees)) == ref_ops.sort(trees)
+
+    @given(forests())
+    def test_sort_is_sorted(self, trees):
+        result = ref_ops.sort(trees)
+        for left, right in zip(result, result[1:]):
+            assert compare_trees(left, right) <= 0
+
+    @given(forests())
+    def test_subtrees_count_equals_node_count(self, trees):
+        from repro.xml.forest import forest_size
+        assert len(ref_ops.subtrees_dfs(trees)) == forest_size(trees)
+
+    @given(forests(), forests())
+    def test_concat_count(self, left, right):
+        assert (ref_ops.tree_count(ref_ops.concat(left, right))
+                == ref_ops.tree_count(left) + ref_ops.tree_count(right))
+
+
+class TestEngineAgreementProperties:
+    """The DI engine's streaming operators match the reference algebra."""
+
+    @staticmethod
+    def _encode(trees):
+        encoded = encode(trees)
+        return list(encoded.tuples), max(encoded.width, 1)
+
+    @given(forests())
+    def test_roots(self, trees):
+        rel, _w = self._encode(trees)
+        assert decode(engine_ops.roots(rel)) == ref_ops.roots(trees)
+
+    @given(forests())
+    def test_children(self, trees):
+        rel, _w = self._encode(trees)
+        assert decode(engine_ops.children(rel)) == ref_ops.children(trees)
+
+    @given(forests())
+    def test_select(self, trees):
+        rel, _w = self._encode(trees)
+        assert (decode(engine_ops.select_label(rel, "<a>"))
+                == ref_ops.select("<a>", trees))
+
+    @given(forests())
+    def test_head_tail(self, trees):
+        rel, width = self._encode(trees)
+        assert decode(engine_ops.head(rel, width)) == ref_ops.head(trees)
+        assert decode(engine_ops.tail(rel, width)) == ref_ops.tail(trees)
+
+    @given(forests())
+    def test_reverse(self, trees):
+        rel, width = self._encode(trees)
+        assert decode(engine_ops.reverse(rel, width)) == ref_ops.reverse(trees)
+
+    @given(forests(max_trees=3, max_depth=3))
+    def test_subtrees(self, trees):
+        rel, width = self._encode(trees)
+        assert (decode(engine_ops.subtrees_dfs(rel, width))
+                == ref_ops.subtrees_dfs(trees))
+
+    @given(forests())
+    def test_distinct(self, trees):
+        rel, width = self._encode(trees)
+        assert (decode(engine_ops.distinct(rel, width))
+                == ref_ops.distinct(trees))
+
+    @given(forests())
+    def test_sort(self, trees):
+        rel, width = self._encode(trees)
+        sorted_rel, _wout = engine_ops.sort(rel, width)
+        assert decode(sorted_rel) == ref_ops.sort(trees)
+
+    @given(forests())
+    def test_data(self, trees):
+        rel, width = self._encode(trees)
+        assert decode(engine_ops.data(rel, width)) == ref_ops.data(trees)
+
+    @given(forests(max_trees=3, max_depth=3),
+           forests(max_trees=3, max_depth=3))
+    def test_concat(self, left, right):
+        left_rel, left_width = self._encode(left)
+        right_rel, right_width = self._encode(right)
+        result = engine_ops.concat(left_rel, left_width,
+                                   right_rel, right_width)
+        assert decode(result) == ref_ops.concat(left, right)
+
+
+@settings(max_examples=25, deadline=None)
+@given(xml_safe_forests(max_trees=2))
+def test_sqlite_operator_agreement(trees):
+    """Random forests through one SQL template must match the reference."""
+    from repro.sql.sqlite_backend import run_core_on_sqlite
+    from repro.xquery.ast import FnApp, Var
+
+    expr = FnApp("sort", (FnApp("children", (Var("x"),)),))
+    from repro.xquery.interpreter import evaluate
+    assert run_core_on_sqlite(expr, {"x": trees}) == evaluate(
+        expr, {"x": trees})

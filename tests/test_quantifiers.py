@@ -1,0 +1,102 @@
+"""Tests for quantified expressions (some/every … satisfies)."""
+
+import pytest
+
+from repro import run_xquery
+from repro.errors import LoweringError, XQuerySyntaxError
+from repro.xquery.ast import SQuantified
+from repro.xquery.parser import parse_xquery
+
+XML = """
+<r>
+ <team n="t1"><m s="dev"/><m s="dev"/></team>
+ <team n="t2"><m s="dev"/><m s="qa"/></team>
+ <team n="t3"></team>
+</r>
+"""
+DOCS = {"d": XML}
+
+BACKENDS = [("interpreter", "msj"), ("engine", "nlj"),
+            ("engine", "msj"), ("sqlite", "msj")]
+
+
+def run_all(query: str):
+    outputs = {
+        run_xquery(query, DOCS, backend=backend, strategy=strategy).to_xml()
+        for backend, strategy in BACKENDS
+    }
+    assert len(outputs) == 1, f"backends diverged: {outputs}"
+    return outputs.pop()
+
+
+class TestParsing:
+    def test_some(self):
+        body = parse_xquery('some $m in $t/m satisfies $m/@s = "qa"')
+        # Quantifiers parse inside boolean positions; at top level the
+        # parser accepts them, lowering rejects them as boolean-valued.
+        assert isinstance(body.body, SQuantified)
+        assert body.body.quantifier == "some"
+
+    def test_every(self):
+        body = parse_xquery('every $m in $t/m satisfies empty($m/x)')
+        assert body.body.quantifier == "every"
+
+    def test_missing_satisfies(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery('some $m in $t/m where $m = "x"')
+
+    def test_boolean_position_only(self):
+        with pytest.raises(LoweringError):
+            from repro.xquery.lowering import lower_query
+            lower_query(parse_xquery('some $m in $t satisfies empty($m)'))
+
+
+class TestSemantics:
+    def test_some_finds_witness(self):
+        result = run_all(
+            'for $t in document("d")/r/team '
+            'where some $m in $t/m satisfies $m/@s = "qa" '
+            'return $t/@n')
+        assert result == '[@n="t2"]'
+
+    def test_some_false_without_witness(self):
+        result = run_all(
+            'for $t in document("d")/r/team '
+            'where some $m in $t/m satisfies $m/@s = "boss" '
+            'return $t/@n')
+        assert result == ""
+
+    def test_every_vacuously_true_on_empty(self):
+        result = run_all(
+            'for $t in document("d")/r/team '
+            'where every $m in $t/m satisfies $m/@s = "dev" '
+            'return $t/@n')
+        assert result == '[@n="t1"][@n="t3"]'
+
+    def test_negated_quantifier(self):
+        result = run_all(
+            'for $t in document("d")/r/team '
+            'where not(every $m in $t/m satisfies $m/@s = "dev") '
+            'return $t/@n')
+        assert result == '[@n="t2"]'
+
+    def test_quantifier_combined_with_and(self):
+        result = run_all(
+            'for $t in document("d")/r/team '
+            'where some $m in $t/m satisfies $m/@s = "dev" '
+            '  and not(empty($t/m)) '
+            'return $t/@n')
+        assert result == '[@n="t1"][@n="t2"]'
+
+    def test_quantifier_in_predicate(self):
+        result = run_all(
+            'document("d")/r/team[some $m in ./m satisfies $m/@s = "qa"]/@n')
+        assert result == '[@n="t2"]'
+
+    def test_nested_quantifiers(self):
+        result = run_all(
+            'for $r in document("d")/r '
+            'where some $t in $r/team satisfies '
+            '      (every $m in $t/m satisfies $m/@s = "dev") '
+            'return <yes/>')
+        assert result == "<yes/>"

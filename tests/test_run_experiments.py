@@ -1,0 +1,46 @@
+"""Tests for the experiments runner CLI (table generation)."""
+
+import pytest
+
+from repro.bench.run_experiments import FIGURES, main, run_figure
+
+TINY = [0.0005]
+
+
+class TestRunFigure:
+    def test_fig8_table(self):
+        table = run_figure("fig8", TINY, timeout=60, verbose=False)
+        assert "Figure 8" in table
+        assert "DI-MSJ" in table
+        assert "sf=0.0005" in table
+
+    def test_fig10_table(self):
+        table = run_figure("fig10", TINY, timeout=60, verbose=False)
+        assert "Figure 10" in table
+        assert "Paths" in table
+
+    def test_unknown_figure(self):
+        with pytest.raises(ValueError):
+            run_figure("fig99", TINY, timeout=60)
+
+    def test_figures_registry(self):
+        assert FIGURES == ("fig8", "fig9", "fig10", "fig11")
+
+
+class TestCli:
+    def test_single_figure_with_output(self, tmp_path, capsys):
+        output = tmp_path / "tables.txt"
+        code = main(["--figure", "fig10", "--scales", "0.0005",
+                     "--timeout", "60", "--quiet",
+                     "--output", str(output)])
+        assert code == 0
+        assert "Figure 10" in capsys.readouterr().out
+        assert "Figure 10" in output.read_text()
+
+    def test_max_scale_truncates(self, capsys):
+        code = main(["--figure", "fig10", "--scales", "0.0005", "0.001",
+                     "--max-scale", "0.0005", "--timeout", "60", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sf=0.0005" in out
+        assert "sf=0.001" not in out

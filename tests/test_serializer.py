@@ -1,0 +1,76 @@
+"""Unit tests for XML serialization."""
+
+from repro.xml.forest import attribute, element, text
+from repro.xml.serializer import escape_attribute, escape_text, forest_to_xml
+from repro.xml.text_parser import parse_forest
+
+
+class TestEscaping:
+    def test_text_escapes(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_attribute_escapes(self):
+        assert escape_attribute('a"b<c&d') == "a&quot;b&lt;c&amp;d"
+
+    def test_quote_untouched_in_text(self):
+        assert escape_text('"quoted"') == '"quoted"'
+
+
+class TestSerialization:
+    def test_empty_element(self):
+        assert forest_to_xml(element("a")) == "<a/>"
+
+    def test_text_content(self):
+        assert forest_to_xml(element("a", (text("x"),))) == "<a>x</a>"
+
+    def test_attributes_inline(self):
+        tree = element("a", (attribute("id", "x"), text("body")))
+        assert forest_to_xml(tree) == '<a id="x">body</a>'
+
+    def test_attribute_only_element(self):
+        tree = element("a", (attribute("id", "x"),))
+        assert forest_to_xml(tree) == '<a id="x"/>'
+
+    def test_forest_concatenates(self):
+        trees = (element("a"), element("b"))
+        assert forest_to_xml(trees) == "<a/><b/>"
+
+    def test_single_node_accepted(self):
+        assert forest_to_xml(text("plain")) == "plain"
+
+    def test_escaped_content(self):
+        tree = element("a", (text("1 < 2 & 3"),))
+        assert forest_to_xml(tree) == "<a>1 &lt; 2 &amp; 3</a>"
+
+    def test_escaped_attribute_value(self):
+        tree = element("a", (attribute("t", 'x"y'),))
+        assert forest_to_xml(tree) == '<a t="x&quot;y"/>'
+
+    def test_bare_attribute_rendered_debug_style(self):
+        assert forest_to_xml((attribute("id", "x"),)) == '[@id="x"]'
+
+
+class TestPrettyPrinting:
+    def test_indented_output(self):
+        tree = element("a", (element("b", (text("x"),)), element("c")))
+        rendered = forest_to_xml(tree, indent=2)
+        assert rendered == "<a>\n  <b>x</b>\n  <c/>\n</a>"
+
+    def test_text_only_elements_stay_inline(self):
+        tree = element("a", (text("hello"),))
+        assert forest_to_xml(tree, indent=2) == "<a>hello</a>"
+
+
+class TestRoundTrip:
+    def test_parse_serialize_parse(self, figure1_forest):
+        rendered = forest_to_xml(figure1_forest)
+        assert parse_forest(rendered) == figure1_forest
+
+    def test_entities_roundtrip(self):
+        source = "<a t=\"1 &lt; 2\">x &amp; y</a>"
+        trees = parse_forest(source)
+        assert parse_forest(forest_to_xml(trees)) == trees
+
+    def test_xmark_roundtrip(self, xmark_tiny):
+        rendered = forest_to_xml(xmark_tiny)
+        assert parse_forest(rendered) == (xmark_tiny,)

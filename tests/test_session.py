@@ -1,0 +1,143 @@
+"""Tests for the stateful XQuerySession API."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.session import XQuerySession
+from repro.xmark.queries import FIGURE1_SAMPLE
+
+NAMES = 'document("a.xml")/site/people/person/name/text()'
+
+
+@pytest.fixture
+def session():
+    with XQuerySession() as active:
+        active.add_document("a.xml", FIGURE1_SAMPLE)
+        yield active
+
+
+class TestDocuments:
+    def test_add_text(self, session):
+        assert session.documents == ["a.xml"]
+
+    def test_add_node(self):
+        from repro.xml.text_parser import parse_document
+        with XQuerySession() as active:
+            active.add_document("a.xml", parse_document(FIGURE1_SAMPLE))
+            assert active.run(NAMES).to_xml() == "Jaak TempestiCong Rosca"
+
+    def test_add_file(self, tmp_path):
+        path = tmp_path / "a.xml"
+        path.write_text(FIGURE1_SAMPLE)
+        with XQuerySession() as active:
+            active.add_document_file("a.xml", path)
+            assert len(active.run(NAMES)) == 2
+
+    def test_add_xmark(self):
+        with XQuerySession() as active:
+            active.add_xmark_document("auction.xml", 0.0005)
+            result = active.run('count(document("auction.xml")'
+                                '/site/people/person)')
+            assert int(result.forest[0].label) > 0
+
+    def test_bad_source_type(self, session):
+        with pytest.raises(ReproError):
+            session.add_document("x", 12)
+
+    def test_missing_document(self):
+        with XQuerySession() as active:
+            with pytest.raises(ReproError, match="a.xml"):
+                active.run(NAMES)
+
+    def test_replace_document(self, session):
+        session.add_document("a.xml", "<site><people><person>"
+                                      "<name>Zed</name></person>"
+                                      "</people></site>")
+        assert session.run(NAMES).to_xml() == "Zed"
+
+
+class TestQuerying:
+    def test_default_backend(self, session):
+        assert session.run(NAMES).to_xml() == "Jaak TempestiCong Rosca"
+
+    @pytest.mark.parametrize("backend", ["interpreter", "sqlite"])
+    def test_other_backends(self, session, backend):
+        assert session.run(NAMES, backend=backend).to_xml() == \
+            "Jaak TempestiCong Rosca"
+
+    def test_strategy_override(self, session):
+        assert (session.run(NAMES, strategy="nlj").forest
+                == session.run(NAMES, strategy="msj").forest)
+
+    def test_prepared_query_cached(self, session):
+        first = session.prepare(NAMES)
+        second = session.prepare(NAMES)
+        assert first is second
+
+    def test_plan_cached_per_strategy(self, session):
+        session.run(NAMES, strategy="msj")
+        session.run(NAMES, strategy="nlj")
+        assert len(session._plans) == 2
+
+    def test_sqlite_tables_reused(self, session):
+        session.run(NAMES, backend="sqlite")
+        database = session._sqlite
+        session.run(NAMES, backend="sqlite")
+        assert session._sqlite is database
+        assert len(database.documents) == 1
+
+    def test_explain(self, session):
+        assert "Fn:select" in session.explain(NAMES)
+
+    def test_profile(self, session):
+        profile = session.profile(NAMES)
+        assert profile.total_seconds > 0
+        assert "tuples" in profile.render()
+
+    def test_stats(self, session):
+        from repro.engine.stats import EngineStats
+        stats = EngineStats()
+        session.run(NAMES, stats=stats)
+        assert stats.total_seconds > 0
+
+    def test_unknown_backend(self, session):
+        with pytest.raises(ReproError):
+            session.run(NAMES, backend="dbase3")
+
+    def test_simplify_session(self):
+        with XQuerySession(simplify=True) as active:
+            active.add_document("a.xml", FIGURE1_SAMPLE)
+            assert active.run(NAMES).to_xml() == "Jaak TempestiCong Rosca"
+
+
+class TestUpdates:
+    def test_update_cycle(self, session):
+        updatable = session.updatable("a.xml")
+        people = next(row for row in updatable.encoded.tuples
+                      if row[0] == "<people>")
+        new_person = (
+            "<person id='person2'><name>Alan Turing</name></person>"
+        )
+        from repro.xml.text_parser import parse_forest
+        updated = updatable.insert_child(people[1], 99,
+                                         parse_forest(new_person))
+        session.apply_update("a.xml", updated)
+        assert session.run(NAMES).to_xml() == \
+            "Jaak TempestiCong RoscaAlan Turing"
+
+    def test_update_invalidates_sqlite(self, session):
+        assert len(session.run(NAMES, backend="sqlite")) == 2
+        updatable = session.updatable("a.xml")
+        person = next(row for row in updatable.encoded.tuples
+                      if row[0] == "<person>")
+        session.apply_update("a.xml", updatable.delete_subtree(person[1]))
+        assert len(session.run(NAMES, backend="sqlite")) == 1
+
+    def test_updatable_cached(self, session):
+        assert session.updatable("a.xml") is session.updatable("a.xml")
+
+    def test_replacing_document_resets_updatable(self, session):
+        session.updatable("a.xml")
+        session.add_document("a.xml", "<site/>")
+        fresh = session.updatable("a.xml")
+        assert fresh.to_forest()[0].label == "<site>"

@@ -1,0 +1,193 @@
+"""Tests for the algebraic simplification pass.
+
+Every rewrite must preserve the Figure 3 semantics; beyond the targeted
+unit tests, randomized expressions (reusing the Proposition 4.4
+generator) are simplified and cross-checked against their originals.
+"""
+
+import pytest
+
+from repro.compiler.simplify import FALSE, TRUE, SimplifyStats, simplify
+from repro.xml.text_parser import parse_forest
+from repro.xquery.ast import (
+    And,
+    Empty,
+    Equal,
+    FnApp,
+    For,
+    Less,
+    Let,
+    Not,
+    Or,
+    SomeEqual,
+    Var,
+    Where,
+)
+from repro.xquery.interpreter import evaluate
+
+EMPTY = FnApp("empty_forest")
+
+
+def sel(label, expr):
+    return FnApp("select", (expr,), (("label", label),))
+
+
+class TestEmptinessPropagation:
+    @pytest.mark.parametrize("fn", [
+        "children", "roots", "textnodes", "elementnodes", "head", "tail",
+        "reverse", "distinct", "sort", "subtrees_dfs", "data",
+    ])
+    def test_unary_over_empty(self, fn):
+        assert simplify(FnApp(fn, (EMPTY,))) == EMPTY
+
+    def test_select_over_empty(self):
+        assert simplify(sel("<a>", EMPTY)) == EMPTY
+
+    def test_concat_identities(self):
+        assert simplify(FnApp("concat", (EMPTY, Var("x")))) == Var("x")
+        assert simplify(FnApp("concat", (Var("x"), EMPTY))) == Var("x")
+
+    def test_count_of_empty(self):
+        result = simplify(FnApp("count", (EMPTY,)))
+        assert result == FnApp("text_const", (), (("value", "0"),))
+
+    def test_for_over_empty_source(self):
+        assert simplify(For("x", EMPTY, Var("x"))) == EMPTY
+
+    def test_for_with_empty_body(self):
+        assert simplify(For("x", Var("d"), EMPTY)) == EMPTY
+
+    def test_propagation_cascades(self):
+        nested = FnApp("children", (FnApp("roots", (sel("<a>", EMPTY),)),))
+        assert simplify(nested) == EMPTY
+
+
+class TestOperatorAlgebra:
+    def test_select_same_label(self):
+        expr = sel("<a>", sel("<a>", Var("d")))
+        assert simplify(expr) == sel("<a>", Var("d"))
+
+    def test_select_different_labels(self):
+        assert simplify(sel("<a>", sel("<b>", Var("d")))) == EMPTY
+
+    @pytest.mark.parametrize("fn", ["head", "distinct", "sort", "roots",
+                                    "data", "textnodes", "elementnodes"])
+    def test_idempotence(self, fn):
+        expr = FnApp(fn, (FnApp(fn, (Var("d"),)),))
+        assert simplify(expr) == FnApp(fn, (Var("d"),))
+
+    def test_disjoint_class_tests(self):
+        expr = FnApp("textnodes", (FnApp("elementnodes", (Var("d"),)),))
+        assert simplify(expr) == EMPTY
+
+    def test_element_select_of_textnodes(self):
+        expr = sel("<a>", FnApp("textnodes", (Var("d"),)))
+        assert simplify(expr) == EMPTY
+
+    def test_text_select_of_textnodes_kept(self):
+        expr = sel("some text", FnApp("textnodes", (Var("d"),)))
+        assert simplify(expr) == expr
+
+    def test_children_of_roots(self):
+        assert simplify(FnApp("children", (FnApp("roots", (Var("d"),)),))) \
+            == EMPTY
+
+    def test_reverse_involution(self):
+        expr = FnApp("reverse", (FnApp("reverse", (Var("d"),)),))
+        assert simplify(expr) == Var("d")
+
+    def test_count_ignores_order(self):
+        expr = FnApp("count", (FnApp("sort", (Var("d"),)),))
+        assert simplify(expr) == FnApp("count", (Var("d"),))
+
+    def test_for_identity_body(self):
+        assert simplify(For("x", Var("d"), Var("x"))) == Var("d")
+
+
+class TestBindingsAndConditions:
+    def test_unused_let_dropped(self):
+        expr = Let("x", Var("d"), Var("y"))
+        assert simplify(expr) == Var("y")
+
+    def test_used_let_kept(self):
+        expr = Let("x", Var("d"), FnApp("children", (Var("x"),)))
+        assert simplify(expr) == expr
+
+    def test_where_true(self):
+        assert simplify(Where(TRUE, Var("d"))) == Var("d")
+
+    def test_where_false(self):
+        assert simplify(Where(FALSE, Var("d"))) == EMPTY
+
+    def test_double_negation(self):
+        expr = Where(Not(Not(Empty(Var("d")))), Var("d"))
+        assert simplify(expr) == Where(Empty(Var("d")), Var("d"))
+
+    def test_and_or_constant_folding(self):
+        cond = And(TRUE, Or(FALSE, Empty(Var("d"))))
+        assert simplify(Where(cond, Var("d"))) == Where(Empty(Var("d")),
+                                                        Var("d"))
+
+    def test_empty_of_constructor_is_false(self):
+        cond = Empty(FnApp("xnode", (Var("d"),), (("label", "<w>"),)))
+        assert simplify(Where(cond, Var("d"))) == EMPTY
+
+    def test_some_equal_with_empty_side(self):
+        cond = SomeEqual(Var("d"), EMPTY)
+        assert simplify(Where(cond, Var("d"))) == EMPTY
+
+    def test_equal_to_empty_becomes_emptiness(self):
+        cond = Equal(Var("d"), EMPTY)
+        assert simplify(Where(cond, Var("x"))) == Where(Empty(Var("d")),
+                                                        Var("x"))
+
+    def test_less_than_empty_is_false(self):
+        cond = Less(Var("d"), EMPTY)
+        assert simplify(Where(cond, Var("x"))) == EMPTY
+
+
+class TestSemanticPreservation:
+    DOCUMENT = parse_forest(
+        "<site><people>"
+        "<person id='p0'><name>Ada</name></person>"
+        "<person id='p1'><name>Bob</name></person>"
+        "</people><log>entry</log></site>"
+    )
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_expressions_preserved(self, seed):
+        from tests.test_proposition44 import generate
+        expr = generate(seed)
+        simplified = simplify(expr)
+        bindings = {"doc": self.DOCUMENT}
+        assert evaluate(simplified, bindings) == evaluate(expr, bindings)
+
+    def test_q8_preserved_and_reduced(self):
+        from repro.xmark.queries import Q8
+        from repro.xquery.lowering import document_forest, lower_query
+        from repro.xquery.parser import parse_xquery
+
+        core, docs = lower_query(parse_xquery(Q8))
+        stats = SimplifyStats()
+        simplified = simplify(core, stats)
+        bindings = {var: document_forest(self.DOCUMENT)
+                    for var in docs.values()}
+        assert evaluate(simplified, bindings) == evaluate(core, bindings)
+
+    def test_simplify_shrinks_generated_sql(self):
+        """A redundant query must produce fewer CTEs after simplification."""
+        from repro.api import compile_xquery
+
+        query = ('for $p in document("d")/site/people/person '
+                 'return (head(head($p/name)), sort(sort($p/name)), ())')
+        plain = compile_xquery(query)
+        reduced = compile_xquery(query, simplify=True)
+        tables = {var: ("doc_0", 1000) for var in plain.documents.values()}
+        assert (reduced.to_sql(tables).cte_count
+                < plain.to_sql(tables).cte_count)
+
+    def test_fixpoint_terminates_quickly(self):
+        expr = Var("d")
+        for _ in range(30):
+            expr = FnApp("reverse", (FnApp("reverse", (expr,)),))
+        assert simplify(expr) == Var("d")

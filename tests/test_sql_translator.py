@@ -1,0 +1,233 @@
+"""Tests for the compositional FLWR-to-SQL translation (Section 4.2)."""
+
+import pytest
+
+from repro.errors import UnboundVariableError, WidthOverflowError
+from repro.sql.sqlite_backend import SQLiteDatabase, run_core_on_sqlite
+from repro.sql.translator import SQLTranslator, translate_query
+from repro.xml.text_parser import parse_forest
+from repro.xquery.ast import (
+    And,
+    Empty,
+    Equal,
+    FnApp,
+    For,
+    Less,
+    Let,
+    Not,
+    Or,
+    SomeEqual,
+    Var,
+    Where,
+)
+from repro.xquery.interpreter import evaluate
+from repro.xquery.lowering import document_forest, lower_query
+from repro.xquery.parser import parse_xquery
+
+
+def check(expr, bindings):
+    expected = evaluate(expr, bindings)
+    got = run_core_on_sqlite(expr, bindings)
+    assert got == expected
+    return got
+
+
+def f(source: str):
+    return parse_forest(source)
+
+
+class TestSingleStatementForm:
+    def test_one_with_statement(self):
+        expr = FnApp("children", (Var("x"),))
+        translation = translate_query(expr, {"x": ("base", 10)})
+        assert translation.sql.startswith("WITH ")
+        assert translation.sql.count(";") == 0
+        assert "ORDER BY l" in translation.sql
+
+    def test_result_metadata(self):
+        expr = FnApp("xnode", (Var("x"),), (("label", "<w>"),))
+        translation = translate_query(expr, {"x": ("base", 10)})
+        assert translation.width == 12
+        assert translation.cte_count >= 1
+        assert translation.ctes
+        assert translation.final_select.startswith("SELECT")
+
+    def test_pure_variable_query(self):
+        trees = f("<a><b/></a>")
+        assert run_core_on_sqlite(Var("x"), {"x": trees}) == trees
+
+    def test_unbound_variable(self):
+        with pytest.raises(UnboundVariableError):
+            translate_query(Var("nope"), {})
+
+
+class TestLet:
+    def test_simple_binding(self):
+        expr = Let("y", FnApp("children", (Var("x"),)), Var("y"))
+        check(expr, {"x": f("<a><b/></a>")})
+
+    def test_shadowing(self):
+        expr = Let("x", FnApp("empty_forest"), Var("x"))
+        assert run_core_on_sqlite(expr, {"x": f("<a/>")}) == ()
+
+    def test_binding_used_twice(self):
+        expr = Let("y", FnApp("children", (Var("x"),)),
+                   FnApp("concat", (Var("y"), Var("y"))))
+        check(expr, {"x": f("<a><b/></a>")})
+
+
+class TestWhere:
+    def test_true_keeps(self):
+        expr = Where(Empty(FnApp("empty_forest")), Var("x"))
+        check(expr, {"x": f("<a/>")})
+
+    def test_false_filters(self):
+        expr = Where(Not(Empty(Var("x"))), FnApp("empty_forest"))
+        check(expr, {"x": f("<a/>")})
+
+    def test_equal_condition(self):
+        expr = Where(Equal(Var("x"), Var("y")), Var("x"))
+        check(expr, {"x": f("<a><b/></a>"), "y": f("<a><b/></a>")})
+        check(expr, {"x": f("<a/>"), "y": f("<b/>")})
+
+    def test_equal_with_nontight_intervals(self):
+        # A constructed <a/> (wide intervals) equals a parsed <a/> (tight):
+        # the comparison must be rank-normalized, not coordinate-based.
+        expr = Where(
+            Equal(FnApp("xnode", (FnApp("empty_forest"),),
+                        (("label", "<a>"),)),
+                  Var("y")),
+            Var("y"))
+        check(expr, {"y": f("<a/>")})
+
+    def test_less_condition(self):
+        expr = Where(Less(Var("x"), Var("y")), Var("y"))
+        check(expr, {"x": f("<a/>"), "y": f("<b/>")})
+        check(expr, {"x": f("<b/>"), "y": f("<a/>")})
+        check(expr, {"x": f("<a/>"), "y": f("<a/>")})
+
+    def test_less_depth_vs_label(self):
+        # [a [b]] vs [a, z]: nesting difference dominates label order.
+        expr = Where(Less(Var("x"), Var("y")), Var("y"))
+        check(expr, {"x": f("<a/><z/>"), "y": f("<a><b/></a>")})
+        check(expr, {"x": f("<a><b/></a>"), "y": f("<a/><z/>")})
+
+    def test_some_equal(self):
+        expr = Where(SomeEqual(Var("x"), Var("y")), Var("x"))
+        check(expr, {"x": f("<a/><b/>"), "y": f("<b/><c/>")})
+        check(expr, {"x": f("<a/>"), "y": f("<c/>")})
+
+    def test_and_or_not(self):
+        true = Empty(FnApp("empty_forest"))
+        expr = Where(And(true, Or(Not(true), true)), Var("x"))
+        check(expr, {"x": f("<a/>")})
+
+
+class TestFor:
+    def test_simple_iteration(self):
+        expr = For("t", Var("x"),
+                   FnApp("xnode", (Var("t"),), (("label", "<w>"),)))
+        check(expr, {"x": f("<a/><b/>")})
+
+    def test_iteration_order_preserved(self):
+        expr = For("t", Var("x"), FnApp("children", (Var("t"),)))
+        result = check(expr, {"x": f("<a><p>1</p></a><b><q>2</q></b>")})
+        assert [tree.label for tree in result] == ["<p>", "<q>"]
+
+    def test_empty_source(self):
+        expr = For("t", FnApp("empty_forest"), Var("t"))
+        assert run_core_on_sqlite(expr, {}) == ()
+
+    def test_outer_variable_visible_inside(self):
+        expr = For("t", Var("x"), FnApp("concat", (Var("t"), Var("y"))))
+        check(expr, {"x": f("<a/><b/>"), "y": f("<mark/>")})
+
+    def test_nested_for_cross_product(self):
+        inner = For("y", Var("b"), FnApp("concat", (Var("x"), Var("y"))))
+        expr = For("x", Var("a"), inner)
+        check(expr, {"a": f("<i/><j/>"), "b": f("<p/><q/>")})
+
+    def test_for_with_where_inside(self):
+        expr = For("t", Var("x"),
+                   Where(Equal(FnApp("roots", (Var("t"),)),
+                               FnApp("roots", (Var("k"),))),
+                         Var("t")))
+        check(expr, {"x": f("<a>1</a><b/><a>2</a>"), "k": f("<a/>")})
+
+    def test_count_per_iteration(self):
+        expr = For("t", Var("x"), FnApp("count",
+                                        (FnApp("children", (Var("t"),)),)))
+        check(expr, {"x": f("<a><u/><v/></a><b/><c><w/></c>")})
+
+    def test_construction_inside_loop(self):
+        """Environments with empty content still emit an element."""
+        expr = For("t", Var("x"),
+                   FnApp("xnode", (FnApp("children", (Var("t"),)),),
+                         (("label", "<w>"),)))
+        check(expr, {"x": f("<a><u/></a><b/>")})
+
+
+class TestXQueryEndToEnd:
+    """Full surface queries through lowering, translation, SQLite."""
+
+    def run_query(self, source: str, document):
+        core, docs = lower_query(parse_xquery(source))
+        bindings = {var: document_forest(document)
+                    for var in docs.values()}
+        return check(core, bindings)
+
+    def test_path_query(self, figure1_doc):
+        self.run_query(
+            'document("auction.xml")/site/people/person/name/text()',
+            figure1_doc)
+
+    def test_q8_on_figure1(self, figure1_doc):
+        from repro.xmark.queries import Q8
+        result = self.run_query(Q8, figure1_doc)
+        assert len(result) == 1
+
+    def test_q13_shape_on_figure1(self, figure1_doc):
+        self.run_query(
+            'for $i in document("auction.xml")/site/people/person '
+            'return <item name="{$i/name/text()}">{$i/emailaddress}</item>',
+            figure1_doc)
+
+    def test_descendant_query(self, figure1_doc):
+        self.run_query('document("auction.xml")//name/text()', figure1_doc)
+
+    def test_predicate_query(self, figure1_doc):
+        self.run_query(
+            'document("auction.xml")/site/people/person[./@id = "person1"]'
+            '/name/text()',
+            figure1_doc)
+
+
+class TestWidthOverflow:
+    def test_overflow_raises(self):
+        translator = SQLTranslator(max_width=1000)
+        expr = For("t", Var("x"), FnApp("subtrees_dfs", (Var("t"),)))
+        with pytest.raises(WidthOverflowError):
+            translator.translate(expr, {"x": ("base", 100)})
+
+    def test_limit_disabled_by_default(self):
+        expr = For("t", Var("x"), FnApp("subtrees_dfs", (Var("t"),)))
+        translation = translate_query(expr, {"x": ("base", 100)})
+        assert translation.width == 100 * 100 * 100
+
+
+class TestExecutionModes:
+    def test_single_statement_mode(self, figure1_doc):
+        expr, docs = lower_query(parse_xquery(
+            'document("a.xml")/site/people/person/name'))
+        with SQLiteDatabase() as database:
+            database.load_document("doc:a.xml",
+                                   document_forest(figure1_doc))
+            staged = database.execute(expr, mode="staged")
+            single = database.execute(expr, mode="single")
+        assert staged == single
+
+    def test_unknown_mode_rejected(self, figure1_doc):
+        with SQLiteDatabase() as database:
+            database.load_document("x", f("<a/>"))
+            with pytest.raises(ValueError):
+                database.execute(Var("x"), mode="wrong")

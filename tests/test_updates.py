@@ -1,0 +1,176 @@
+"""Tests for gap-based updates over interval encodings."""
+
+import pytest
+
+from repro.encoding.updates import DEFAULT_STRIDE, UpdatableDocument
+from repro.errors import EncodingError
+from repro.xml.text_parser import parse_forest
+
+
+def f(source: str):
+    return parse_forest(source)
+
+
+def doc(source: str, stride: int = DEFAULT_STRIDE) -> UpdatableDocument:
+    return UpdatableDocument.from_forest(f(source), stride=stride)
+
+
+class TestConstruction:
+    def test_roundtrip(self):
+        document = doc("<a><b/>text</a><c/>")
+        assert document.to_forest() == f("<a><b/>text</a><c/>")
+
+    def test_encoding_has_slack(self):
+        document = doc("<a/>", stride=10)
+        (s, l, r), = document.encoded.tuples
+        assert r - l > 1  # room to insert children without relabeling
+
+    def test_encoding_valid(self):
+        document = doc("<a><b><c/></b></a>")
+        document.encoded.validate()
+
+    def test_bad_stride(self):
+        with pytest.raises(ValueError):
+            UpdatableDocument.from_forest(f("<a/>"), stride=0)
+
+    def test_find(self):
+        document = doc("<a><b/></a>")
+        root = document.encoded.tuples[0]
+        assert document.find(root[1]) == root
+
+    def test_find_missing(self):
+        with pytest.raises(EncodingError):
+            doc("<a/>").find(99999)
+
+
+class TestDelete:
+    def test_delete_leaf(self):
+        document = doc("<a><b/><c/></a>")
+        target = next(row for row in document.encoded.tuples
+                      if row[0] == "<b>")
+        updated = document.delete_subtree(target[1])
+        assert updated.to_forest() == f("<a><c/></a>")
+        assert updated.last_stats.deleted_nodes == 1
+
+    def test_delete_subtree(self):
+        document = doc("<a><b><x/><y/></b><c/></a>")
+        target = next(row for row in document.encoded.tuples
+                      if row[0] == "<b>")
+        updated = document.delete_subtree(target[1])
+        assert updated.to_forest() == f("<a><c/></a>")
+        assert updated.last_stats.deleted_nodes == 3
+
+    def test_delete_top_level_tree(self):
+        document = doc("<a/><b/><c/>")
+        target = next(row for row in document.encoded.tuples
+                      if row[0] == "<b>")
+        updated = document.delete_subtree(target[1])
+        assert updated.to_forest() == f("<a/><c/>")
+
+    def test_delete_never_relabels(self):
+        document = doc("<a><b/></a>")
+        target = document.encoded.tuples[1]
+        updated = document.delete_subtree(target[1])
+        assert updated.last_stats.relabeled is False
+        updated.encoded.validate()
+
+    def test_original_untouched(self):
+        document = doc("<a><b/></a>")
+        document.delete_subtree(document.encoded.tuples[1][1])
+        assert document.to_forest() == f("<a><b/></a>")
+
+
+class TestInsertChild:
+    def test_insert_into_empty_element(self):
+        document = doc("<a/>", stride=10)
+        root = document.encoded.tuples[0]
+        updated = document.insert_child(root[1], 0, f("<b/>"))
+        assert updated.to_forest() == f("<a><b/></a>")
+        assert updated.last_stats.inserted_nodes == 1
+
+    def test_insert_before_first_child(self):
+        document = doc("<a><z/></a>", stride=10)
+        root = document.encoded.tuples[0]
+        updated = document.insert_child(root[1], 0, f("<first/>"))
+        assert updated.to_forest() == f("<a><first/><z/></a>")
+
+    def test_insert_between_children(self):
+        document = doc("<a><x/><z/></a>", stride=10)
+        root = document.encoded.tuples[0]
+        updated = document.insert_child(root[1], 1, f("<y/>"))
+        assert updated.to_forest() == f("<a><x/><y/><z/></a>")
+
+    def test_append_child(self):
+        document = doc("<a><x/></a>", stride=10)
+        root = document.encoded.tuples[0]
+        updated = document.insert_child(root[1], 99, f("<last/>"))
+        assert updated.to_forest() == f("<a><x/><last/></a>")
+
+    def test_insert_whole_subtree(self):
+        document = doc("<a/>", stride=20)
+        root = document.encoded.tuples[0]
+        updated = document.insert_child(root[1], 0, f("<b><c>t</c></b>"))
+        assert updated.to_forest() == f("<a><b><c>t</c></b></a>")
+
+    def test_insert_relabels_when_tight(self):
+        # stride 1 leaves no slack: the insert must trigger a relabel.
+        document = doc("<a><b/></a>", stride=1)
+        root = document.encoded.tuples[0]
+        updated = document.insert_child(root[1], 0, f("<new/>"))
+        assert updated.to_forest() == f("<a><new/><b/></a>")
+        assert updated.last_stats.relabeled is True
+
+    def test_many_inserts_same_slot(self):
+        document = doc("<a/>", stride=4)
+        root_left = document.encoded.tuples[0][1]
+        for number in range(12):
+            root_left = next(
+                row[1] for row in document.encoded.tuples
+                if row[0] == "<a>")
+            document = document.insert_child(root_left, 0,
+                                             f(f"<n{number}/>"))
+        forest = document.to_forest()
+        labels = [child.label for child in forest[0].children]
+        assert labels == [f"<n{number}>" for number in reversed(range(12))]
+
+
+class TestInsertTree:
+    def test_prepend(self):
+        document = doc("<b/>", stride=10)
+        updated = document.insert_tree(0, f("<a/>"))
+        assert updated.to_forest() == f("<a/><b/>")
+
+    def test_append(self):
+        document = doc("<a/>", stride=10)
+        updated = document.insert_tree(99, f("<b/>"))
+        assert updated.to_forest() == f("<a/><b/>")
+
+    def test_middle(self):
+        document = doc("<a/><c/>", stride=10)
+        updated = document.insert_tree(1, f("<b/>"))
+        assert updated.to_forest() == f("<a/><b/><c/>")
+
+    def test_insert_empty_forest_is_noop(self):
+        document = doc("<a/>")
+        updated = document.insert_tree(0, ())
+        assert updated.to_forest() == f("<a/>")
+
+
+class TestRelabel:
+    def test_relabel_preserves_forest(self):
+        document = doc("<a><b>x</b><c/></a>")
+        relabeled = document.relabel(stride=50)
+        assert relabeled.to_forest() == document.to_forest()
+        relabeled.encoded.validate()
+
+    def test_queries_work_after_updates(self):
+        """Updated encodings feed straight back into query evaluation."""
+        from repro.engine import operators as ops
+
+        document = doc("<a><b>1</b></a>", stride=8)
+        root = document.encoded.tuples[0]
+        document = document.insert_child(root[1], 99, f("<b>2</b>"))
+        rel = document.encoded.tuples
+        selected = ops.select_label(ops.children(rel), "<b>")
+        from repro.encoding.interval import decode
+        assert decode(selected) == f("<b>1</b><b>2</b>")

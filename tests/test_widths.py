@@ -1,0 +1,112 @@
+"""Unit tests for compile-time width inference (Section 4.3)."""
+
+import pytest
+
+from repro.errors import TranslationError, UnboundVariableError
+from repro.sql.widths import infer_width, width_report
+from repro.xquery.ast import Empty, FnApp, For, Let, Var, Where
+from repro.xquery.lowering import lower_query
+from repro.xquery.parser import parse_xquery
+
+
+def lower(source: str):
+    core, _ = lower_query(parse_xquery(source))
+    return core
+
+
+class TestInferWidth:
+    def test_variable(self):
+        assert infer_width(Var("x"), {"x": 86}) == 86
+
+    def test_unbound(self):
+        with pytest.raises(UnboundVariableError):
+            infer_width(Var("x"), {})
+
+    def test_function_composition(self):
+        expr = FnApp("xnode", (FnApp("children", (Var("x"),)),),
+                     (("label", "<w>"),))
+        assert infer_width(expr, {"x": 86}) == 88
+
+    def test_let(self):
+        expr = Let("y", FnApp("xnode", (Var("x"),), (("label", "<w>"),)),
+                   Var("y"))
+        assert infer_width(expr, {"x": 10}) == 12
+
+    def test_where_transparent(self):
+        expr = Where(Empty(Var("x")), Var("x"))
+        assert infer_width(expr, {"x": 10}) == 10
+
+    def test_for_multiplies(self):
+        """w_for = w_source · w_body (Section 4.2.4)."""
+        expr = For("t", Var("x"), FnApp("xnode", (Var("t"),),
+                                        (("label", "<w>"),)))
+        assert infer_width(expr, {"x": 86}) == 86 * 88
+
+    def test_nested_for_polynomial_degree(self):
+        """Nesting depth d gives a degree-(d+1) polynomial in doc width."""
+        width = 100
+        inner = For("y", Var("d"), FnApp("concat", (Var("x"), Var("y"))))
+        outer = For("x", Var("d"), inner)
+        # inner body: w = 2·width; inner for: width · 2width = 2·width².
+        # outer: width · 2·width² = 2·width³.
+        assert infer_width(outer, {"d": width}) == 2 * width ** 3
+
+    def test_bad_arity_rejected(self):
+        with pytest.raises(TranslationError):
+            infer_width(FnApp("concat", (Var("x"),)), {"x": 2})
+
+
+class TestWidthReport:
+    def test_report_entries(self):
+        expr = FnApp("children", (Var("x"),))
+        report = width_report(expr, {"x": 44})
+        assert ("$x", 44) in report.entries
+        assert ("children", 44) in report.entries
+
+    def test_max_width(self):
+        expr = For("t", Var("x"), FnApp("subtrees_dfs", (Var("t"),)))
+        report = width_report(expr, {"x": 10})
+        assert report.max_width == 10 * 100
+
+    def test_empty_report(self):
+        from repro.sql.widths import WidthReport
+        assert WidthReport().max_width == 0
+
+    def test_condition_expressions_counted(self):
+        expr = Where(Empty(FnApp("children", (Var("x"),))), Var("x"))
+        report = width_report(expr, {"x": 10})
+        assert ("children", 10) in report.entries
+
+
+class TestPaperWidths:
+    def test_q8_widths_match_paper_arithmetic(self, figure1_doc):
+        """Example 4.1/4.2: the <item> constructor's width bookkeeping.
+
+        With the Figure 4 document width 86, $p has width 86 and the
+        constructed @person attribute has width 88; adding count (width 2)
+        and the <item> wrapper gives 92 — the paper's number.
+        """
+        from repro.xmark.queries import Q8
+        core, docs = lower_query(parse_xquery(Q8))
+        # Find the <item> constructor inside the plan and check widths by
+        # rebuilding the arithmetic: data(name/text()) ≤ 86 → @person 88,
+        # concat with count 2 → 90, <item> → 92.
+        from repro.xquery.functions import width_of
+        person_width = 86
+        attr = width_of("xnode", (person_width,), {"label": "@person"})
+        content = width_of("concat", (attr, 2), {})
+        item = width_of("xnode", (content,), {"label": "<item>"})
+        assert item == 92
+
+    def test_q8_full_inference_runs(self, figure1_doc):
+        from repro.encoding.interval import encode
+        from repro.xmark.queries import Q8
+        from repro.xquery.lowering import document_forest
+
+        core, docs = lower_query(parse_xquery(Q8))
+        doc_width = encode(document_forest((figure1_doc,))).width
+        total = infer_width(core, {var: doc_width for var in docs.values()})
+        # Outer for: persons-source width × item width — strictly positive
+        # and polynomial (degree 2) in the document width.
+        assert total > doc_width
+        assert total < doc_width ** 3

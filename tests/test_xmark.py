@@ -1,0 +1,138 @@
+"""Tests for the synthetic XMark generator."""
+
+import pytest
+
+from repro.xmark.generator import (
+    counts_for_scale,
+    generate_document,
+    generate_xml,
+)
+from repro.xmark.queries import FIGURE1_SAMPLE, Q13, Q8, Q9, QUERIES
+
+
+class TestCounts:
+    def test_xmark_proportions(self):
+        counts = counts_for_scale(1.0)
+        assert counts.persons == 25500
+        assert counts.items == 21750
+        assert counts.open_auctions == 12000
+        assert counts.closed_auctions == 9750
+        assert counts.categories == 1000
+
+    def test_small_scale_floors(self):
+        counts = counts_for_scale(0.00001)
+        assert counts.persons >= 3
+        assert counts.closed_auctions >= 2
+        assert counts.categories >= 1
+
+    def test_total(self):
+        counts = counts_for_scale(0.01)
+        assert counts.total_entities == (
+            counts.persons + counts.items + counts.open_auctions
+            + counts.closed_auctions + counts.categories
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_document(self):
+        assert generate_document(0.0005, seed=7) == generate_document(
+            0.0005, seed=7)
+
+    def test_different_seed_different_document(self):
+        assert generate_document(0.0005, seed=1) != generate_document(
+            0.0005, seed=2)
+
+    def test_scale_monotone_in_size(self):
+        small = generate_document(0.0005)
+        larger = generate_document(0.002)
+        assert larger.size > small.size
+
+
+class TestSchemaShape:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return generate_document(0.001, seed=42)
+
+    def test_top_level_sections(self, doc):
+        assert doc.label == "<site>"
+        labels = [child.label for child in doc.children]
+        assert labels == ["<regions>", "<categories>", "<people>",
+                          "<open_auctions>", "<closed_auctions>"]
+
+    def test_region_names(self, doc):
+        regions = doc.children[0]
+        assert [r.label for r in regions.children] == [
+            "<africa>", "<asia>", "<australia>", "<europe>",
+            "<namerica>", "<samerica>",
+        ]
+
+    def test_person_structure(self, doc):
+        people = doc.children[2]
+        counts = counts_for_scale(0.001)
+        assert len(people.children) == counts.persons
+        person = people.children[0]
+        child_labels = [c.label for c in person.children]
+        assert child_labels[0] == "@id"
+        assert "<name>" in child_labels
+        assert "<emailaddress>" in child_labels
+
+    def test_person_ids_sequential(self, doc):
+        people = doc.children[2]
+        ids = [p.children[0].children[0].label for p in people.children]
+        assert ids[:3] == ["person0", "person1", "person2"]
+
+    def test_item_count_and_ids(self, doc):
+        regions = doc.children[0]
+        items = [item for region in regions.children
+                 for item in region.children]
+        assert len(items) == counts_for_scale(0.001).items
+        ids = {item.children[0].children[0].label for item in items}
+        assert len(ids) == len(items)  # globally unique across regions
+
+    def test_item_has_description(self, doc):
+        regions = doc.children[0]
+        item = regions.children[3].children[0]  # first European item
+        labels = [c.label for c in item.children]
+        assert "<description>" in labels
+        assert "<name>" in labels
+
+    def test_closed_auction_references_resolve(self, doc):
+        counts = counts_for_scale(0.001)
+        closed = doc.children[4]
+        for auction in closed.children:
+            by_label = {c.label: c for c in auction.children}
+            buyer = by_label["<buyer>"].children[0].children[0].label
+            assert buyer.startswith("person")
+            assert int(buyer[len("person"):]) < counts.persons
+            item = by_label["<itemref>"].children[0].children[0].label
+            assert int(item[len("item"):]) < counts.items
+
+    def test_richness_scales_text(self):
+        rich = generate_document(0.001, seed=1, description_richness=2.0)
+        lean = generate_document(0.001, seed=1, description_richness=0.3)
+        assert rich.size > lean.size
+
+
+class TestGenerateXml:
+    def test_roundtrips_through_parser(self):
+        from repro.xml.text_parser import parse_document
+        xml = generate_xml(0.0005, seed=3)
+        assert parse_document(xml) == generate_document(0.0005, seed=3)
+
+
+class TestQueries:
+    def test_all_queries_registered(self):
+        assert set(QUERIES) == {"Q8", "Q8_ORIGINAL", "Q9", "Q13"}
+
+    def test_q8_is_inner_join_variant(self):
+        assert "not(empty($a))" in Q8
+
+    def test_q9_has_three_levels(self):
+        assert Q9.count("for $") == 3
+
+    def test_q13_reconstructs_description(self):
+        assert "$i/description" in Q13
+
+    def test_figure1_sample_is_valid(self):
+        from repro.xml.text_parser import parse_document
+        assert parse_document(FIGURE1_SAMPLE).label == "<site>"

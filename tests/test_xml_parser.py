@@ -1,0 +1,169 @@
+"""Unit tests for the XML text parser."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xml.forest import element, text
+from repro.xml.text_parser import parse_document, parse_forest
+
+
+class TestBasicParsing:
+    def test_empty_element(self):
+        assert parse_forest("<a/>") == (element("a"),)
+
+    def test_element_with_text(self):
+        assert parse_forest("<a>hello</a>") == (element("a", (text("hello"),)),)
+
+    def test_nested_elements(self):
+        trees = parse_forest("<a><b/><c/></a>")
+        assert [child.label for child in trees[0].children] == ["<b>", "<c>"]
+
+    def test_multiple_top_level_trees(self):
+        trees = parse_forest("<a/><b/>")
+        assert [tree.label for tree in trees] == ["<a>", "<b>"]
+
+    def test_empty_input(self):
+        assert parse_forest("") == ()
+
+    def test_whitespace_only(self):
+        assert parse_forest("  \n\t ") == ()
+
+    def test_mixed_content_preserved(self):
+        trees = parse_forest("<a>x<b/>y</a>")
+        labels = [child.label for child in trees[0].children]
+        assert labels == ["x", "<b>", "y"]
+
+    def test_whitespace_only_text_stripped_by_default(self):
+        trees = parse_forest("<a> <b/> </a>")
+        labels = [child.label for child in trees[0].children]
+        assert labels == ["<b>"]
+
+    def test_whitespace_preserved_on_request(self):
+        trees = parse_forest("<a> <b/> </a>", strip_whitespace=False)
+        labels = [child.label for child in trees[0].children]
+        assert labels == [" ", "<b>", " "]
+
+    def test_meaningful_whitespace_in_mixed_content_kept(self):
+        trees = parse_forest("<a>x <b/></a>")
+        labels = [child.label for child in trees[0].children]
+        assert labels == ["x ", "<b>"]
+
+
+class TestAttributes:
+    def test_attribute_becomes_at_node(self):
+        trees = parse_forest('<a id="x"/>')
+        attr = trees[0].children[0]
+        assert attr.label == "@id"
+        assert attr.children[0].label == "x"
+
+    def test_attributes_precede_content(self):
+        trees = parse_forest('<a id="x">body</a>')
+        labels = [child.label for child in trees[0].children]
+        assert labels == ["@id", "body"]
+
+    def test_single_quoted_attribute(self):
+        trees = parse_forest("<a id='x'/>")
+        assert trees[0].children[0].children[0].label == "x"
+
+    def test_multiple_attributes_in_order(self):
+        trees = parse_forest('<a x="1" y="2" z="3"/>')
+        labels = [child.label for child in trees[0].children]
+        assert labels == ["@x", "@y", "@z"]
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_forest('<a id="1" id="2"/>')
+
+    def test_unquoted_attribute_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_forest("<a id=x/>")
+
+    def test_attribute_entity(self):
+        trees = parse_forest('<a t="&lt;&amp;&gt;"/>')
+        assert trees[0].children[0].children[0].label == "<&>"
+
+
+class TestEntitiesAndCData:
+    @pytest.mark.parametrize("entity,expected", [
+        ("&lt;", "<"), ("&gt;", ">"), ("&amp;", "&"),
+        ("&apos;", "'"), ("&quot;", '"'),
+        ("&#65;", "A"), ("&#x41;", "A"),
+    ])
+    def test_entities(self, entity, expected):
+        trees = parse_forest(f"<a>{entity}</a>")
+        assert trees[0].children[0].label == expected
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_forest("<a>&nope;</a>")
+
+    def test_cdata(self):
+        trees = parse_forest("<a><![CDATA[<raw>&stuff;]]></a>")
+        assert trees[0].children[0].label == "<raw>&stuff;"
+
+    def test_comments_skipped(self):
+        trees = parse_forest("<a><!-- comment -->x</a>")
+        assert [child.label for child in trees[0].children] == ["x"]
+
+    def test_processing_instruction_skipped(self):
+        trees = parse_forest('<?xml version="1.0"?><a/>')
+        assert trees[0].label == "<a>"
+
+    def test_doctype_skipped(self):
+        trees = parse_forest("<!DOCTYPE site SYSTEM 'x.dtd'><a/>")
+        assert trees[0].label == "<a>"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", [
+        "<a>",                 # unclosed
+        "<a></b>",             # mismatched close
+        "<a><b></a></b>",      # crossed nesting
+        "<a attr=></a>",       # missing value
+        "<1a/>",               # bad name start
+        "text only <",         # dangling <
+        "<a>&unterminated",    # entity never closed
+    ])
+    def test_malformed_rejected(self, source):
+        with pytest.raises(XMLParseError):
+            parse_forest(source)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XMLParseError) as excinfo:
+            parse_forest("<a></b>")
+        assert excinfo.value.position is not None
+
+
+class TestParseDocument:
+    def test_single_root(self):
+        root = parse_document("<a><b/></a>")
+        assert root.label == "<a>"
+
+    def test_zero_roots_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document("   ")
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(XMLParseError):
+            parse_document("<a/><b/>")
+
+
+class TestFigure1:
+    def test_figure1_parses(self, figure1_doc):
+        assert figure1_doc.label == "<site>"
+        assert [c.label for c in figure1_doc.children] == [
+            "<people>", "<closed_auctions>",
+        ]
+
+    def test_figure1_node_count(self, figure1_doc):
+        # Figure 4's encoding covers 43 nodes — width 86 with the DFS
+        # counter, exactly as printed in the paper.
+        assert figure1_doc.size == 43
+
+    def test_figure1_person_ids(self, figure1_doc):
+        people = figure1_doc.children[0]
+        ids = [
+            person.children[0].children[0].label
+            for person in people.children
+        ]
+        assert ids == ["person0", "person1"]

@@ -1,0 +1,85 @@
+"""Tests for the convenience XPath layer."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.xml.text_parser import parse_document, parse_forest
+from repro.xml.xpath import xpath, xpath_first, xpath_values
+
+DOC = parse_document("""
+<site>
+  <people>
+    <person id="p0"><name>Ada</name><age>36</age></person>
+    <person id="p1"><name>Bob</name></person>
+  </people>
+  <log>x<name>ghost</name></log>
+</site>
+""")
+
+
+class TestSteps:
+    def test_child_chain(self):
+        result = xpath(DOC, "people/person/name")
+        assert [n.string_value() for n in result] == ["Ada", "Bob"]
+
+    def test_leading_slash_optional(self):
+        assert xpath(DOC, "/people/person") == xpath(DOC, "people/person")
+
+    def test_attribute_step(self):
+        values = xpath_values(DOC, "people/person/@id")
+        assert values == ["p0", "p1"]
+
+    def test_text_step(self):
+        assert xpath_values(DOC, "people/person/name/text()") == \
+            ["Ada", "Bob"]
+
+    def test_wildcard(self):
+        result = xpath(DOC, "people/person/*")
+        labels = [n.label for n in result]
+        assert labels == ["<name>", "<age>", "<name>"]
+
+    def test_descendant_step(self):
+        names = xpath_values(DOC, "//name")
+        assert names == ["Ada", "Bob", "ghost"]
+
+    def test_descendant_mid_path(self):
+        assert xpath_values(DOC, "people//name") == ["Ada", "Bob"]
+
+    def test_no_match(self):
+        assert xpath(DOC, "missing/step") == ()
+
+    def test_forest_input(self):
+        trees = parse_forest("<a><b>1</b></a><a><b>2</b></a>")
+        assert xpath_values(trees, "b") == ["1", "2"]
+
+
+class TestHelpers:
+    def test_first(self):
+        node = xpath_first(DOC, "people/person")
+        assert node is not None
+        assert node.children[0].label == "@id"
+
+    def test_first_none(self):
+        assert xpath_first(DOC, "zzz") is None
+
+    def test_values_use_string_value(self):
+        assert xpath_values(DOC, "people/person")[0] == "p0Ada36"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("path", ["", " a", "a/", "a//", "a b/c"])
+    def test_malformed(self, path):
+        with pytest.raises(ReproError):
+            xpath(DOC, path)
+
+
+class TestAgreementWithQueryEngine:
+    def test_same_answers_as_run_xquery(self):
+        from repro import run_xquery
+        from repro.xml.serializer import forest_to_xml
+
+        via_query = run_xquery(
+            'document("d")/site/people/person/name',
+            {"d": (DOC,)})
+        via_xpath = xpath(DOC, "people/person/name")
+        assert forest_to_xml(via_xpath) == via_query.to_xml()

@@ -1,0 +1,271 @@
+"""Unit tests for the XQuery surface parser."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery.ast import (
+    SBooleanOp,
+    SComparison,
+    SDocument,
+    SElementConstructor,
+    SFLWR,
+    SForClause,
+    SFunctionCall,
+    SLetClause,
+    SPath,
+    SPredicate,
+    SSequence,
+    SStringLiteral,
+    SVarRef,
+)
+from repro.xquery.parser import parse_xquery
+
+
+class TestPrimaries:
+    def test_variable(self):
+        assert parse_xquery("$x").body == SVarRef("x")
+
+    def test_string_literal(self):
+        assert parse_xquery('"hello"').body == SStringLiteral("hello")
+
+    def test_number_becomes_string_literal(self):
+        assert parse_xquery("42").body == SStringLiteral("42")
+
+    def test_document(self):
+        query = parse_xquery('document("a.xml")')
+        assert query.body == SDocument("a.xml")
+        assert query.documents == ("a.xml",)
+
+    def test_doc_alias(self):
+        assert parse_xquery('doc("a.xml")').body == SDocument("a.xml")
+
+    def test_document_requires_literal(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery("document($x)")
+
+    def test_parenthesized(self):
+        assert parse_xquery("($x)").body == SVarRef("x")
+
+    def test_empty_sequence(self):
+        assert parse_xquery("()").body == SSequence(())
+
+    def test_sequence(self):
+        body = parse_xquery("($x, $y)").body
+        assert isinstance(body, SSequence)
+        assert len(body.items) == 2
+
+
+class TestPaths:
+    def test_child_steps(self):
+        body = parse_xquery("$x/site/people").body
+        assert isinstance(body, SPath)
+        assert [(s.axis, s.test) for s in body.steps] == [
+            ("child", "site"), ("child", "people"),
+        ]
+
+    def test_attribute_step(self):
+        body = parse_xquery("$x/@id").body
+        assert body.steps[0] == type(body.steps[0])("attribute", "id")
+
+    def test_text_step(self):
+        body = parse_xquery("$x/text()").body
+        assert body.steps[0].test == "text()"
+
+    def test_wildcard_step(self):
+        body = parse_xquery("$x/*").body
+        assert body.steps[0].test == "*"
+
+    def test_descendant_step(self):
+        body = parse_xquery("$x//item").body
+        assert body.steps[0].axis == "descendant"
+
+    def test_steps_accumulate_on_one_path(self):
+        body = parse_xquery("$x/a/b/@c").body
+        assert isinstance(body, SPath)
+        assert len(body.steps) == 3
+        assert isinstance(body.base, SVarRef)
+
+    def test_predicate(self):
+        body = parse_xquery("$x/person[./@id = 'p0']").body
+        assert isinstance(body, SPredicate)
+        assert isinstance(body.base, SPath)
+        assert isinstance(body.condition, SComparison)
+
+    def test_path_over_document(self):
+        body = parse_xquery('document("a.xml")/site').body
+        assert isinstance(body.base, SDocument)
+
+
+class TestFunctionCalls:
+    def test_count(self):
+        body = parse_xquery("count($x)").body
+        assert body == SFunctionCall("count", (SVarRef("x"),))
+
+    def test_nested_calls(self):
+        body = parse_xquery("count(distinct($x))").body
+        assert isinstance(body.args[0], SFunctionCall)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery("frobnicate($x)")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery("count($x, $y)")
+
+    def test_two_argument_function(self):
+        body = parse_xquery("deep-equal($x, $y)").body
+        assert body.name == "deep-equal"
+        assert len(body.args) == 2
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+    def test_operators(self, op):
+        body = parse_xquery(f"$x {op} $y").body
+        assert isinstance(body, SComparison)
+        assert body.op == op
+
+    def test_path_operands(self):
+        body = parse_xquery("$t/buyer/@person = $p/@id").body
+        assert isinstance(body.left, SPath)
+        assert isinstance(body.right, SPath)
+
+    def test_boolean_combinators(self):
+        body = parse_xquery("$x = $y and $a = $b or $c = $d").body
+        assert isinstance(body, SBooleanOp)
+        assert body.op == "or"
+        assert isinstance(body.left, SBooleanOp)
+
+
+class TestFLWR:
+    def test_minimal_for(self):
+        body = parse_xquery("for $x in $y return $x").body
+        assert isinstance(body, SFLWR)
+        assert body.clauses == (SForClause("x", SVarRef("y")),)
+        assert body.where is None
+
+    def test_let_clause(self):
+        body = parse_xquery("let $x := $y return $x").body
+        assert body.clauses == (SLetClause("x", SVarRef("y")),)
+
+    def test_multiple_bindings_in_one_for(self):
+        body = parse_xquery("for $x in $a, $y in $b return $x").body
+        assert len(body.clauses) == 2
+
+    def test_mixed_clauses(self):
+        body = parse_xquery(
+            "for $x in $a let $z := $x where $z = $x return $z"
+        ).body
+        assert len(body.clauses) == 2
+        assert body.where is not None
+
+    def test_nested_flwr(self):
+        body = parse_xquery(
+            "for $x in $a return for $y in $x return $y"
+        ).body
+        assert isinstance(body.returns, SFLWR)
+
+    def test_missing_return_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery("for $x in $y")
+
+    def test_where_without_clauses_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery("where $x return $y")
+
+
+class TestConstructors:
+    def test_empty_element(self):
+        body = parse_xquery("<a/>").body
+        assert body == SElementConstructor("a", (), ())
+
+    def test_literal_content(self):
+        body = parse_xquery("<a>hi</a>").body
+        assert body.content == (SStringLiteral("hi"),)
+
+    def test_embedded_expression(self):
+        body = parse_xquery("<a>{$x}</a>").body
+        assert body.content == (SVarRef("x"),)
+
+    def test_mixed_content(self):
+        body = parse_xquery("<a>n = {$x}!</a>").body
+        assert [type(part).__name__ for part in body.content] == [
+            "SStringLiteral", "SVarRef", "SStringLiteral",
+        ]
+
+    def test_nested_constructor(self):
+        body = parse_xquery("<a><b>{$x}</b></a>").body
+        inner = body.content[0]
+        assert isinstance(inner, SElementConstructor)
+        assert inner.tag == "b"
+
+    def test_attribute_with_literal(self):
+        body = parse_xquery('<a id="x"/>').body
+        assert body.attributes[0].name == "id"
+        assert body.attributes[0].parts == (SStringLiteral("x"),)
+
+    def test_attribute_with_expression(self):
+        body = parse_xquery('<a id="{$x}"/>').body
+        assert body.attributes[0].parts == (SVarRef("x"),)
+
+    def test_attribute_mixing_literal_and_expression(self):
+        body = parse_xquery('<a id="p-{$x}-q"/>').body
+        parts = body.attributes[0].parts
+        assert [type(part).__name__ for part in parts] == [
+            "SStringLiteral", "SVarRef", "SStringLiteral",
+        ]
+
+    def test_boundary_whitespace_stripped(self):
+        body = parse_xquery("<a>\n  {$x}\n</a>").body
+        assert body.content == (SVarRef("x"),)
+
+    def test_double_brace_escapes(self):
+        body = parse_xquery("<a>{{literal}}</a>").body
+        assert body.content == (SStringLiteral("{literal}"),)
+
+    def test_entity_in_content(self):
+        body = parse_xquery("<a>&amp;</a>").body
+        assert body.content == (SStringLiteral("&"),)
+
+    def test_mismatched_closing_tag_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery("<a></b>")
+
+    def test_unterminated_constructor_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery("<a>never closed")
+
+    def test_sequence_inside_braces(self):
+        body = parse_xquery("<a>{$x, $y}</a>").body
+        assert isinstance(body.content[0], SSequence)
+
+    def test_comparison_wont_start_constructor(self):
+        # `$x < $y` must lex as a comparison, not a constructor, because
+        # of the whitespace after `<`.
+        body = parse_xquery("$x < $y").body
+        assert isinstance(body, SComparison)
+
+    def test_keyword_tag_allowed(self):
+        body = parse_xquery("<for>{$x}</for>").body
+        assert body.tag == "for"
+
+
+class TestWholeQueries:
+    def test_q8_parses(self):
+        from repro.xmark.queries import Q8
+        query = parse_xquery(Q8)
+        assert isinstance(query.body, SFLWR)
+        assert query.documents == ("auction.xml",)
+
+    def test_q9_parses(self):
+        from repro.xmark.queries import Q9
+        assert isinstance(parse_xquery(Q9).body, SFLWR)
+
+    def test_q13_parses(self):
+        from repro.xmark.queries import Q13
+        assert isinstance(parse_xquery(Q13).body, SFLWR)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(XQuerySyntaxError):
+            parse_xquery("$x $y")
