@@ -21,7 +21,9 @@ Package layout (see DESIGN.md for the full inventory):
 * :mod:`repro.xquery` — surface parser, lowering, reference interpreter;
 * :mod:`repro.sql` — the single-statement SQL translation (SQLite backend);
 * :mod:`repro.engine` — the DI prototype with order-aware operators;
-* :mod:`repro.compiler` — physical plans and the merge-join decorrelation;
+* :mod:`repro.compiler` — physical plans, the merge-join decorrelation,
+  and the staged pass pipeline;
+* :mod:`repro.backends` — the pluggable execution-backend registry;
 * :mod:`repro.xmark` — the synthetic XMark workload generator and queries;
 * :mod:`repro.baselines` — nested-loop competitor simulations;
 * :mod:`repro.bench` — the experiment harness behind EXPERIMENTS.md.
@@ -29,9 +31,16 @@ Package layout (see DESIGN.md for the full inventory):
 
 from repro.api import (
     CompiledQuery,
+    DocumentInput,
     QueryResult,
     compile_xquery,
     run_xquery,
+)
+from repro.backends import (
+    Backend,
+    BackendCapabilities,
+    register_backend,
+    registered_backends,
 )
 from repro.errors import ReproError
 from repro.session import XQuerySession
@@ -39,11 +48,16 @@ from repro.session import XQuerySession
 __version__ = "1.0.0"
 
 __all__ = [
+    "Backend",
+    "BackendCapabilities",
     "CompiledQuery",
+    "DocumentInput",
     "QueryResult",
     "ReproError",
     "XQuerySession",
     "compile_xquery",
+    "register_backend",
+    "registered_backends",
     "run_xquery",
     "__version__",
 ]

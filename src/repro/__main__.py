@@ -16,6 +16,7 @@ import argparse
 import sys
 
 from repro.api import compile_xquery, run_xquery
+from repro.backends.registry import registered_backends
 from repro.encoding.interval import encode
 from repro.errors import ReproError
 from repro.xml.text_parser import parse_forest
@@ -48,12 +49,16 @@ def main(argv: list[str] | None = None) -> int:
                         type=_parse_doc_argument, metavar="URI=PATH",
                         help="bind document(URI) to the XML file at PATH")
     parser.add_argument("--backend", default="engine",
-                        choices=["engine", "sqlite", "interpreter"])
+                        choices=list(registered_backends()),
+                        help="execution backend (from the backend registry)")
     parser.add_argument("--strategy", default="msj", choices=["msj", "nlj"])
     parser.add_argument("--indent", type=int, default=None,
                         help="pretty-print the result")
     parser.add_argument("--explain", action="store_true",
                         help="print the physical plan instead of running")
+    parser.add_argument("--explain-verbose", action="store_true",
+                        help="with --explain: include the compilation "
+                             "pipeline trace (per-pass timings + snapshots)")
     parser.add_argument("--sql", action="store_true",
                         help="print the translated single SQL statement "
                              "instead of running")
@@ -63,8 +68,9 @@ def main(argv: list[str] | None = None) -> int:
         query_text = _load_query(args.query)
         compiled = compile_xquery(query_text)
 
-        if args.explain:
-            print(compiled.explain(args.strategy))
+        if args.explain or args.explain_verbose:
+            print(compiled.explain(args.strategy,
+                                   verbose=args.explain_verbose))
             return 0
 
         documents: dict[str, str] = {}

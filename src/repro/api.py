@@ -11,36 +11,43 @@ Typical use::
     )
     print(result.to_xml())
 
-Three interchangeable backends evaluate the same compiled query:
+Execution backends are resolved through the registry in
+:mod:`repro.backends` — every registered name is accepted here, in
+:class:`~repro.session.XQuerySession`, in the benchmark harness, and on
+the CLI.  Ships with:
 
 * ``"engine"`` — the DI prototype (Section 5) with merge-join (``msj``,
   default) or nested-loop (``nlj``) iteration strategy;
 * ``"sqlite"`` — the Section 4 translation executed as SQL on SQLite;
-* ``"interpreter"`` — the Figure 3 reference semantics (the oracle).
+* ``"interpreter"`` — the Figure 3 reference semantics (the oracle);
+* ``"naive"`` — the materializing nested-loop competitor baseline.
+
+Compilation runs through the staged pass pipeline
+(:mod:`repro.compiler.pipeline`); ``compile_xquery(q).explain(verbose=True)``
+shows each pass with its timing and before/after snapshots.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence, TypeAlias
 
+from repro.backends.base import ExecutionOptions, coerce_strategy
+from repro.backends.registry import create_backend
+from repro.compiler.pipeline import PipelineTrace, plan_stage, run_frontend
 from repro.compiler.plan import JoinStrategy, PlanNode
-from repro.compiler.planner import compile_plan, explain_plan
-from repro.engine.evaluator import DIEngine
+from repro.compiler.planner import explain_plan
 from repro.engine.stats import EngineStats
 from repro.errors import ReproError
-from repro.sql.sqlite_backend import SQLiteDatabase
 from repro.sql.translator import TranslationResult, translate_query
 from repro.xml.forest import Forest, Node
 from repro.xml.serializer import forest_to_xml
 from repro.xml.text_parser import parse_forest
 from repro.xquery.ast import CoreExpr
-from repro.xquery.interpreter import Interpreter
-from repro.xquery.lowering import document_forest, lower_query
-from repro.xquery.parser import parse_xquery
+from repro.xquery.lowering import document_forest
 
 #: Document inputs accepted by the API: XML text, a node, or a forest.
-DocumentInput = "str | Node | Forest"
+DocumentInput: TypeAlias = str | Node | Forest
 
 
 @dataclass
@@ -75,15 +82,32 @@ class CompiledQuery:
     core: CoreExpr
     #: URI → core-language variable name for each document() reference.
     documents: dict[str, str]
+    #: Per-pass timings and snapshots from the compilation pipeline.
+    trace: PipelineTrace = field(default_factory=PipelineTrace, compare=False)
 
-    def plan(self, strategy: str | JoinStrategy = "msj") -> PlanNode:
-        """Compile to a DI-engine physical plan."""
-        return compile_plan(self.core, _strategy(strategy),
-                            base_vars=self.documents.values())
+    def plan(self, strategy: str | JoinStrategy = "msj",
+             decorrelate: bool = True,
+             trace: PipelineTrace | None = None) -> PlanNode:
+        """Compile to a DI-engine physical plan (via the plan passes)."""
+        return plan_stage(self.core, coerce_strategy(strategy),
+                          base_vars=self.documents.values(),
+                          decorrelate=decorrelate, trace=trace)
 
-    def explain(self, strategy: str | JoinStrategy = "msj") -> str:
-        """Human-readable physical plan."""
-        return explain_plan(self.plan(strategy))
+    def explain(self, strategy: str | JoinStrategy = "msj",
+                verbose: bool = False) -> str:
+        """Human-readable physical plan.
+
+        ``verbose=True`` prepends the pipeline trace — every pass that ran
+        (``parse``, ``lower``, selected rewrites such as ``simplify``,
+        ``decorrelate``, ``plan``) with per-pass timings, details, and
+        before/after snapshots.
+        """
+        trace = PipelineTrace(records=list(self.trace.records))
+        plan = self.plan(strategy, trace=trace)
+        rendered = explain_plan(plan)
+        if not verbose:
+            return rendered
+        return f"{trace.render(verbose=True)}\n\nphysical plan:\n{rendered}"
 
     def to_sql(self, documents: Mapping[str, tuple[str, int]],
                max_width: int | None = None) -> TranslationResult:
@@ -91,63 +115,57 @@ class CompiledQuery:
         return translate_query(self.core, documents, max_width=max_width)
 
 
-def compile_xquery(query: str, simplify: bool = False) -> CompiledQuery:
+def compile_xquery(query: str, simplify: bool = False,
+                   passes: Sequence[str] | None = None) -> CompiledQuery:
     """Parse and lower XQuery text to the core language.
 
-    ``simplify=True`` additionally runs the algebraic simplification pass
-    (:mod:`repro.compiler.simplify`) — semantics-preserving, typically
-    shrinking the generated SQL's CTE chain.
+    ``passes`` selects registered rewrite passes by name, applied in
+    order (see :func:`repro.compiler.pipeline.registered_passes`).
+    ``simplify=True`` is shorthand for including the ``"simplify"`` pass —
+    semantics-preserving algebra that typically shrinks the generated
+    SQL's CTE chain.
     """
-    parsed = parse_xquery(query)
-    core, documents = lower_query(parsed)
-    if simplify:
-        from repro.compiler.simplify import simplify as simplify_core
-        core = simplify_core(core)
-    return CompiledQuery(query, core, documents)
+    rewrites = list(passes or ())
+    if simplify and "simplify" not in rewrites:
+        rewrites.append("simplify")
+    core, documents, trace = run_frontend(query, rewrites)
+    return CompiledQuery(query, core, documents, trace)
 
 
 def run_xquery(query: str | CompiledQuery,
-               documents: Mapping[str, object] | None = None,
+               documents: Mapping[str, DocumentInput] | None = None,
                backend: str = "engine",
                strategy: str | JoinStrategy = "msj",
                stats: EngineStats | None = None) -> QueryResult:
     """Run a query against documents and return the result forest.
 
     ``documents`` maps the URIs used in ``document(...)`` calls to XML
-    text, a parsed :class:`Node`, or a forest.  ``backend`` is one of
-    ``"engine"``, ``"sqlite"``, ``"interpreter"``; ``strategy`` selects
-    nested-loop vs merge join for the engine backend.  ``stats`` (engine
-    backend only) collects the Figure 10 time breakdown.
+    text, a parsed :class:`Node`, or a forest.  ``backend`` is any name in
+    the backend registry (``repro.backends.registered_backends()``);
+    ``strategy`` selects nested-loop vs merge join for the engine backend.
+    ``stats`` (engine backend only) collects the Figure 10 time breakdown.
     """
     compiled = query if isinstance(query, CompiledQuery) else compile_xquery(query)
     bindings = _bind_documents(compiled, documents or {})
-    if backend == "engine":
-        engine = DIEngine(stats=stats)
-        plan = compiled.plan(strategy)
-        return QueryResult(engine.run_plan(plan, bindings))
-    if backend == "interpreter":
-        interpreter = Interpreter()
-        return QueryResult(interpreter.evaluate(compiled.core, bindings))
-    if backend == "sqlite":
-        with SQLiteDatabase() as database:
-            for name, forest in bindings.items():
-                database.load_document(name, forest)
-            return QueryResult(database.execute(compiled.core))
-    raise ReproError(f"unknown backend {backend!r}")
+    options = ExecutionOptions(strategy=coerce_strategy(strategy), stats=stats)
+    with create_backend(backend) as target:
+        target.prepare(bindings)
+        return QueryResult(target.execute(compiled, options))
 
 
 def _bind_documents(compiled: CompiledQuery,
-                    documents: Mapping[str, object]) -> dict[str, Forest]:
+                    documents: Mapping[str, DocumentInput]) -> dict[str, Forest]:
     bindings: dict[str, Forest] = {}
     for uri, var in compiled.documents.items():
         if uri not in documents:
             raise ReproError(f"query references document({uri!r}) but no "
                              f"such document was supplied")
-        bindings[var] = document_forest(_as_forest(documents[uri]))
+        bindings[var] = document_forest(as_forest(documents[uri]))
     return bindings
 
 
-def _as_forest(value: object) -> Forest:
+def as_forest(value: DocumentInput) -> Forest:
+    """Coerce a :data:`DocumentInput` (text / node / forest) to a forest."""
     if isinstance(value, str):
         return parse_forest(value)
     if isinstance(value, Node):
@@ -158,14 +176,3 @@ def _as_forest(value: object) -> Forest:
         f"cannot interpret {type(value).__name__} as a document; "
         f"pass XML text, a Node, or a forest"
     )
-
-
-def _strategy(value: str | JoinStrategy) -> JoinStrategy:
-    if isinstance(value, JoinStrategy):
-        return value
-    try:
-        return JoinStrategy(value.lower())
-    except ValueError:
-        raise ReproError(
-            f"unknown join strategy {value!r}; use 'nlj' or 'msj'"
-        ) from None

@@ -1,0 +1,56 @@
+"""Pluggable execution backends behind a single registry.
+
+The paper's retargetability claim, made structural: compiled queries are
+executed through the :class:`~repro.backends.base.Backend` protocol, and
+every dispatch site (:func:`repro.run_xquery`,
+:class:`~repro.session.XQuerySession`, benchmark cells, the CLI) resolves
+names through :mod:`repro.backends.registry`.  Built-ins registered on
+import:
+
+* ``engine`` — the DI prototype (Section 5), merge-sort or nested-loop
+  joins, cached document encodings and plans;
+* ``sqlite`` — the Section 4 single-SQL-statement translation on SQLite;
+* ``interpreter`` — the Figure 3 reference semantics (the conformance
+  oracle);
+* ``naive`` — the materializing nested-loop competitor baseline.
+
+:class:`~repro.backends.dbapi.DBAPIBackend` is a generic PEP 249 adapter
+left unregistered — instantiate it with a driver's ``connect`` and
+register it under any name to target another engine.
+"""
+
+from repro.backends.base import (
+    Backend,
+    BackendCapabilities,
+    ExecutionOptions,
+    coerce_strategy,
+)
+from repro.backends.registry import (
+    backend_capabilities,
+    create_backend,
+    iter_backends,
+    register_backend,
+    registered_backends,
+    unregister_backend,
+)
+
+# Importing the adapter modules registers the built-in backends.
+from repro.backends import engine as _engine  # noqa: F401  (registration)
+from repro.backends import interpreter as _interpreter  # noqa: F401
+from repro.backends import naive as _naive  # noqa: F401
+from repro.backends import sqlite as _sqlite  # noqa: F401
+from repro.backends.dbapi import DBAPIBackend
+
+__all__ = [
+    "Backend",
+    "BackendCapabilities",
+    "DBAPIBackend",
+    "ExecutionOptions",
+    "backend_capabilities",
+    "coerce_strategy",
+    "create_backend",
+    "iter_backends",
+    "register_backend",
+    "registered_backends",
+    "unregister_backend",
+]

@@ -1,0 +1,196 @@
+"""The execution-backend protocol.
+
+The paper's central claim is retargetability: one compiled artifact — a
+core expression / dynamic-interval plan — can be executed by different
+relational engines.  A :class:`Backend` is the unit of retargeting.  Each
+backend:
+
+* declares :class:`BackendCapabilities` (can it keep documents loaded
+  between queries, does it survive in-place document updates, what is its
+  maximum representable interval width);
+* follows a two-phase lifecycle — :meth:`Backend.prepare` loads documents
+  (untimed setup, keyed by core variable name), :meth:`Backend.execute`
+  evaluates a compiled query against them;
+* owns its resources: every backend is a context manager and
+  :meth:`Backend.close` is idempotent.
+
+Concrete adapters live in sibling modules and are registered with
+:mod:`repro.backends.registry`; new engines plug in via
+:func:`~repro.backends.registry.register_backend` without touching
+``api.py`` / ``session.py`` / the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.compiler.plan import JoinStrategy
+from repro.engine.stats import EngineStats
+from repro.errors import ReproError
+from repro.xml.forest import Forest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api imports us)
+    from repro.api import CompiledQuery
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What an execution backend can do, declared up front.
+
+    * ``prepared_documents`` — the backend keeps loaded documents between
+      queries (sessions skip re-loading and invalidate selectively);
+    * ``updates`` — prepared state survives in-place document updates via
+      :meth:`Backend.invalidate`; backends without this are torn down and
+      rebuilt by the session when a document changes;
+    * ``max_width`` — largest interval width the backend can represent
+      (``None`` = unbounded, e.g. Python bignums);
+    * ``strategies`` — join strategies the backend distinguishes (empty
+      when the knob is meaningless, e.g. the SQL translation).
+    """
+
+    prepared_documents: bool = False
+    updates: bool = True
+    max_width: int | None = None
+    strategies: tuple[JoinStrategy, ...] = ()
+    description: str = ""
+
+
+@dataclass
+class ExecutionOptions:
+    """Per-execution knobs passed to :meth:`Backend.execute`.
+
+    Backends ignore options that do not apply to them (the interpreter has
+    no join strategy; only the DI engine fills ``stats``).
+    """
+
+    strategy: JoinStrategy = JoinStrategy.MSJ
+    stats: EngineStats | None = None
+    decorrelate: bool = True
+    extra: dict[str, object] = field(default_factory=dict)
+
+
+def coerce_strategy(value: str | JoinStrategy) -> JoinStrategy:
+    """Normalize a user-supplied strategy name, with a uniform error."""
+    if isinstance(value, JoinStrategy):
+        return value
+    try:
+        return JoinStrategy(str(value).lower())
+    except ValueError:
+        raise ReproError(
+            f"unknown join strategy {value!r}; use 'nlj' or 'msj'"
+        ) from None
+
+
+class Backend(abc.ABC):
+    """An execution target for compiled queries.
+
+    Lifecycle: construct (via the registry), :meth:`prepare` document
+    bindings one or more times, :meth:`execute` any number of compiled
+    queries, :meth:`close`.  ``prepare`` is incremental — already-loaded
+    names are skipped until :meth:`invalidate` drops them — so sessions
+    can call it with the full binding set on every query.
+    """
+
+    #: Registry name; set by subclasses.
+    name: str = "?"
+    capabilities: BackendCapabilities = BackendCapabilities()
+
+    def __init__(self) -> None:
+        self._prepared: dict[str, Forest] = {}
+        self._closed = False
+
+    # -- document lifecycle ---------------------------------------------------
+
+    def prepare(self, documents: Mapping[str, Forest]) -> None:
+        """Load ``documents`` (core variable name → forest), skipping names
+        already prepared.  Call :meth:`invalidate` first to force a reload.
+        """
+        self._check_open()
+        for name, forest in documents.items():
+            if name not in self._prepared:
+                self._load(name, forest)
+                self._prepared[name] = forest
+
+    def invalidate(self, name: str) -> None:
+        """Drop prepared state for ``name`` (no-op when not prepared)."""
+        if name in self._prepared:
+            del self._prepared[name]
+            self._unload(name)
+
+    @property
+    def prepared(self) -> tuple[str, ...]:
+        """Names of currently prepared documents, sorted."""
+        return tuple(sorted(self._prepared))
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self, compiled: "CompiledQuery",
+                options: ExecutionOptions | None = None) -> Forest:
+        """Evaluate ``compiled`` against the prepared documents."""
+        return self.runner(compiled, options)()
+
+    def runner(self, compiled: "CompiledQuery",
+               options: ExecutionOptions | None = None) -> Callable[[], Forest]:
+        """A zero-argument callable performing only the *measured* work.
+
+        Backends hoist per-query setup that the paper's methodology
+        excludes from timings (plan compilation, SQL translation) into this
+        method, so benchmark cells time exactly the evaluation.
+        """
+        self._check_open()
+        options = options or ExecutionOptions()
+        return self._runner(compiled, options)
+
+    # -- resource management --------------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources; idempotent."""
+        if not self._closed:
+            self._closed = True
+            self._prepared.clear()
+            self._close()
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else f"{len(self._prepared)} docs"
+        return f"<{type(self).__name__} {self.name!r} ({state})>"
+
+    # -- subclass hooks -------------------------------------------------------
+
+    @abc.abstractmethod
+    def _runner(self, compiled: "CompiledQuery",
+                options: ExecutionOptions) -> Callable[[], Forest]:
+        """Build the measured-work callable (documents already prepared)."""
+
+    def _load(self, name: str, forest: Forest) -> None:
+        """Materialize one document; default keeps only the forest."""
+
+    def _unload(self, name: str) -> None:
+        """Drop backend state for one document."""
+
+    def _close(self) -> None:
+        """Release concrete resources (connections, caches)."""
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ReproError(f"backend {self.name!r} is closed")
+
+    def _bindings(self, compiled: "CompiledQuery") -> dict[str, Forest]:
+        """The prepared forests the compiled query actually references."""
+        bindings: dict[str, Forest] = {}
+        for uri, var in compiled.documents.items():
+            try:
+                bindings[var] = self._prepared[var]
+            except KeyError:
+                raise ReproError(
+                    f"query references document({uri!r}) but variable "
+                    f"{var!r} was not prepared on backend {self.name!r}"
+                ) from None
+        return bindings

@@ -1,0 +1,66 @@
+"""Backend adapter for the Section 4 translation executed on SQLite."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.backends.base import Backend, BackendCapabilities, ExecutionOptions
+from repro.backends.registry import register_backend
+from repro.sql.sqlite_backend import SQLITE_MAX_WIDTH, SQLiteDatabase
+from repro.xml.forest import Forest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.api import CompiledQuery
+
+
+@register_backend
+class SQLiteBackend(Backend):
+    """Run the single-statement SQL translation on a stock SQLite engine.
+
+    Owns a :class:`~repro.sql.sqlite_backend.SQLiteDatabase`; documents
+    stay shredded between queries and :meth:`~Backend.close` closes the
+    connection, so benchmark cells and one-shot runs never leak handles.
+    """
+
+    name = "sqlite"
+    capabilities = BackendCapabilities(
+        prepared_documents=True,
+        updates=True,
+        max_width=SQLITE_MAX_WIDTH,  # 64-bit integers, Section 4.3
+        strategies=(),  # join choice belongs to SQLite's own planner
+        description="Section 4 single-SQL-statement translation on SQLite",
+    )
+
+    def __init__(self, path: str = ":memory:", mode: str = "staged") -> None:
+        super().__init__()
+        self._database: SQLiteDatabase | None = None
+        self._path = path
+        self._mode = mode
+
+    @property
+    def database(self) -> SQLiteDatabase:
+        """The lazily-opened underlying database."""
+        if self._database is None:
+            self._database = SQLiteDatabase(self._path)
+        return self._database
+
+    def _load(self, name: str, forest: Forest) -> None:
+        self.database.load_document(name, forest)
+
+    def _unload(self, name: str) -> None:
+        # Table contents are replaced wholesale on the next prepare();
+        # nothing to drop eagerly.
+        pass
+
+    def _close(self) -> None:
+        if self._database is not None:
+            self._database.close()
+            self._database = None
+
+    def _runner(self, compiled: "CompiledQuery",
+                options: ExecutionOptions) -> Callable[[], Forest]:
+        self._bindings(compiled)  # uniform missing-document error
+        database = self.database
+        translation = database.translate(compiled.core)
+        mode = self._mode
+        return lambda: database.run_translation(translation, mode=mode)

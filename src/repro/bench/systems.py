@@ -12,28 +12,58 @@ Mapping to the paper's Section 6 rows:
                   motivates Section 5's special operators
 ================  ==============================================================
 
-Each cell generates its document (untimed, seeded), compiles the query
-(untimed), then measures CPU time of evaluation only — matching the
-paper's methodology (document load time excluded, CPU seconds reported).
+Each system is declarative data — a backend-registry name plus
+construction/execution options — and cells run through the uniform
+:class:`~repro.backends.base.Backend` lifecycle: document loading and
+query compilation happen in the untimed :meth:`prepare` /
+:meth:`runner` phase, only the returned runner is measured (matching the
+paper's methodology: document load time excluded, CPU seconds reported),
+and the backend is always closed, connections included.
 """
 
 from __future__ import annotations
 
+import gc
 import time
-from typing import Any
+from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 from repro.api import compile_xquery
-from repro.baselines.naive import NaiveEvaluator
+from repro.backends.base import ExecutionOptions
+from repro.backends.registry import create_backend
 from repro.compiler.plan import JoinStrategy
-from repro.compiler.planner import compile_plan
-from repro.engine.evaluator import DIEngine
 from repro.engine.stats import EngineStats
-from repro.sql.sqlite_backend import SQLiteDatabase
 from repro.xmark.generator import cached_document
 from repro.xmark.queries import QUERIES
 from repro.xquery.lowering import document_forest
 
-SYSTEMS = ("naive", "di-nlj", "di-msj", "sqlite")
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """One benchmark row: a registered backend plus fixed options."""
+
+    backend: str
+    strategy: JoinStrategy | None = None
+    #: Extra keyword arguments for the backend factory.
+    backend_options: Mapping[str, Any] = field(default_factory=dict)
+    #: Whether the backend fills ``ExecutionOptions.stats`` (DI engine).
+    collects_stats: bool = False
+    #: Whether the factory takes the harness ``memory_budget`` (the
+    #: simulated "IM" limit only applies to the naive competitor).
+    accepts_memory_budget: bool = False
+
+
+#: Section 6 system rows → backend registry configurations.
+SYSTEM_SPECS: dict[str, SystemSpec] = {
+    "naive": SystemSpec("naive", accepts_memory_budget=True),
+    "di-nlj": SystemSpec("engine", strategy=JoinStrategy.NLJ,
+                         collects_stats=True),
+    "di-msj": SystemSpec("engine", strategy=JoinStrategy.MSJ,
+                         collects_stats=True),
+    "sqlite": SystemSpec("sqlite"),
+}
+
+SYSTEMS = tuple(SYSTEM_SPECS)
 
 
 def execute_cell(system: str, query_name: str, scale: float,
@@ -50,6 +80,12 @@ def execute_cell(system: str, query_name: str, scale: float,
     if query_name not in QUERIES:
         raise ValueError(f"unknown query {query_name!r}; "
                          f"choose from {sorted(QUERIES)}")
+    try:
+        spec = SYSTEM_SPECS[system]
+    except KeyError:
+        raise ValueError(f"unknown system {system!r}; "
+                         f"choose from {SYSTEMS}") from None
+
     document = cached_document(scale, seed=seed)
     compiled = compile_xquery(QUERIES[query_name])
     bindings = {
@@ -57,37 +93,41 @@ def execute_cell(system: str, query_name: str, scale: float,
         for _uri, var in compiled.documents.items()
     }
 
-    if system == "naive":
-        evaluator = NaiveEvaluator(memory_budget=memory_budget)
-        runner = lambda: evaluator.evaluate(compiled.core, bindings)  # noqa: E731
-    elif system in ("di-nlj", "di-msj"):
-        strategy = JoinStrategy.NLJ if system == "di-nlj" else JoinStrategy.MSJ
-        plan = compile_plan(compiled.core, strategy,
-                            base_vars=compiled.documents.values())
-        stats = EngineStats() if collect_breakdown else None
-        engine = DIEngine(stats=stats)
-        runner = lambda: engine.run_plan(plan, bindings)  # noqa: E731
-    elif system == "sqlite":
-        database = SQLiteDatabase()
-        for var in bindings:
-            database.load_document(var, bindings[var])
-        translation = database.translate(compiled.core)
-        runner = lambda: database.run_translation(translation)  # noqa: E731
-        stats = None
-    else:
-        raise ValueError(f"unknown system {system!r}; choose from {SYSTEMS}")
+    backend_options = dict(spec.backend_options)
+    if spec.accepts_memory_budget and memory_budget is not None:
+        backend_options["memory_budget"] = memory_budget
+    stats = EngineStats() if (collect_breakdown and spec.collects_stats) else None
+    options = ExecutionOptions(stats=stats)
+    if spec.strategy is not None:
+        options.strategy = spec.strategy
 
-    cpu_start = time.process_time()
-    wall_start = time.perf_counter()
-    result = runner()
-    measurements: dict[str, Any] = {
-        "seconds": time.process_time() - cpu_start,
-        "wall_seconds": time.perf_counter() - wall_start,
-        "result_size": len(result),
-        "scale": scale,
-        "document_nodes": document.size,
-    }
-    if system in ("di-nlj", "di-msj") and collect_breakdown:
-        engine_stats: EngineStats = stats  # type: ignore[assignment]
-        measurements["breakdown"] = engine_stats.fractions()
+    with create_backend(spec.backend, **backend_options) as backend:
+        backend.prepare(bindings)
+        runner = backend.runner(compiled, options)
+
+        # Benchmark hygiene: when the harness forks a cell out of a large
+        # parent process, the child's first GC pass faults in the whole
+        # inherited heap copy-on-write.  Pay that cost before the clock
+        # starts, and keep collector pauses out of the measured region.
+        gc.collect()
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            cpu_start = time.process_time()
+            wall_start = time.perf_counter()
+            result = runner()
+            cpu_seconds = time.process_time() - cpu_start
+            wall_seconds = time.perf_counter() - wall_start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        measurements: dict[str, Any] = {
+            "seconds": cpu_seconds,
+            "wall_seconds": wall_seconds,
+            "result_size": len(result),
+            "scale": scale,
+            "document_nodes": document.size,
+        }
+    if stats is not None:
+        measurements["breakdown"] = stats.fractions()
     return measurements

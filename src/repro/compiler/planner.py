@@ -62,7 +62,8 @@ from repro.xquery.ast import (
 
 def compile_plan(expr: CoreExpr, strategy: JoinStrategy = JoinStrategy.MSJ,
                  base_vars: Iterable[str] = (),
-                 decorrelate_loops: bool = True) -> PlanNode:
+                 decorrelate_loops: bool = True,
+                 match_fn=None) -> PlanNode:
     """Compile ``expr`` for the given join strategy.
 
     ``base_vars`` are the variables bound in the initial environment
@@ -71,17 +72,22 @@ def compile_plan(expr: CoreExpr, strategy: JoinStrategy = JoinStrategy.MSJ,
     Section 5 rewrite entirely (every loop becomes the naive environment
     expansion, which duplicates outer bindings per iteration) — the
     ablation knob behind ``benchmarks/bench_ablation_decorrelation.py``.
+    ``match_fn`` overrides the decorrelation matcher (same signature as
+    :func:`repro.compiler.decorrelate.match_join`); the staged pipeline
+    uses it to time the ``decorrelate`` pass without changing behaviour.
     """
-    compiler = _Compiler(strategy, frozenset(base_vars), decorrelate_loops)
+    compiler = _Compiler(strategy, frozenset(base_vars), decorrelate_loops,
+                         match_fn=match_fn)
     return compiler.compile(expr)
 
 
 class _Compiler:
     def __init__(self, strategy: JoinStrategy, base_vars: frozenset[str],
-                 decorrelate_loops: bool = True):
+                 decorrelate_loops: bool = True, match_fn=None):
         self.strategy = strategy
         self.base_vars = base_vars
         self.decorrelate_loops = decorrelate_loops
+        self.match_fn = match_fn if match_fn is not None else decorrelate.match_join
 
     def compile(self, expr: CoreExpr) -> PlanNode:
         if isinstance(expr, Var):
@@ -107,7 +113,7 @@ class _Compiler:
         # join differs.  Loops the rewrite cannot handle fall back to the
         # naive environment expansion under either strategy.
         if self.decorrelate_loops:
-            match = decorrelate.match_join(loop, self.base_vars)
+            match = self.match_fn(loop, self.base_vars)
             if match is not None:
                 return self._compile_join(match)
         source = self.compile(loop.source)

@@ -93,11 +93,26 @@ class DIEngine:
     def run_plan_encoded(self, plan: PlanNode,
                          bindings: Mapping[str, Forest]) -> Value:
         """Like :meth:`run_plan` but returning the raw encoded relation."""
-        vars: dict[str, Value] = {}
-        for name, forest in bindings.items():
-            encoded = encode(forest)
-            vars[name] = (list(encoded.tuples), max(encoded.width, 1))
-        self._base = EnvSeq([0], vars)
+        vars = {name: self.prepare_document(forest)
+                for name, forest in bindings.items()}
+        return self.run_plan_values(plan, vars)
+
+    @staticmethod
+    def prepare_document(forest: Forest) -> Value:
+        """Encode a document binding once, for reuse across plans.
+
+        The returned ``(relation, width)`` value is what
+        :meth:`run_plan_values` expects; backends that keep documents
+        loaded between queries cache these instead of re-shredding the
+        forest per run.
+        """
+        encoded = encode(forest)
+        return (list(encoded.tuples), max(encoded.width, 1))
+
+    def run_plan_values(self, plan: PlanNode,
+                        values: Mapping[str, Value]) -> Value:
+        """Evaluate ``plan`` over already-encoded document values."""
+        self._base = EnvSeq([0], dict(values))
         try:
             return self.evaluate(plan, self._base)
         finally:

@@ -67,6 +67,22 @@ class TranslationError(ReproError):
     """Raised when a core expression cannot be translated to SQL."""
 
 
+class UnknownBackendError(ReproError):
+    """Raised when a backend name is not present in the backend registry.
+
+    The message always lists the names that *are* registered, sourced from
+    the registry at raise time, so the same error text is produced whether
+    the lookup came from :func:`repro.run_xquery`, an
+    :class:`~repro.session.XQuerySession`, or the CLI.
+    """
+
+    def __init__(self, name: str, registered: "tuple[str, ...] | list[str]" = ()):
+        self.name = name
+        self.registered = tuple(registered)
+        known = ", ".join(repr(n) for n in self.registered) or "<none>"
+        super().__init__(f"unknown backend {name!r}; registered backends: {known}")
+
+
 class PlanError(ReproError):
     """Raised when a core expression cannot be compiled to a physical plan."""
 

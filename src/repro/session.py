@@ -6,8 +6,13 @@ application would use:
 
 * documents are registered once (from text, files, nodes, or generated
   XMark data) and reused across queries;
-* compiled queries and physical plans are cached per (query, strategy);
-* the SQLite backend keeps its shredded tables loaded between queries;
+* compiled queries are cached per query text; backends with the
+  ``prepared_documents`` capability keep their loaded state (shredded
+  SQLite tables, cached interval encodings, physical plans) between
+  queries;
+* backends are resolved through :mod:`repro.backends` — any registered
+  name works, and each instance lives for the session and is closed
+  uniformly by :meth:`XQuerySession.close`;
 * documents can be *updated in place* (insert/delete subtrees via the
   gap-based relabeling of :mod:`repro.encoding.updates`), invalidating
   exactly the affected backend state.
@@ -16,20 +21,20 @@ application would use:
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
-from repro.api import CompiledQuery, QueryResult, compile_xquery
-from repro.compiler.plan import JoinStrategy, PlanNode
-from repro.compiler.planner import compile_plan
+from repro.api import CompiledQuery, DocumentInput, QueryResult, as_forest, compile_xquery
+from repro.backends.base import Backend, ExecutionOptions, coerce_strategy
+from repro.backends.registry import create_backend
+from repro.compiler.plan import JoinStrategy
 from repro.encoding.updates import UpdatableDocument
-from repro.engine.evaluator import DIEngine
 from repro.engine.stats import EngineStats
 from repro.errors import ReproError
-from repro.sql.sqlite_backend import SQLiteDatabase
-from repro.xml.forest import Forest, Node
-from repro.xml.text_parser import parse_forest
-from repro.xquery.interpreter import Interpreter
-from repro.xquery.lowering import document_forest
+from repro.xml.forest import Forest
+from repro.xquery.lowering import document_forest, document_variable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.compiler.plan import PlanNode
 
 
 class XQuerySession:
@@ -39,32 +44,20 @@ class XQuerySession:
                  strategy: str | JoinStrategy = JoinStrategy.MSJ,
                  simplify: bool = False):
         self.backend = backend
-        self.strategy = (strategy if isinstance(strategy, JoinStrategy)
-                         else JoinStrategy(strategy))
+        self.strategy = coerce_strategy(strategy)
         self.simplify = simplify
         self._documents: dict[str, Forest] = {}
         self._updatable: dict[str, UpdatableDocument] = {}
         self._compiled: dict[str, CompiledQuery] = {}
-        self._plans: dict[tuple[str, JoinStrategy], PlanNode] = {}
-        self._sqlite: SQLiteDatabase | None = None
-        self._sqlite_loaded: set[str] = set()
+        self._backends: dict[str, Backend] = {}
 
     # -- document management ---------------------------------------------------
 
-    def add_document(self, uri: str, source: str | Node | Forest) -> None:
+    def add_document(self, uri: str, source: DocumentInput) -> None:
         """Register (or replace) the document bound to ``document(uri)``."""
-        if isinstance(source, str):
-            forest = parse_forest(source)
-        elif isinstance(source, Node):
-            forest = (source,)
-        elif isinstance(source, tuple):
-            forest = source
-        else:
-            raise ReproError(
-                f"cannot use {type(source).__name__} as a document")
-        self._documents[uri] = forest
+        self._documents[uri] = as_forest(source)
         self._updatable.pop(uri, None)
-        self._sqlite_loaded.discard(uri)
+        self._invalidate(uri)
 
     def add_document_file(self, uri: str, path: str | Path) -> None:
         """Register a document from an XML file."""
@@ -101,7 +94,7 @@ class XQuerySession:
         """Commit an updated encoding back as the document's new state."""
         self._documents[uri] = updated.to_forest()
         self._updatable[uri] = updated
-        self._sqlite_loaded.discard(uri)
+        self._invalidate(uri)
 
     # -- querying ----------------------------------------------------------------------
 
@@ -118,22 +111,17 @@ class XQuerySession:
             stats: EngineStats | None = None) -> QueryResult:
         """Run a query against the registered documents."""
         compiled = self.prepare(query)
-        bindings = self._bindings(compiled)
-        backend = backend or self.backend
-        if backend == "engine":
-            plan = self._plan(query, compiled, strategy)
-            return QueryResult(DIEngine(stats=stats).run_plan(plan, bindings))
-        if backend == "interpreter":
-            return QueryResult(Interpreter().evaluate(compiled.core, bindings))
-        if backend == "sqlite":
-            database = self._ensure_sqlite(compiled, bindings)
-            return QueryResult(database.execute(compiled.core))
-        raise ReproError(f"unknown backend {backend!r}")
+        target = self.backend_instance(backend or self.backend)
+        target.prepare(self._bindings(compiled))
+        options = ExecutionOptions(strategy=self._strategy(strategy),
+                                   stats=stats)
+        return QueryResult(target.execute(compiled, options))
 
     def explain(self, query: str,
-                strategy: str | JoinStrategy | None = None) -> str:
+                strategy: str | JoinStrategy | None = None,
+                verbose: bool = False) -> str:
         compiled = self.prepare(query)
-        return compiled.explain(self._strategy(strategy))
+        return compiled.explain(self._strategy(strategy), verbose=verbose)
 
     def profile(self, query: str,
                 strategy: str | JoinStrategy | None = None):
@@ -141,14 +129,34 @@ class XQuerySession:
         from repro.engine.profile import profile_plan
 
         compiled = self.prepare(query)
-        plan = self._plan(query, compiled, strategy)
+        plan = self._plan(compiled, strategy)
         return profile_plan(plan, self._bindings(compiled))
 
+    # -- backends --------------------------------------------------------------------
+
+    def backend_instance(self, name: str) -> Backend:
+        """The session's live backend for ``name`` (created on first use).
+
+        Resolution goes through the backend registry, so any backend
+        registered via :func:`repro.backends.register_backend` — including
+        third-party ones — is available here and in :meth:`run`.
+        """
+        target = self._backends.get(name)
+        if target is None:
+            target = create_backend(name)
+            self._backends[name] = target
+        return target
+
+    @property
+    def active_backends(self) -> list[str]:
+        """Names of backends this session has instantiated."""
+        return sorted(self._backends)
+
     def close(self) -> None:
-        if self._sqlite is not None:
-            self._sqlite.close()
-            self._sqlite = None
-            self._sqlite_loaded.clear()
+        """Close every live backend; the session can keep being used."""
+        for target in self._backends.values():
+            target.close()
+        self._backends.clear()
 
     def __enter__(self) -> "XQuerySession":
         return self
@@ -161,20 +169,16 @@ class XQuerySession:
     def _strategy(self, strategy: str | JoinStrategy | None) -> JoinStrategy:
         if strategy is None:
             return self.strategy
-        if isinstance(strategy, JoinStrategy):
-            return strategy
-        return JoinStrategy(strategy)
+        return coerce_strategy(strategy)
 
-    def _plan(self, query: str, compiled: CompiledQuery,
-              strategy: str | JoinStrategy | None) -> PlanNode:
-        resolved = self._strategy(strategy)
-        key = (query, resolved)
-        plan = self._plans.get(key)
-        if plan is None:
-            plan = compile_plan(compiled.core, resolved,
-                                base_vars=compiled.documents.values())
-            self._plans[key] = plan
-        return plan
+    def _plan(self, compiled: CompiledQuery,
+              strategy: str | JoinStrategy | None) -> "PlanNode":
+        target = self.backend_instance("engine")
+        options = ExecutionOptions(strategy=self._strategy(strategy))
+        plan_for = getattr(target, "plan_for", None)
+        if plan_for is not None:
+            return plan_for(compiled, options)
+        return compiled.plan(options.strategy)
 
     def _bindings(self, compiled: CompiledQuery) -> dict[str, Forest]:
         bindings = {}
@@ -182,12 +186,17 @@ class XQuerySession:
             bindings[var] = document_forest(self.document(uri))
         return bindings
 
-    def _ensure_sqlite(self, compiled: CompiledQuery,
-                       bindings: Mapping[str, Forest]) -> SQLiteDatabase:
-        if self._sqlite is None:
-            self._sqlite = SQLiteDatabase()
-        for uri, var in compiled.documents.items():
-            if uri not in self._sqlite_loaded:
-                self._sqlite.load_document(var, bindings[var])
-                self._sqlite_loaded.add(uri)
-        return self._sqlite
+    def _invalidate(self, uri: str) -> None:
+        """Drop backend state for one document after it changed.
+
+        Backends whose capabilities declare ``updates`` invalidate just the
+        affected document; the rest are closed and recreated lazily.
+        """
+        var = document_variable(uri)
+        for name in list(self._backends):
+            target = self._backends[name]
+            if target.capabilities.updates:
+                target.invalidate(var)
+            else:
+                target.close()
+                del self._backends[name]

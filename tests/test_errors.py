@@ -15,6 +15,7 @@ class TestHierarchy:
         errors.UnknownFunctionError,
         errors.UnboundVariableError,
         errors.TranslationError,
+        errors.UnknownBackendError,
         errors.PlanError,
         errors.ExecutionError,
         errors.BenchmarkTimeout,

@@ -1,0 +1,129 @@
+"""The staged compilation pipeline: registered passes, timings, traces."""
+
+import pytest
+
+from repro import compile_xquery
+from repro.backends.base import ExecutionOptions
+from repro.backends.registry import create_backend
+from repro.compiler.pipeline import (
+    CompilerPass,
+    PipelineTrace,
+    get_pass,
+    register_rewrite,
+    registered_passes,
+    run_frontend,
+)
+from repro.errors import ReproError
+from repro.xmark.queries import FIGURE1_SAMPLE, Q8
+
+NAMES = 'document("a.xml")/site/people/person/name/text()'
+JOIN_QUERY = Q8.replace('document("auction.xml")', 'document("a.xml")')
+
+
+class TestPassRegistry:
+    def test_structural_passes_registered(self):
+        names = registered_passes()
+        for expected in ("parse", "lower", "simplify", "decorrelate", "plan"):
+            assert expected in names
+
+    def test_simplify_is_a_rewrite_pass(self):
+        compiler_pass = get_pass("simplify")
+        assert compiler_pass.stage == "rewrite"
+        assert compiler_pass.rewrite is not None
+
+    def test_unknown_pass(self):
+        with pytest.raises(ReproError, match="unknown compiler pass"):
+            get_pass("loop-fusion")
+
+    def test_custom_rewrite_selectable_by_name(self):
+        calls = []
+
+        def spy(core):
+            calls.append(core)
+            return core
+
+        register_rewrite("spy", spy, "identity rewrite for testing")
+        try:
+            compiled = compile_xquery(NAMES, passes=["spy"])
+            assert calls, "registered rewrite was not invoked"
+            assert "spy" in compiled.trace.pass_names
+        finally:
+            from repro.compiler import pipeline
+            del pipeline._PASSES["spy"]
+
+    def test_duplicate_pass_rejected(self):
+        with pytest.raises(ReproError, match="already registered"):
+            register_rewrite("simplify", lambda core: core)
+
+
+class TestFrontendTrace:
+    def test_parse_and_lower_always_recorded(self):
+        compiled = compile_xquery(NAMES)
+        assert compiled.trace.pass_names[:2] == ("parse", "lower")
+        assert all(record.seconds >= 0 for record in compiled.trace.records)
+
+    def test_simplify_recorded_with_snapshots(self):
+        compiled = compile_xquery(NAMES, simplify=True)
+        record = compiled.trace["simplify"]
+        assert record.before is not None and record.after is not None
+
+    def test_non_rewrite_pass_not_selectable(self):
+        with pytest.raises(ReproError, match="cannot be selected"):
+            run_frontend(NAMES, rewrites=["plan"])
+
+
+class TestPlanStage:
+    def test_explain_verbose_reports_passes_and_timings(self):
+        report = compile_xquery(JOIN_QUERY, simplify=True).explain(verbose=True)
+        for name in ("parse", "lower", "simplify", "decorrelate", "plan"):
+            assert name in report
+        assert "ms" in report
+        assert "physical plan:" in report
+        assert "loop(s) decorrelated" in report
+
+    def test_explain_nonverbose_is_just_the_plan(self):
+        report = compile_xquery(NAMES).explain()
+        assert "compilation pipeline" not in report
+
+    def test_join_query_decorrelates(self):
+        trace = PipelineTrace()
+        compile_xquery(JOIN_QUERY).plan("msj", trace=trace)
+        assert "1/" in trace["decorrelate"].detail
+
+    def test_decorrelate_disabled_skips_the_pass(self):
+        trace = PipelineTrace()
+        compile_xquery(JOIN_QUERY).plan("msj", decorrelate=False, trace=trace)
+        assert "decorrelate" not in trace
+        assert "plan" in trace
+
+    def test_trace_render_includes_total(self):
+        compiled = compile_xquery(NAMES)
+        assert "total" in compiled.trace.render()
+
+    def test_engine_backend_records_plan_passes(self):
+        from repro.api import _bind_documents
+
+        compiled = compile_xquery(NAMES)
+        with create_backend("engine") as backend:
+            backend.prepare(_bind_documents(compiled,
+                                            {"a.xml": FIGURE1_SAMPLE}))
+            backend.execute(compiled, ExecutionOptions())
+        assert "decorrelate" in compiled.trace
+        assert "plan" in compiled.trace
+
+
+class TestTraceContainer:
+    def test_getitem_and_contains(self):
+        trace = PipelineTrace()
+        trace.record("parse", 0.001)
+        trace.record("parse", 0.002)
+        assert "parse" in trace
+        assert trace["parse"].seconds == 0.002  # latest wins
+        with pytest.raises(KeyError):
+            trace["plan"]
+
+    def test_total_seconds(self):
+        trace = PipelineTrace()
+        trace.record("a", 0.25)
+        trace.record("b", 0.5)
+        assert trace.total_seconds() == 0.75

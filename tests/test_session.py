@@ -77,13 +77,20 @@ class TestQuerying:
     def test_plan_cached_per_strategy(self, session):
         session.run(NAMES, strategy="msj")
         session.run(NAMES, strategy="nlj")
-        assert len(session._plans) == 2
+        engine = session.backend_instance("engine")
+        assert len(engine._plans) == 2
+
+    def test_backend_instance_reused(self, session):
+        session.run(NAMES)
+        assert session.active_backends == ["engine"]
+        assert (session.backend_instance("engine")
+                is session.backend_instance("engine"))
 
     def test_sqlite_tables_reused(self, session):
         session.run(NAMES, backend="sqlite")
-        database = session._sqlite
+        database = session.backend_instance("sqlite").database
         session.run(NAMES, backend="sqlite")
-        assert session._sqlite is database
+        assert session.backend_instance("sqlite").database is database
         assert len(database.documents) == 1
 
     def test_explain(self, session):
