@@ -24,10 +24,17 @@ Package layout (see DESIGN.md for the full inventory):
 * :mod:`repro.compiler` — physical plans, the merge-join decorrelation,
   and the staged pass pipeline;
 * :mod:`repro.backends` — the pluggable execution-backend registry;
+* :mod:`repro.obs` — query-lifecycle tracing, metrics, and exporters;
 * :mod:`repro.xmark` — the synthetic XMark workload generator and queries;
 * :mod:`repro.baselines` — nested-loop competitor simulations;
 * :mod:`repro.bench` — the experiment harness behind EXPERIMENTS.md.
 """
+
+import logging as _logging
+
+# Library logging etiquette: the "repro" logger hierarchy stays silent
+# unless the application (or the CLI's --verbose) attaches a handler.
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 from repro.api import (
     CompiledQuery,

@@ -8,6 +8,8 @@ Examples::
     python -m repro @query.xq --doc a.xml=./auction.xml --backend sqlite
     python -m repro @query.xq --doc a.xml=./auction.xml --explain
     python -m repro @query.xq --doc a.xml=./auction.xml --sql
+    python -m repro @query.xq --doc a.xml=./auction.xml \
+        --trace trace.json --metrics --verbose
 """
 
 from __future__ import annotations
@@ -15,10 +17,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.api import compile_xquery, run_xquery
+from repro.api import compile_xquery
 from repro.backends.registry import registered_backends
 from repro.encoding.interval import encode
 from repro.errors import ReproError
+from repro.obs.export import render_prometheus, write_chrome_trace
+from repro.obs.logs import setup_console_logging
+from repro.session import XQuerySession
 from repro.xml.text_parser import parse_forest
 from repro.xquery.lowering import document_forest
 
@@ -62,7 +67,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--sql", action="store_true",
                         help="print the translated single SQL statement "
                              "instead of running")
+    parser.add_argument("--trace", metavar="FILE.json", default=None,
+                        help="write a Chrome trace_event JSON of the run "
+                             "(open in chrome://tracing or Perfetto)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="dump Prometheus-format metrics to stderr "
+                             "after the run")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log progress to stderr (the 'repro' loggers)")
     args = parser.parse_args(argv)
+
+    if args.verbose:
+        setup_console_logging()
 
     try:
         query_text = _load_query(args.query)
@@ -88,9 +104,19 @@ def main(argv: list[str] | None = None) -> int:
             print(compiled.to_sql(tables).sql)
             return 0
 
-        result = run_xquery(compiled, documents, backend=args.backend,
-                            strategy=args.strategy)
-        print(result.to_xml(indent=args.indent))
+        with XQuerySession(backend=args.backend,
+                           strategy=args.strategy) as session:
+            for uri, text in documents.items():
+                session.add_document(uri, text)
+            traced = bool(args.trace) or args.metrics
+            result = session.run(query_text, trace=traced)
+            print(result.to_xml(indent=args.indent))
+            # Export after to_xml so the serialize span is in the file.
+            if args.trace:
+                write_chrome_trace([result.trace], args.trace)
+                print(f"trace written to {args.trace}", file=sys.stderr)
+            if args.metrics:
+                print(render_prometheus(session.metrics), file=sys.stderr)
         return 0
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)

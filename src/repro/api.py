@@ -39,6 +39,7 @@ from repro.compiler.plan import JoinStrategy, PlanNode
 from repro.compiler.planner import explain_plan
 from repro.engine.stats import EngineStats
 from repro.errors import ReproError
+from repro.obs.trace import Span, Tracer
 from repro.sql.translator import TranslationResult, translate_query
 from repro.xml.forest import Forest, Node
 from repro.xml.serializer import forest_to_xml
@@ -52,13 +53,30 @@ DocumentInput: TypeAlias = str | Node | Forest
 
 @dataclass
 class QueryResult:
-    """The forest produced by a query, with convenience accessors."""
+    """The forest produced by a query, with convenience accessors.
+
+    When the query ran traced (``session.run(…, trace=True)``), ``trace``
+    is the root ``query`` span covering compile → prepare → execute, and
+    :meth:`to_xml` appends a ``serialize`` span under it, completing the
+    lifecycle; export with :func:`repro.obs.write_chrome_trace`.
+    """
 
     forest: Forest
+    #: Root span of the traced run (None when tracing was off).
+    trace: Span | None = field(default=None, compare=False)
+    #: The tracer that produced :attr:`trace` (for follow-up spans).
+    tracer: Tracer | None = field(default=None, compare=False)
 
     def to_xml(self, indent: int | None = None) -> str:
         """Serialize the result as XML text."""
-        return forest_to_xml(self.forest, indent=indent)
+        if self.tracer is None or self.trace is None:
+            return forest_to_xml(self.forest, indent=indent)
+        # The root span is closed by now; parent= grafts the serialize
+        # span under it regardless of the tracer's active stack.
+        with self.tracer.span("serialize", parent=self.trace) as span:
+            text = forest_to_xml(self.forest, indent=indent)
+            span.set(bytes=len(text), trees=len(self.forest))
+        return text
 
     def __iter__(self):
         return iter(self.forest)

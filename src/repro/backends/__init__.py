@@ -12,11 +12,17 @@ import:
 * ``sqlite`` — the Section 4 single-SQL-statement translation on SQLite;
 * ``interpreter`` — the Figure 3 reference semantics (the conformance
   oracle);
-* ``naive`` — the materializing nested-loop competitor baseline.
+* ``naive`` — the materializing nested-loop competitor baseline;
+* ``dbapi`` — the generic PEP 249 adapter bound to the stdlib ``sqlite3``
+  driver (the verbatim single-statement ``WITH`` path).
 
-:class:`~repro.backends.dbapi.DBAPIBackend` is a generic PEP 249 adapter
-left unregistered — instantiate it with a driver's ``connect`` and
-register it under any name to target another engine.
+:class:`~repro.backends.dbapi.DBAPIBackend` is the generic PEP 249
+adapter behind ``dbapi`` — instantiate it with any driver's ``connect``
+and register it under a new name to target another engine.
+
+All backends honor :meth:`~repro.backends.base.Backend.instrument`: give
+one a :class:`~repro.obs.trace.Tracer` and executions open spans (engine
+operators, SQL statements) under the caller's active span.
 """
 
 from repro.backends.base import (
@@ -39,12 +45,13 @@ from repro.backends import engine as _engine  # noqa: F401  (registration)
 from repro.backends import interpreter as _interpreter  # noqa: F401
 from repro.backends import naive as _naive  # noqa: F401
 from repro.backends import sqlite as _sqlite  # noqa: F401
-from repro.backends.dbapi import DBAPIBackend
+from repro.backends.dbapi import DBAPIBackend, SQLiteDBAPIBackend
 
 __all__ = [
     "Backend",
     "BackendCapabilities",
     "DBAPIBackend",
+    "SQLiteDBAPIBackend",
     "ExecutionOptions",
     "backend_capabilities",
     "coerce_strategy",

@@ -29,6 +29,8 @@ from typing import TYPE_CHECKING, Callable, Mapping
 from repro.compiler.plan import JoinStrategy
 from repro.engine.stats import EngineStats
 from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.xml.forest import Forest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api imports us)
@@ -68,6 +70,7 @@ class ExecutionOptions:
     strategy: JoinStrategy = JoinStrategy.MSJ
     stats: EngineStats | None = None
     decorrelate: bool = True
+    metrics: MetricsRegistry | None = None
     extra: dict[str, object] = field(default_factory=dict)
 
 
@@ -100,6 +103,21 @@ class Backend(abc.ABC):
     def __init__(self) -> None:
         self._prepared: dict[str, Forest] = {}
         self._closed = False
+        self._tracer: Tracer | None = None
+
+    # -- observability --------------------------------------------------------
+
+    def instrument(self, tracer: Tracer | None) -> None:
+        """Attach (or detach, with ``None``) a tracer for execution spans.
+
+        Adapters consult ``self._tracer`` when building runners so that
+        executions open backend-specific spans (engine operators, SQL
+        statements) under the caller's active span.  A disabled tracer is
+        normalized to ``None`` so runners stay on their fast path.
+        """
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        self._tracer = tracer
 
     # -- document lifecycle ---------------------------------------------------
 

@@ -22,15 +22,23 @@ The adapter runs the translation in its verbatim single-statement ``WITH``
 form; engines with CTE-reference limits (SQLite's 65535-branch cap) should
 prefer the specialized :mod:`repro.backends.sqlite` adapter, which stages
 CTEs as temp tables.
+
+:class:`SQLiteDBAPIBackend` below is the adapter driving the stdlib
+``sqlite3`` module purely through the generic DB-API surface; it ships
+registered as ``"dbapi"`` and doubles as the registered exemplar of the
+recipe above.
 """
 
 from __future__ import annotations
 
+import sqlite3
 from typing import TYPE_CHECKING, Callable
 
 from repro.backends.base import Backend, BackendCapabilities, ExecutionOptions
+from repro.backends.registry import register_backend
 from repro.encoding.interval import decode, encode
 from repro.errors import ExecutionError
+from repro.sql.sqlite_backend import SQLITE_MAX_WIDTH, _SQLObserver
 from repro.sql.translator import translate_query
 from repro.xml.forest import Forest
 
@@ -114,13 +122,41 @@ class DBAPIBackend(Backend):
         connection = self.connection
 
         def run() -> Forest:
+            observer = _SQLObserver(self._tracer, options.metrics, self.name)
             cursor = connection.cursor()
             try:
-                cursor.execute(translation.sql)
-                rows = cursor.fetchall()
+                with observer.statement("single"):
+                    cursor.execute(translation.sql)
+                    rows = cursor.fetchall()
             except Exception as error:  # driver-specific exception types
                 raise ExecutionError(
                     f"DB-API execution failed: {error}") from error
+            observer.rows_fetched(len(rows))
             return decode([(s, l, r) for (s, l, r) in rows])
 
         return run
+
+
+@register_backend
+class SQLiteDBAPIBackend(DBAPIBackend):
+    """The generic adapter bound to the stdlib ``sqlite3`` driver.
+
+    Registered as ``"dbapi"``: same engine as the ``"sqlite"`` backend but
+    driven entirely through the portable DB-API path (verbatim
+    single-statement ``WITH`` form, ``qmark`` placeholders), exercising
+    the code every third-party driver would go through.
+    """
+
+    name = "dbapi"
+    capabilities = BackendCapabilities(
+        prepared_documents=True,
+        updates=True,
+        max_width=SQLITE_MAX_WIDTH,
+        strategies=(),
+        description="generic DB-API 2.0 path on the stdlib sqlite3 driver",
+    )
+
+    def __init__(self) -> None:
+        super().__init__(lambda: sqlite3.connect(":memory:"),
+                         paramstyle="qmark",
+                         max_width=SQLITE_MAX_WIDTH)

@@ -69,7 +69,8 @@ class EngineBackend(Backend):
                 options: ExecutionOptions) -> Callable[[], Forest]:
         plan = self.plan_for(compiled, options)
         values = self._values(compiled)
-        engine = DIEngine(stats=options.stats)
+        engine = DIEngine(stats=options.stats, tracer=self._tracer,
+                          metrics=options.metrics)
 
         def run() -> Forest:
             # Re-copy the relation lists per run: cached encodings must

@@ -35,4 +35,13 @@ class InterpreterBackend(Backend):
                 options: ExecutionOptions) -> Callable[[], Forest]:
         bindings = self._bindings(compiled)
         interpreter = Interpreter()
-        return lambda: interpreter.evaluate(compiled.core, bindings)
+
+        def run() -> Forest:
+            if self._tracer is None:
+                return interpreter.evaluate(compiled.core, bindings)
+            with self._tracer.span("interpret") as span:
+                result = interpreter.evaluate(compiled.core, bindings)
+                span.set(trees=len(result))
+            return result
+
+        return run

@@ -42,4 +42,13 @@ class NaiveBackend(Backend):
         bindings = self._bindings(compiled)
         evaluator = NaiveEvaluator(memory_budget=self._memory_budget,
                                    work_budget=self._work_budget)
-        return lambda: evaluator.evaluate(compiled.core, bindings)
+
+        def run() -> Forest:
+            if self._tracer is None:
+                return evaluator.evaluate(compiled.core, bindings)
+            with self._tracer.span("naive.evaluate") as span:
+                result = evaluator.evaluate(compiled.core, bindings)
+                span.set(trees=len(result))
+            return result
+
+        return run

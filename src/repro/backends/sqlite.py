@@ -63,4 +63,8 @@ class SQLiteBackend(Backend):
         database = self.database
         translation = database.translate(compiled.core)
         mode = self._mode
-        return lambda: database.run_translation(translation, mode=mode)
+        # self._tracer is read at call time, not build time, so a runner
+        # built once can be driven both traced and untraced.
+        return lambda: database.run_translation(
+            translation, mode=mode,
+            tracer=self._tracer, metrics=options.metrics)

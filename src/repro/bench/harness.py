@@ -37,6 +37,10 @@ class CellResult:
     breakdown: Mapping[str, float] | None = None
     result_size: int | None = None
     document_nodes: int | None = None
+    #: Untimed setup cost: backend document load + runner construction.
+    prepare_seconds: float | None = None
+    #: Wall seconds per lifecycle phase (compile / prepare / execute).
+    phases: Mapping[str, float] | None = None
 
     @property
     def display(self) -> str:
@@ -117,6 +121,8 @@ def run_cell(system: str, query: str, scale: float,
             breakdown=payload.get("breakdown"),
             result_size=payload.get("result_size"),
             document_nodes=payload.get("document_nodes"),
+            prepare_seconds=payload.get("prepare_seconds"),
+            phases=payload.get("phases"),
         )
     if kind == "im":
         return CellResult(system, query, scale, IM, detail=payload)

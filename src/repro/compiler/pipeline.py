@@ -34,13 +34,15 @@ Pass stages:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
 
 from repro.compiler import decorrelate as decorrelate_mod
 from repro.compiler.plan import JoinStrategy, PlanNode
 from repro.compiler.planner import compile_plan, explain_plan
 from repro.errors import ReproError
+from repro.obs.trace import Tracer
 from repro.xquery.ast import CoreExpr, core_to_str
 from repro.xquery.lowering import lower_query
 from repro.xquery.parser import parse_xquery
@@ -69,15 +71,45 @@ class PassRecord:
     after: str | None = None
 
 
-@dataclass
 class PipelineTrace:
-    """The observable record of one compilation."""
+    """The observable record of one compilation.
 
-    records: list[PassRecord] = field(default_factory=list)
+    Pass timings come from the shared tracing primitive: every measured
+    pass opens a span (``pass.<name>``) on :attr:`tracer` and the
+    :class:`PassRecord` is derived from it, so a compilation threaded with
+    a live query tracer contributes its passes to the full lifecycle
+    trace instead of keeping a private stopwatch.
+    """
+
+    def __init__(self, records: Iterable[PassRecord] | None = None,
+                 tracer: Tracer | None = None):
+        self.records: list[PassRecord] = list(records) if records else []
+        self.tracer = tracer if tracer is not None else Tracer()
+
+    @contextmanager
+    def measure(self, name: str, detail: str = "") -> Iterator[PassRecord]:
+        """Time one pass as a span; yields the record to fill in.
+
+        The record's ``seconds`` is set from the span on exit, then the
+        record is appended — callers set ``detail``/``before``/``after``
+        (and may adjust ``seconds``, e.g. to carve out matcher time).
+        """
+        record = PassRecord(name, 0.0, detail)
+        with self.tracer.span(f"pass.{name}", compiler_pass=name) as span:
+            yield record
+        record.seconds = span.seconds
+        if record.detail:
+            span.set(detail=record.detail)
+        self.records.append(record)
 
     def record(self, name: str, seconds: float, detail: str = "",
                before: str | None = None, after: str | None = None) -> None:
+        """Append an externally-measured pass (grafted as a closed span)."""
         self.records.append(PassRecord(name, seconds, detail, before, after))
+        span = self.tracer.record_span(f"pass.{name}", seconds,
+                                       compiler_pass=name)
+        if detail:
+            span.set(detail=detail)
 
     def __getitem__(self, name: str) -> PassRecord:
         for record in reversed(self.records):
@@ -188,15 +220,13 @@ def run_frontend(query: str, rewrites: Iterable[str] = (),
     """
     trace = trace if trace is not None else PipelineTrace()
 
-    started = time.perf_counter()
-    surface = parse_xquery(query)
-    trace.record("parse", time.perf_counter() - started)
+    with trace.measure("parse"):
+        surface = parse_xquery(query)
 
-    started = time.perf_counter()
-    core, documents = lower_query(surface)
-    trace.record("lower", time.perf_counter() - started,
-                 detail=f"{len(documents)} document(s)",
-                 after=core_to_str(core))
+    with trace.measure("lower") as record:
+        core, documents = lower_query(surface)
+        record.detail = f"{len(documents)} document(s)"
+    record.after = core_to_str(core)  # snapshots stay outside the timing
 
     for name in rewrites:
         compiler_pass = get_pass(name)
@@ -206,10 +236,10 @@ def run_frontend(query: str, rewrites: Iterable[str] = (),
                 f"be selected as a rewrite"
             )
         before = core_to_str(core)
-        started = time.perf_counter()
-        core = compiler_pass.rewrite(core)
-        trace.record(name, time.perf_counter() - started,
-                     before=before, after=core_to_str(core))
+        with trace.measure(name) as record:
+            core = compiler_pass.rewrite(core)
+        record.before = before
+        record.after = core_to_str(core)
     return core, documents, trace
 
 
@@ -222,6 +252,10 @@ def plan_stage(core: CoreExpr, strategy: JoinStrategy,
     cost is measured by timing every ``match_join`` attempt; the ``plan``
     record reports the remaining plan-construction time.
     """
+    if trace is None:
+        return compile_plan(core, strategy, base_vars=base_vars,
+                            decorrelate_loops=decorrelate)
+
     attempts = 0
     matches = 0
     matcher_seconds = 0.0
@@ -238,17 +272,16 @@ def plan_stage(core: CoreExpr, strategy: JoinStrategy,
             matches += 1
         return match
 
-    started = time.perf_counter()
-    plan = compile_plan(core, strategy, base_vars=base_vars,
-                        decorrelate_loops=decorrelate,
-                        match_fn=timed_match if decorrelate else None)
-    total = time.perf_counter() - started
-
-    if trace is not None:
+    with trace.measure("plan") as record:
+        plan = compile_plan(core, strategy, base_vars=base_vars,
+                            decorrelate_loops=decorrelate,
+                            match_fn=timed_match if decorrelate else None)
         if decorrelate:
+            # The matcher runs interleaved with planning; carve its summed
+            # time out as its own (recorded) pass, nested in the plan span.
             trace.record("decorrelate", matcher_seconds,
                          detail=f"{matches}/{attempts} loop(s) decorrelated")
-        trace.record("plan", total - (matcher_seconds if decorrelate else 0.0),
-                     detail=f"strategy={strategy.value}",
-                     after=explain_plan(plan))
+        record.detail = f"strategy={strategy.value}"
+    record.seconds -= matcher_seconds if decorrelate else 0.0
+    record.after = explain_plan(plan)
     return plan

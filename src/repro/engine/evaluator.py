@@ -42,6 +42,8 @@ from repro.engine.stats import (
 )
 from repro.engine.structural import canonical_key, merge_matching_keys, tree_keys
 from repro.errors import ExecutionError, PlanError, UnboundVariableError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.xml.forest import Forest
 
 #: The result of evaluating a plan node: (relation, width).
@@ -73,15 +75,41 @@ class DIEngine:
     ``stats`` — optional :class:`EngineStats` collecting the Figure 10
     breakdown.  ``tick`` — optional callback invoked per evaluation step
     (cooperative cancellation / work accounting for the bench harness).
+    ``tracer`` — optional :class:`~repro.obs.trace.Tracer`; when enabled,
+    every plan-node evaluation becomes a span carrying the node kind, its
+    Figure 10 category, and output tuples/width/environment counts.
+    ``metrics`` — optional :class:`~repro.obs.metrics.MetricsRegistry`
+    observing tuples produced per operator, environment-sequence sizes,
+    and interval widths.
+
+    A disabled tracer is normalized to ``None`` at construction so the
+    hot loop pays a single attribute test and allocates nothing per node
+    when tracing is off.
     """
 
     def __init__(self, stats: EngineStats | None = None,
                  tick: Callable[[], None] | None = None,
-                 validate: bool = False):
+                 validate: bool = False,
+                 tracer: Tracer | None = None,
+                 metrics: MetricsRegistry | None = None):
         self.stats = stats
         self._tick = tick
         self._validate = validate
         self._base: EnvSeq | None = None
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        self._tracer = tracer
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_tuples = metrics.counter(
+                "repro_engine_tuples_total",
+                "tuples produced per engine operator", ("operator",))
+            self._m_envs = metrics.histogram(
+                "repro_engine_envseq_size",
+                "environment-sequence sizes seen per node evaluation")
+            self._m_width = metrics.histogram(
+                "repro_engine_interval_width",
+                "interval widths of node results")
 
     # -- public API --------------------------------------------------------------
 
@@ -123,6 +151,29 @@ class DIEngine:
     def evaluate(self, node: PlanNode, seq: EnvSeq) -> Value:
         if self._tick is not None:
             self._tick()
+        if self._tracer is None and self._metrics is None:
+            return self._dispatch(node, seq)  # the no-observability fast path
+        return self._evaluate_observed(node, seq)
+
+    def _evaluate_observed(self, node: PlanNode, seq: EnvSeq) -> Value:
+        tracer = self._tracer
+        if tracer is None:
+            result = self._dispatch(node, seq)
+        else:
+            with tracer.span(_span_name(node), kind=type(node).__name__,
+                             category=_span_category(node),
+                             node_id=id(node)) as span:
+                result = self._dispatch(node, seq)
+                span.set(tuples=len(result[0]), width=result[1],
+                         envs=len(seq.index))
+        if self._metrics is not None:
+            self._m_envs.observe(len(seq.index))
+            self._m_width.observe(result[1])
+            if isinstance(node, FnNode):
+                self._m_tuples.inc(len(result[0]), operator=node.fn)
+        return result
+
+    def _dispatch(self, node: PlanNode, seq: EnvSeq) -> Value:
         if isinstance(node, VarNode):
             try:
                 result = seq.vars[node.name]
@@ -486,6 +537,22 @@ class DIEngine:
             if self._tick is not None:
                 self._tick()
         return result, width
+
+
+def _span_name(node: PlanNode) -> str:
+    """Trace span name for one plan node (``op.<fn>`` for XFns)."""
+    if isinstance(node, FnNode):
+        return f"op.{node.fn}"
+    return "op." + type(node).__name__.removesuffix("Node").lower()
+
+
+def _span_category(node: PlanNode) -> str:
+    """Figure 10 category carried as a span attribute (see stats.py)."""
+    if isinstance(node, FnNode):
+        return FUNCTION_CATEGORIES.get(node.fn, OTHER)
+    if isinstance(node, (ForNode, JoinForNode, WhereNode)):
+        return JOIN
+    return OTHER
 
 
 class _NullContext:

@@ -5,11 +5,16 @@ its output cardinality (tuples), output width, wall-clock seconds
 (inclusive), and invocation count, then renders the physical plan
 annotated with those measurements — the dynamic-interval analogue of a
 relational ``EXPLAIN ANALYZE``.
+
+The measurements come from the shared tracing primitive: the evaluator's
+own span instrumentation (one span per plan-node evaluation, carrying
+``node_id``/``tuples``/``width``/``envs`` attributes) is aggregated into
+the per-node table.  The raw span tree stays available on
+:attr:`PlanProfile.trace` for export to Chrome ``trace_event`` JSON.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -22,7 +27,8 @@ from repro.compiler.plan import (
     WhereNode,
 )
 from repro.compiler.planner import explain_plan
-from repro.engine.evaluator import DIEngine, EnvSeq, Value
+from repro.engine.evaluator import DIEngine
+from repro.obs.trace import Span, Tracer
 from repro.xml.forest import Forest
 
 
@@ -39,12 +45,14 @@ class NodeProfile:
 
 @dataclass
 class PlanProfile:
-    """The full profile: plan, per-node data, result."""
+    """The full profile: plan, per-node data, result, raw span tree."""
 
     plan: PlanNode
     nodes: dict[int, NodeProfile] = field(default_factory=dict)
     result: Forest = ()
     total_seconds: float = 0.0
+    #: Root span of the profiled evaluation (export via repro.obs.export).
+    trace: Span | None = None
 
     def profile_for(self, node: PlanNode) -> NodeProfile:
         return self.nodes.setdefault(id(node), NodeProfile())
@@ -68,33 +76,31 @@ class PlanProfile:
         return "\n".join(lines)
 
 
-class _ProfilingEngine(DIEngine):
-    """A DIEngine that records per-node measurements."""
+def profile_plan(plan: PlanNode, bindings: Mapping[str, Forest],
+                 tracer: Tracer | None = None) -> PlanProfile:
+    """Evaluate ``plan`` with profiling; returns the filled profile.
 
-    def __init__(self, profile: PlanProfile):
-        super().__init__()
-        self._profile = profile
-
-    def evaluate(self, node: PlanNode, seq: EnvSeq) -> Value:
-        started = time.perf_counter()
-        result = super().evaluate(node, seq)
-        elapsed = time.perf_counter() - started
-        data = self._profile.profile_for(node)
-        data.calls += 1
-        data.seconds += elapsed
-        data.output_tuples = len(result[0])
-        data.output_width = result[1]
-        data.environments = len(seq.index)
-        return result
-
-
-def profile_plan(plan: PlanNode, bindings: Mapping[str, Forest]) -> PlanProfile:
-    """Evaluate ``plan`` with profiling; returns the filled profile."""
+    ``tracer`` may share a live query trace; a disabled (or absent) one is
+    replaced by a private tracer, since profiling *is* the point here.
+    """
+    if tracer is None or not tracer.enabled:
+        tracer = Tracer()
     profile = PlanProfile(plan)
-    engine = _ProfilingEngine(profile)
-    started = time.perf_counter()
-    profile.result = engine.run_plan(plan, bindings)
-    profile.total_seconds = time.perf_counter() - started
+    engine = DIEngine(tracer=tracer)
+    with tracer.span("profile") as root:
+        profile.result = engine.run_plan(plan, bindings)
+    profile.total_seconds = root.seconds
+    profile.trace = root
+    for span in root.walk():
+        node_id = span.attributes.get("node_id")
+        if node_id is None:
+            continue
+        data = profile.nodes.setdefault(node_id, NodeProfile())
+        data.calls += 1
+        data.seconds += span.seconds
+        data.output_tuples = span.attributes.get("tuples", 0)
+        data.output_width = span.attributes.get("width", 0)
+        data.environments = span.attributes.get("envs", 0)
     return profile
 
 

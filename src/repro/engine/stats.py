@@ -5,14 +5,21 @@ The paper breaks Q8's CPU time into *Paths*, *Join*, and *Construction*
 categories with *exclusive* semantics: time spent inside a nested measure
 is charged to the inner category only, so the per-category numbers sum to
 the total evaluation time.
+
+The accounting is built on the shared tracing primitive: every
+:meth:`EngineStats.measure` opens a :class:`~repro.obs.trace.Span` tagged
+with a ``category`` attribute, and the per-category seconds are derived
+from the span tree.  The same derivation works on any trace whose spans
+carry ``category`` attributes — :meth:`EngineStats.from_trace` rebuilds
+the Figure 10 breakdown from a ``session.run(…, trace=True)`` span tree.
 """
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Iterable, Iterator
+
+from repro.obs.trace import Span, Tracer
 
 PATHS = "paths"
 JOIN = "join"
@@ -44,33 +51,64 @@ FUNCTION_CATEGORIES = {
 }
 
 
-@dataclass
-class EngineStats:
-    """Exclusive wall-clock time and tuple counts per plan category."""
+def category_seconds(roots: Iterable[Span]) -> dict[str, float]:
+    """Exclusive per-category seconds from ``category``-tagged spans.
 
-    seconds: dict[str, float] = field(default_factory=dict)
-    tuples: dict[str, int] = field(default_factory=dict)
-    _stack: list[list] = field(default_factory=list)
+    Each tagged span contributes its duration minus the durations of the
+    *nearest* tagged spans below it (untagged spans pass through), so the
+    totals telescope: summing the result equals the summed duration of the
+    top-level tagged spans.
+    """
+    totals: dict[str, float] = {}
+
+    def nested_tagged_seconds(span: Span) -> float:
+        total = 0.0
+        for child in span.children:
+            if "category" in child.attributes:
+                total += child.seconds
+            else:
+                total += nested_tagged_seconds(child)
+        return total
+
+    def walk(span: Span) -> None:
+        category = span.attributes.get("category")
+        if category is not None:
+            exclusive = span.seconds - nested_tagged_seconds(span)
+            totals[category] = totals.get(category, 0.0) + exclusive
+        for child in span.children:
+            walk(child)
+
+    for root in roots:
+        walk(root)
+    return totals
+
+
+class EngineStats:
+    """Exclusive wall-clock time and tuple counts per plan category.
+
+    ``tracer`` — the span sink; defaults to a private
+    :class:`~repro.obs.trace.Tracer`, but sharing a query tracer makes the
+    category spans part of the full lifecycle trace.
+    """
+
+    def __init__(self, tracer: Tracer | None = None):
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.tuples: dict[str, int] = {}
 
     @contextmanager
     def measure(self, category: str) -> Iterator[None]:
         """Charge the enclosed work to ``category`` (exclusive of children)."""
-        frame = [category, 0.0]  # accumulated child time to subtract
-        start = time.perf_counter()
-        self._stack.append(frame)
-        try:
+        with self.tracer.span(category, category=category):
             yield
-        finally:
-            elapsed = time.perf_counter() - start
-            self._stack.pop()
-            exclusive = elapsed - frame[1]
-            self.seconds[category] = self.seconds.get(category, 0.0) + exclusive
-            if self._stack:
-                self._stack[-1][1] += elapsed
 
     def add_tuples(self, category: str, count: int) -> None:
         """Record output cardinality for a category."""
         self.tuples[category] = self.tuples.get(category, 0) + count
+
+    @property
+    def seconds(self) -> dict[str, float]:
+        """Exclusive seconds per category, derived from the span tree."""
+        return category_seconds(self.tracer.roots)
 
     @property
     def total_seconds(self) -> float:
@@ -78,18 +116,25 @@ class EngineStats:
 
     def fractions(self) -> dict[str, float]:
         """Per-category share of total time (the Figure 10 percentages)."""
-        total = self.total_seconds
+        seconds = self.seconds
+        total = sum(seconds.values())
         if total <= 0:
             return {category: 0.0 for category in CATEGORIES}
         return {
-            category: self.seconds.get(category, 0.0) / total
+            category: seconds.get(category, 0.0) / total
             for category in CATEGORIES
         }
 
+    @classmethod
+    def from_trace(cls, span: Span) -> "EngineStats":
+        """Rebuild a Figure 10 breakdown from any query span tree."""
+        stats = cls()
+        stats.tracer.adopt(span)
+        return stats
+
     def reset(self) -> None:
-        self.seconds.clear()
+        self.tracer.reset()
         self.tuples.clear()
-        self._stack.clear()
 
     def summary(self) -> str:
         """A one-line human-readable breakdown."""

@@ -1,0 +1,69 @@
+"""Query-lifecycle observability: tracing, metrics, and exporters.
+
+One subsystem instruments the whole parse → lower → plan → execute →
+serialize lifecycle uniformly across every registered backend:
+
+* :mod:`repro.obs.trace` — nested :class:`Span` trees collected by a
+  :class:`Tracer`; a cheap process-wide no-op default when disabled;
+* :mod:`repro.obs.metrics` — :class:`Counter` / :class:`Histogram`
+  instruments on a :class:`MetricsRegistry`, fed by the engine, the SQL
+  backends, and the session;
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto /
+  ``chrome://tracing``), Prometheus text format (with a validating
+  parser), and a human-readable tree renderer;
+* :mod:`repro.obs.logs` — console wiring for the ``repro`` stdlib
+  logger hierarchy (the CLI's ``--verbose``).
+
+Entry points: ``XQuerySession.run(query, trace=True)`` returns a
+:class:`~repro.api.QueryResult` whose ``trace`` is the root span;
+``python -m repro … --trace out.json --metrics`` does the same from the
+command line.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.export import (
+    PrometheusFormatError,
+    chrome_trace,
+    parse_prometheus,
+    render_prometheus,
+    render_span_tree,
+    write_chrome_trace,
+)
+from repro.obs.logs import setup_console_logging
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PrometheusFormatError",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "get_metrics",
+    "get_tracer",
+    "parse_prometheus",
+    "render_prometheus",
+    "render_span_tree",
+    "set_metrics",
+    "set_tracer",
+    "setup_console_logging",
+    "use_tracer",
+    "write_chrome_trace",
+]

@@ -1,0 +1,42 @@
+"""Console logging setup for the ``repro`` logger hierarchy.
+
+Library modules log under ``repro.*`` (``repro.session``,
+``repro.backends``, ``repro.bench``); the package installs a
+``NullHandler`` so importing applications stay silent by default.
+:func:`setup_console_logging` is the one-call opt-in used by the CLI's
+``--verbose`` flag and by notebooks.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import TextIO
+
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(name)s %(levelname)s: %(message)s"
+
+
+def setup_console_logging(level: int = logging.DEBUG,
+                          stream: TextIO | None = None) -> logging.Handler:
+    """Attach a stream handler to the ``repro`` logger hierarchy.
+
+    Idempotent per stream: calling twice with the same stream adjusts the
+    existing handler's level instead of stacking duplicates.  Returns the
+    handler so callers can remove it.
+    """
+    target = stream if stream is not None else sys.stderr
+    logger = logging.getLogger(ROOT_LOGGER)
+    for handler in logger.handlers:
+        if isinstance(handler, logging.StreamHandler) \
+                and getattr(handler, "stream", None) is target:
+            handler.setLevel(level)
+            logger.setLevel(min(logger.level or level, level))
+            return handler
+    handler = logging.StreamHandler(target)
+    handler.setLevel(level)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

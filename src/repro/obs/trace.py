@@ -1,0 +1,261 @@
+"""Nested-span tracing for the query lifecycle.
+
+A :class:`Span` is one timed region — monotonic wall-clock endpoints,
+free-form attributes, a parent link, and child spans.  A :class:`Tracer`
+maintains the active span stack and the roots of every finished tree, so
+one tracer threaded through the session, the compiler pipeline, a backend,
+and the engine yields a single parse → lower → plan → execute → serialize
+tree per query (the end-to-end visibility EXPERIMENTS.md's per-phase
+tables only approximate).
+
+Spans are context managers::
+
+    tracer = Tracer()
+    with tracer.span("query", backend="engine") as root:
+        with tracer.span("compile"):
+            ...
+    print(render_span_tree(root))          # repro.obs.export
+
+When tracing is off the process-wide default is :data:`NULL_TRACER`, whose
+``span()`` returns a shared no-op singleton — no span objects are
+allocated.  Hot loops (the engine evaluator) go further and skip the
+tracer entirely when disabled; see :class:`repro.engine.evaluator.DIEngine`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator
+
+
+class Span:
+    """One timed region of a trace tree.
+
+    Created via :meth:`Tracer.span`; timing starts at ``__enter__`` and
+    ends at ``__exit__``.  ``attributes`` is free-form; nested spans
+    opened on the same tracer while this span is active become children.
+    """
+
+    __slots__ = ("name", "attributes", "start", "end", "parent", "children",
+                 "_tracer", "_parent_override", "_stacked")
+
+    def __init__(self, name: str, tracer: "Tracer",
+                 attributes: dict | None = None,
+                 parent: "Span | None" = None):
+        self.name = name
+        self.attributes = attributes if attributes is not None else {}
+        self.start: float = 0.0
+        self.end: float | None = None
+        self.parent: Span | None = None
+        self.children: list[Span] = []
+        self._tracer = tracer
+        self._parent_override = parent
+        self._stacked = False
+
+    # -- context manager -------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        if self._parent_override is not None:
+            # Explicit parenting: attach without touching the stack (used
+            # e.g. to record serialization onto an already-finished root).
+            self.parent = self._parent_override
+            self.parent.children.append(self)
+        else:
+            stack = tracer._stack
+            if stack:
+                self.parent = stack[-1]
+                self.parent.children.append(self)
+            else:
+                tracer.roots.append(self)
+            stack.append(self)
+            self._stacked = True
+        self.start = tracer._clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = self._tracer._clock()
+        if self._stacked:
+            stack = self._tracer._stack
+            if stack and stack[-1] is self:
+                stack.pop()
+            elif self in stack:  # tolerate out-of-order exits
+                stack.remove(self)
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+
+    # -- data access -----------------------------------------------------------
+
+    def set(self, **attributes: object) -> "Span":
+        """Merge attributes into the span (chainable)."""
+        self.attributes.update(attributes)
+        return self
+
+    @property
+    def seconds(self) -> float:
+        """Duration; for a still-open span, time elapsed so far."""
+        end = self.end if self.end is not None else self._tracer._clock()
+        return end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (or self) with the given name, pre-order."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def __repr__(self) -> str:
+        state = f"{self.seconds * 1e3:.3f}ms" if self.end is not None else "open"
+        return f"<Span {self.name!r} {state} {len(self.children)} children>"
+
+
+class Tracer:
+    """Collects span trees; the process-wide default is a cheap no-op.
+
+    ``enabled`` distinguishes a real tracer from :data:`NULL_TRACER`;
+    instrumented code may use it to skip attribute computation entirely.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        #: Finished (or open) top-level spans, in start order.
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, parent: Span | None = None,
+             **attributes: object) -> Span:
+        """A new span, to be entered with ``with``.
+
+        Without ``parent`` the span nests under the currently open span
+        (if any); with ``parent`` it attaches there explicitly and leaves
+        the active stack alone.
+        """
+        return Span(name, self, dict(attributes) if attributes else None,
+                    parent=parent)
+
+    def record_span(self, name: str, seconds: float,
+                    parent: Span | None = None,
+                    **attributes: object) -> Span:
+        """Attach an already-measured duration as a closed span.
+
+        Used to graft externally-timed phases (cached compilation passes,
+        the scattered decorrelation matcher time) into a live trace.
+        Recorded siblings are laid out sequentially inside their parent so
+        Chrome-trace rendering stays readable.
+        """
+        span = Span(name, self, dict(attributes) if attributes else None)
+        target = parent
+        if target is None and self._stack:
+            target = self._stack[-1]
+        if target is not None:
+            span.parent = target
+            span.start = target.start + sum(c.seconds for c in target.children
+                                            if c.end is not None)
+            target.children.append(span)
+        else:
+            span.start = self._clock()
+            self.roots.append(span)
+        span.end = span.start + seconds
+        return span
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def adopt(self, span: Span) -> None:
+        """Add an externally-built span tree to this tracer's roots."""
+        self.roots.append(span)
+
+    def reset(self) -> None:
+        self.roots.clear()
+        self._stack.clear()
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {len(self.roots)} root(s), "
+                f"depth {len(self._stack)}>")
+
+
+class _NullSpan:
+    """Shared do-nothing span; every disabled-trace call returns it."""
+
+    __slots__ = ()
+    name = ""
+    attributes: dict = {}
+    children: tuple = ()
+    parent = None
+    seconds = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def set(self, **attributes: object) -> "_NullSpan":
+        return self
+
+    def walk(self) -> Iterable["_NullSpan"]:
+        return ()
+
+    def find(self, name: str) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class NullTracer(Tracer):
+    """The disabled tracer: allocates nothing per span."""
+
+    enabled = False
+
+    def span(self, name: str, parent: Span | None = None,
+             **attributes: object):
+        return NULL_SPAN
+
+    def record_span(self, name: str, seconds: float,
+                    parent: Span | None = None, **attributes: object):
+        return NULL_SPAN
+
+
+NULL_TRACER = NullTracer()
+
+#: The process-wide default consulted by ``XQuerySession.run`` when no
+#: explicit tracer is given.
+_DEFAULT: Tracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer (:data:`NULL_TRACER` unless set)."""
+    return _DEFAULT
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install a process-wide default; returns the previous one.
+
+    ``None`` restores the no-op default.
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = tracer if tracer is not None else NULL_TRACER
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Temporarily install ``tracer`` as the process-wide default."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -20,6 +20,7 @@ application would use:
 
 from __future__ import annotations
 
+import logging
 from pathlib import Path
 from typing import TYPE_CHECKING, Mapping
 
@@ -30,15 +31,25 @@ from repro.compiler.plan import JoinStrategy
 from repro.encoding.updates import UpdatableDocument
 from repro.engine.stats import EngineStats
 from repro.errors import ReproError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, get_tracer
 from repro.xml.forest import Forest
 from repro.xquery.lowering import document_forest, document_variable
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.compiler.plan import PlanNode
 
+logger = logging.getLogger("repro.session")
+
 
 class XQuerySession:
-    """Documents and prepared queries with pluggable backends."""
+    """Documents and prepared queries with pluggable backends.
+
+    The session owns a :class:`~repro.obs.metrics.MetricsRegistry`
+    (:attr:`metrics`) counting queries run, documents loaded, and cache
+    invalidations; traced runs additionally feed engine/SQL instruments
+    into it.  Export with :func:`repro.obs.render_prometheus`.
+    """
 
     def __init__(self, backend: str = "engine",
                  strategy: str | JoinStrategy = JoinStrategy.MSJ,
@@ -50,6 +61,14 @@ class XQuerySession:
         self._updatable: dict[str, UpdatableDocument] = {}
         self._compiled: dict[str, CompiledQuery] = {}
         self._backends: dict[str, Backend] = {}
+        self.metrics = MetricsRegistry()
+        self._m_queries = self.metrics.counter(
+            "repro_session_queries_total", "queries run", ("backend",))
+        self._m_documents = self.metrics.counter(
+            "repro_session_documents_total", "documents registered")
+        self._m_invalidations = self.metrics.counter(
+            "repro_session_invalidations_total",
+            "backend cache invalidations after document changes")
 
     # -- document management ---------------------------------------------------
 
@@ -58,6 +77,9 @@ class XQuerySession:
         self._documents[uri] = as_forest(source)
         self._updatable.pop(uri, None)
         self._invalidate(uri)
+        self._m_documents.inc()
+        logger.debug("registered document %r (%d tree(s))",
+                     uri, len(self._documents[uri]))
 
     def add_document_file(self, uri: str, path: str | Path) -> None:
         """Register a document from an XML file."""
@@ -108,14 +130,74 @@ class XQuerySession:
 
     def run(self, query: str, backend: str | None = None,
             strategy: str | JoinStrategy | None = None,
-            stats: EngineStats | None = None) -> QueryResult:
-        """Run a query against the registered documents."""
-        compiled = self.prepare(query)
-        target = self.backend_instance(backend or self.backend)
-        target.prepare(self._bindings(compiled))
+            stats: EngineStats | None = None,
+            trace: bool = False,
+            tracer: Tracer | None = None) -> QueryResult:
+        """Run a query against the registered documents.
+
+        ``trace=True`` collects the full lifecycle — compile passes,
+        document preparation, backend execution (engine operators / SQL
+        statements) — as a span tree on the returned
+        :attr:`QueryResult.trace`.  ``tracer`` shares an existing tracer
+        instead; with neither, the process-wide default tracer applies
+        (a no-op unless :func:`repro.obs.set_tracer` installed one).
+        """
+        name = backend or self.backend
+        active = self._effective_tracer(trace, tracer)
+        self._m_queries.inc(backend=name)
+        if active is None:
+            compiled = self.prepare(query)
+            target = self.backend_instance(name)
+            target.prepare(self._bindings(compiled))
+            options = ExecutionOptions(strategy=self._strategy(strategy),
+                                       stats=stats)
+            return QueryResult(target.execute(compiled, options))
+        return self._run_traced(query, name, strategy, stats, active)
+
+    def _run_traced(self, query: str, name: str,
+                    strategy: str | JoinStrategy | None,
+                    stats: EngineStats | None,
+                    active: Tracer) -> QueryResult:
+        logger.debug("traced run on backend %r: %.60s", name, query)
         options = ExecutionOptions(strategy=self._strategy(strategy),
-                                   stats=stats)
-        return QueryResult(target.execute(compiled, options))
+                                   stats=stats, metrics=self.metrics)
+        with active.span("query", backend=name) as root:
+            with active.span("compile") as compile_span:
+                compiled = self.prepare(query)
+            target = self.backend_instance(name)
+            with active.span("prepare") as prepare_span:
+                target.prepare(self._bindings(compiled))
+                prepare_span.set(documents=len(compiled.documents))
+            target.instrument(active)
+            try:
+                with active.span("execute") as execute_span:
+                    forest = target.execute(compiled, options)
+                    execute_span.set(trees=len(forest))
+            finally:
+                target.instrument(None)
+            # Compilation passes run (and are cached) outside this trace —
+            # the parse/lower records from the first compile, the plan
+            # records from whichever execute first planned.  Graft them
+            # all under the compile span so every traced run carries the
+            # complete pipeline, cached or not.
+            for record in compiled.trace.records:
+                span = active.record_span(f"pass.{record.name}",
+                                          record.seconds,
+                                          parent=compile_span,
+                                          compiler_pass=record.name)
+                if record.detail:
+                    span.set(detail=record.detail)
+        return QueryResult(forest, trace=root, tracer=active)
+
+    def _effective_tracer(self, trace: bool,
+                          tracer: Tracer | None) -> Tracer | None:
+        """The tracer a run should use, or None for the untraced path."""
+        if tracer is not None:
+            return tracer if tracer.enabled else None
+        if trace:
+            return Tracer()
+        ambient = get_tracer()
+        return ambient if ambient.enabled else None
 
     def explain(self, query: str,
                 strategy: str | JoinStrategy | None = None,
@@ -200,3 +282,5 @@ class XQuerySession:
             else:
                 target.close()
                 del self._backends[name]
+            self._m_invalidations.inc()
+            logger.debug("invalidated %r on backend %r", uri, name)

@@ -19,9 +19,54 @@ from typing import Mapping
 
 from repro.encoding.interval import decode, encode
 from repro.errors import ExecutionError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.xml.forest import Forest, Node
 from repro.xquery.ast import CoreExpr
 from repro.sql.translator import TranslationResult, translate_query
+
+
+class _SQLObserver:
+    """Per-statement spans and counters for one translated-query run."""
+
+    def __init__(self, tracer: Tracer | None, metrics: MetricsRegistry | None,
+                 backend: str):
+        self.tracer = tracer if tracer is not None and tracer.enabled else None
+        self.backend = backend
+        self._statements = None
+        self._rows = None
+        if metrics is not None:
+            self._statements = metrics.counter(
+                "repro_sql_statements_total",
+                "SQL statements executed by relational backends",
+                ("backend",))
+            self._rows = metrics.counter(
+                "repro_sql_rows_total",
+                "rows fetched from relational backends",
+                ("backend",))
+
+    def statement(self, name: str):
+        """A span for one statement (a no-op context when untraced)."""
+        if self._statements is not None:
+            self._statements.inc(backend=self.backend)
+        if self.tracer is None:
+            return _NULL_CONTEXT
+        return self.tracer.span("sql.statement", cte=name)
+
+    def rows_fetched(self, count: int) -> None:
+        if self._rows is not None:
+            self._rows.inc(count, backend=self.backend)
+
+
+class _NullContext:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
 
 #: Conservative width cap for 64-bit backends (see module docstring).
 SQLITE_MAX_WIDTH = 2 ** 61
@@ -111,25 +156,38 @@ class SQLiteDatabase:
         return self.run_translation(translation, mode=mode)
 
     def run_translation(self, translation: TranslationResult,
-                        mode: str = "staged") -> Forest:
-        """Run an already-translated query and decode the result."""
+                        mode: str = "staged",
+                        tracer: Tracer | None = None,
+                        metrics: MetricsRegistry | None = None) -> Forest:
+        """Run an already-translated query and decode the result.
+
+        ``tracer`` opens one ``sql.statement`` span per statement executed;
+        ``metrics`` counts statements and fetched rows.
+        """
+        observer = _SQLObserver(tracer, metrics, "sqlite")
         if mode == "single":
             try:
-                rows = self.connection.execute(translation.sql).fetchall()
+                with observer.statement("single"):
+                    rows = self.connection.execute(translation.sql).fetchall()
             except sqlite3.Error as error:
                 raise ExecutionError(f"SQLite execution failed: {error}") from error
         elif mode == "staged":
-            rows = self._run_staged(translation)
+            rows = self._run_staged(translation, observer)
         else:
             raise ValueError(f"unknown execution mode {mode!r}")
+        observer.rows_fetched(len(rows))
         return decode([(s, l, r) for (s, l, r) in rows])
 
-    def _run_staged(self, translation: TranslationResult) -> list[tuple[str, int, int]]:
+    def _run_staged(self, translation: TranslationResult,
+                    observer: _SQLObserver | None = None,
+                    ) -> list[tuple[str, int, int]]:
+        observer = observer or _SQLObserver(None, None, "sqlite")
         cursor = self.connection.cursor()
         created: list[str] = []
         try:
             for name, sql in translation.ctes:
-                cursor.execute(f"CREATE TEMP TABLE {name} AS {sql}")
+                with observer.statement(name):
+                    cursor.execute(f"CREATE TEMP TABLE {name} AS {sql}")
                 created.append(name)
                 # Encoded relations carry an l column worth indexing; helper
                 # views (sequences, root ids) have other shapes — skip those.
@@ -139,7 +197,8 @@ class SQLiteDatabase:
                     cursor.execute(
                         f"CREATE INDEX IF NOT EXISTS temp.{name}_l ON {name} (l)"
                     )
-            return cursor.execute(translation.final_select).fetchall()
+            with observer.statement("final_select"):
+                return cursor.execute(translation.final_select).fetchall()
         except sqlite3.Error as error:
             raise ExecutionError(f"SQLite execution failed: {error}") from error
         finally:

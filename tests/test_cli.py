@@ -63,6 +63,46 @@ class TestIntrospection:
         assert "ORDER BY l" in out
 
 
+class TestObservability:
+    def test_trace_writes_chrome_json(self, sample_file, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        code = main([QUERY, "--doc", f"a.xml={sample_file}",
+                     "--trace", str(trace_path)])
+        assert code == 0
+        document = json.loads(trace_path.read_text())
+        names = {event["name"] for event in document["traceEvents"]}
+        assert {"query", "compile", "prepare", "execute",
+                "serialize"} <= names
+        assert f"trace written to {trace_path}" in capsys.readouterr().err
+
+    def test_metrics_dumps_valid_prometheus(self, sample_file, capsys):
+        from repro.obs.export import parse_prometheus
+
+        code = main([QUERY, "--doc", f"a.xml={sample_file}", "--metrics"])
+        assert code == 0
+        err = capsys.readouterr().err
+        samples = parse_prometheus(err)
+        assert any(key.startswith("repro_session_queries_total")
+                   for key in samples)
+
+    def test_verbose_logs_to_stderr(self, sample_file, capsys):
+        code = main([QUERY, "--doc", f"a.xml={sample_file}", "--verbose"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "repro.session" in captured.err
+        assert "Jaak Tempesti" in captured.out
+
+    def test_result_unchanged_when_traced(self, sample_file, tmp_path,
+                                          capsys):
+        code = main([QUERY, "--doc", f"a.xml={sample_file}",
+                     "--trace", str(tmp_path / "t.json"),
+                     "--backend", "sqlite"])
+        assert code == 0
+        assert "Jaak TempestiCong Rosca" in capsys.readouterr().out
+
+
 class TestErrors:
     def test_missing_document(self, capsys):
         code = main([QUERY])

@@ -1,0 +1,371 @@
+"""Tests for the observability primitives: spans, metrics, exporters."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.export import (
+    PrometheusFormatError,
+    chrome_trace,
+    parse_prometheus,
+    render_prometheus,
+    render_span_tree,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+)
+
+
+class FakeClock:
+    """A deterministic clock: every read advances by ``step``."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestSpans:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent is outer
+        assert outer.children == [inner]
+        assert tracer.roots == [outer]
+
+    def test_durations_are_monotonic(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.seconds > inner.seconds > 0
+
+    def test_attributes_at_open_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", backend="engine") as span:
+            span.set(tuples=3)
+        assert span.attributes == {"backend": "engine", "tuples": 3}
+
+    def test_exception_marks_error_and_closes(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("fails") as span:
+                raise ValueError("boom")
+        assert span.attributes["error"] == "ValueError"
+        assert span.end is not None
+        assert tracer.current is None
+
+    def test_explicit_parent_bypasses_stack(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            pass
+        # Root is closed; a serialize-style span still attaches under it.
+        with tracer.span("late", parent=root) as late:
+            pass
+        assert late.parent is root
+        assert late in root.children
+        assert tracer.roots == [root]
+
+    def test_walk_and_find(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        (root,) = tracer.roots
+        assert [s.name for s in root.walk()] == ["a", "b", "c"]
+        assert root.find("c").name == "c"
+        assert root.find("missing") is None
+
+    def test_record_span_grafts_sequentially(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("parent") as parent:
+            pass
+        first = tracer.record_span("one", 2.0, parent=parent)
+        second = tracer.record_span("two", 3.0, parent=parent)
+        assert first.start == parent.start
+        assert second.start == first.end
+        assert second.seconds == pytest.approx(3.0)
+        assert [c.name for c in parent.children] == ["one", "two"]
+
+    def test_record_span_under_active_span(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("open") as outer:
+            recorded = tracer.record_span("cached", 1.5)
+        assert recorded.parent is outer
+
+
+class TestNullTracer:
+    def test_span_returns_shared_singleton(self):
+        tracer = NullTracer()
+        assert tracer.span("anything", key="value") is NULL_SPAN
+        assert tracer.record_span("x", 1.0) is NULL_SPAN
+        assert not tracer.enabled
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            assert span.set(a=1) is NULL_SPAN
+        assert NULL_SPAN.seconds == 0.0
+        assert list(NULL_SPAN.walk()) == []
+
+    def test_process_default_management(self):
+        assert get_tracer() is NULL_TRACER
+        mine = Tracer()
+        try:
+            previous = set_tracer(mine)
+            assert previous is NULL_TRACER
+            assert get_tracer() is mine
+        finally:
+            set_tracer(None)
+        assert get_tracer() is NULL_TRACER
+
+    def test_use_tracer_restores(self):
+        mine = Tracer()
+        with use_tracer(mine) as active:
+            assert active is mine
+            assert get_tracer() is mine
+        assert get_tracer() is NULL_TRACER
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("requests_total", label_names=("backend",))
+        counter.inc(backend="engine")
+        counter.inc(2, backend="engine")
+        counter.inc(backend="sqlite")
+        assert counter.value(backend="engine") == 3
+        assert counter.value(backend="sqlite") == 1
+        assert counter.value(backend="naive") == 0
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("ops_total")
+        with pytest.raises(ReproError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_label_mismatch_rejected(self):
+        counter = Counter("x_total", label_names=("a",))
+        with pytest.raises(ReproError, match="expects labels"):
+            counter.inc(b="nope")
+        with pytest.raises(ReproError, match="expects labels"):
+            counter.inc()
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative_with_inf(self):
+        histogram = Histogram("widths", buckets=(1, 4, 16))
+        for value in (0.5, 2, 3, 100):
+            histogram.observe(value)
+        pairs = histogram.bucket_counts()
+        assert pairs == [(1, 1), (4, 3), (16, 3), (float("inf"), 4)]
+        assert histogram.count() == 4
+        assert histogram.sum() == pytest.approx(105.5)
+
+    def test_labelled_series_are_independent(self):
+        histogram = Histogram("sizes", label_names=("op",), buckets=(10,))
+        histogram.observe(5, op="for")
+        histogram.observe(50, op="join")
+        assert histogram.count(op="for") == 1
+        assert histogram.count(op="join") == 1
+        assert histogram.bucket_counts(op="join")[0] == (10, 0)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("a_total", "desc")
+        second = registry.counter("a_total", "desc")
+        assert first is second
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ReproError, match="counter"):
+            registry.histogram("thing")
+
+    def test_label_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing", label_names=("a",))
+        with pytest.raises(ReproError, match="declared with labels"):
+            registry.counter("thing", label_names=("b",))
+
+    def test_reset_keeps_declarations(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("n_total")
+        counter.inc()
+        registry.reset()
+        assert "n_total" in registry
+        assert counter.value() == 0
+
+    def test_process_default_management(self):
+        default = get_metrics()
+        mine = MetricsRegistry()
+        try:
+            assert set_metrics(mine) is default
+            assert get_metrics() is mine
+        finally:
+            set_metrics(default)
+
+
+class TestChromeTrace:
+    def _trace(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("query", backend="engine"):
+            with tracer.span("execute"):
+                pass
+        return tracer.roots[0]
+
+    def test_complete_events_with_microseconds(self):
+        document = chrome_trace(self._trace())
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert [e["name"] for e in events] == ["query", "execute"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] > 0
+        assert events[0]["args"] == {"backend": "engine"}
+
+    def test_events_sorted_by_timestamp(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        events = chrome_trace(tracer.roots)["traceEvents"]
+        assert [e["name"] for e in events] == ["first", "second"]
+        assert events[0]["ts"] <= events[1]["ts"]
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(self._trace(), str(path))
+        loaded = json.loads(path.read_text())
+        assert {e["name"] for e in loaded["traceEvents"]} == \
+            {"query", "execute"}
+
+    def test_non_json_attributes_stringified(self):
+        tracer = Tracer()
+        with tracer.span("s", strategy=object()) as span:
+            pass
+        (event,) = chrome_trace(span)["traceEvents"]
+        assert isinstance(event["args"]["strategy"], str)
+
+
+class TestSpanTreeRenderer:
+    def test_renders_names_durations_attributes(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("query", backend="engine"):
+            with tracer.span("execute"):
+                pass
+        text = render_span_tree(tracer.roots[0])
+        assert "query" in text and "execute" in text
+        assert "backend=engine" in text
+        assert "ms" in text
+
+    def test_min_seconds_prunes_children_not_root(self):
+        tracer = Tracer(clock=FakeClock(step=0.001))
+        with tracer.span("root"):
+            with tracer.span("tiny"):
+                pass
+        text = render_span_tree(tracer.roots[0], min_seconds=10.0)
+        assert "root" in text
+        assert "tiny" not in text
+
+
+class TestPrometheus:
+    def _registry(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "repro_queries_total", "queries run", ("backend",))
+        counter.inc(3, backend="engine")
+        counter.inc(1, backend="sqlite")
+        histogram = registry.histogram(
+            "repro_widths", "interval widths", buckets=(1, 4))
+        histogram.observe(2)
+        histogram.observe(9)
+        return registry
+
+    def test_render_includes_type_and_samples(self):
+        text = render_prometheus(self._registry())
+        assert "# TYPE repro_queries_total counter" in text
+        assert 'repro_queries_total{backend="engine"} 3' in text
+        assert "# TYPE repro_widths histogram" in text
+        assert 'repro_widths_bucket{le="+Inf"} 2' in text
+        assert "repro_widths_count 2" in text
+
+    def test_round_trip_through_validator(self):
+        samples = parse_prometheus(render_prometheus(self._registry()))
+        assert samples['repro_queries_total{backend="engine"}'] == 3
+        assert samples['repro_widths_bucket{le="4"}'] == 1
+        assert samples["repro_widths_sum"] == 11
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert parse_prometheus("") == {}
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", label_names=("q",)).inc(q='a"b\\c')
+        samples = parse_prometheus(render_prometheus(registry))
+        (key,) = samples
+        assert key.startswith("c_total{")
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(PrometheusFormatError, match="TYPE"):
+            parse_prometheus("some_metric 1\n")
+
+    def test_malformed_sample_rejected(self):
+        text = "# TYPE a counter\na{unclosed 1\n"
+        with pytest.raises(PrometheusFormatError):
+            parse_prometheus(text)
+
+    def test_bad_value_rejected(self):
+        text = "# TYPE a counter\na notanumber\n"
+        with pytest.raises(PrometheusFormatError, match="bad value"):
+            parse_prometheus(text)
+
+    def test_duplicate_sample_rejected(self):
+        text = "# TYPE a counter\na 1\na 2\n"
+        with pytest.raises(PrometheusFormatError, match="duplicate"):
+            parse_prometheus(text)
+
+    def test_non_cumulative_histogram_rejected(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 5\n'
+                'h_bucket{le="+Inf"} 2\n'
+                "h_count 2\n")
+        with pytest.raises(PrometheusFormatError, match="cumulative"):
+            parse_prometheus(text)
+
+    def test_missing_inf_bucket_rejected(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1"} 1\n'
+                "h_count 1\n")
+        with pytest.raises(PrometheusFormatError, match=r"\+Inf"):
+            parse_prometheus(text)
+
+    def test_count_disagreement_rejected(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 3\n'
+                "h_count 7\n")
+        with pytest.raises(PrometheusFormatError, match="disagrees"):
+            parse_prometheus(text)

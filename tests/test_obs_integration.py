@@ -1,0 +1,241 @@
+"""End-to-end observability: traced runs, metrics, fast-path guarantees."""
+
+import logging
+import time
+
+import pytest
+
+from repro.backends.base import ExecutionOptions
+from repro.backends.registry import registered_backends
+from repro.engine.evaluator import DIEngine
+from repro.engine.stats import CATEGORIES, EngineStats
+from repro.obs.export import chrome_trace, parse_prometheus, render_prometheus
+from repro.obs.trace import NullTracer, Tracer, set_tracer
+from repro.session import XQuerySession
+from repro.xmark.queries import FIGURE1_SAMPLE, QUERIES
+
+NAMES = 'document("a.xml")/site/people/person/name/text()'
+
+ALL_BACKENDS = ("engine", "sqlite", "interpreter", "naive", "dbapi")
+
+#: Span names proving backend-specific execution detail per backend.
+BACKEND_SPANS = {
+    "engine": "op.children",
+    "sqlite": "sql.statement",
+    "dbapi": "sql.statement",
+    "interpreter": "interpret",
+    "naive": "naive.evaluate",
+}
+
+
+@pytest.fixture
+def session():
+    with XQuerySession() as active:
+        active.add_document("a.xml", FIGURE1_SAMPLE)
+        yield active
+
+
+class TestTracedRuns:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_full_lifecycle_span_tree(self, session, backend):
+        result = session.run(NAMES, backend=backend, trace=True)
+        root = result.trace
+        assert root is not None and root.name == "query"
+        assert root.attributes["backend"] == backend
+        # The session phases…
+        for phase in ("compile", "prepare", "execute"):
+            assert root.find(phase) is not None, phase
+        # …the compiler passes, grafted under the compile span…
+        compile_span = root.find("compile")
+        pass_names = {s.name for s in compile_span.walk()}
+        assert {"pass.parse", "pass.lower"} <= pass_names
+        # …and backend-specific execution detail.
+        assert root.find(BACKEND_SPANS[backend]) is not None
+        # The whole tree exports as Chrome trace_event events.
+        events = chrome_trace(root)["traceEvents"]
+        assert {"query", "compile", "prepare", "execute"} <= \
+            {event["name"] for event in events}
+
+    def test_all_builtins_are_covered(self):
+        assert set(ALL_BACKENDS) <= set(registered_backends())
+
+    def test_engine_trace_has_plan_pass_and_operators(self, session):
+        root = session.run(NAMES, backend="engine", trace=True).trace
+        names = {span.name for span in root.walk()}
+        assert "pass.plan" in names
+        operators = {name for name in names if name.startswith("op.")}
+        assert operators, names
+        # Operator spans carry the measurements the profiler aggregates.
+        op = root.find("op.children")
+        assert op.attributes["tuples"] >= 0
+        assert "category" in op.attributes
+
+    def test_sqlite_trace_names_ctes(self, session):
+        root = session.run(NAMES, backend="sqlite", trace=True).trace
+        statements = [span for span in root.walk()
+                      if span.name == "sql.statement"]
+        assert statements
+        assert all("cte" in span.attributes for span in statements)
+
+    def test_serialize_span_appended_by_to_xml(self, session):
+        result = session.run(NAMES, trace=True)
+        assert result.trace.find("serialize") is None
+        text = result.to_xml()
+        serialize = result.trace.find("serialize")
+        assert serialize is not None
+        assert serialize.attributes["bytes"] == len(text)
+
+    def test_traced_and_untraced_results_agree(self, session):
+        plain = session.run(NAMES)
+        traced = session.run(NAMES, trace=True)
+        assert plain.forest == traced.forest
+        assert plain.trace is None
+
+    def test_cached_compile_still_traced(self, session):
+        session.run(NAMES)  # populate the query cache untraced
+        root = session.run(NAMES, trace=True).trace
+        assert root.find("pass.parse") is not None
+
+    def test_explicit_tracer_collects_both_runs(self, session):
+        tracer = Tracer()
+        session.run(NAMES, tracer=tracer)
+        session.run(NAMES, backend="interpreter", tracer=tracer)
+        assert [root.name for root in tracer.roots] == ["query", "query"]
+
+    def test_engine_stats_from_trace(self, session):
+        root = session.run(NAMES, backend="engine", trace=True).trace
+        stats = EngineStats.from_trace(root)
+        seconds = stats.seconds
+        assert seconds and set(seconds) <= set(CATEGORIES)
+        assert sum(stats.fractions().values()) == pytest.approx(1.0)
+
+
+class TestMetrics:
+    def test_session_counters(self, session):
+        session.run(NAMES)
+        session.run(NAMES, backend="interpreter")
+        queries = session.metrics.get("repro_session_queries_total")
+        assert queries.value(backend="engine") == 1
+        assert queries.value(backend="interpreter") == 1
+        assert session.metrics.get(
+            "repro_session_documents_total").value() == 1
+
+    def test_invalidation_counter(self, session):
+        session.run(NAMES)
+        session.add_document("a.xml", FIGURE1_SAMPLE)
+        assert session.metrics.get(
+            "repro_session_invalidations_total").value() >= 1
+
+    def test_engine_metrics_on_traced_run(self, session):
+        session.run(NAMES, trace=True)
+        tuples = session.metrics.get("repro_engine_tuples_total")
+        assert tuples is not None
+        assert sum(value for _labels, value in tuples.samples()) > 0
+        widths = session.metrics.get("repro_engine_interval_width")
+        assert widths.count() > 0
+
+    @pytest.mark.parametrize("backend", ["sqlite", "dbapi"])
+    def test_sql_metrics_on_traced_run(self, session, backend):
+        session.run(NAMES, backend=backend, trace=True)
+        statements = session.metrics.get("repro_sql_statements_total")
+        assert statements.value(backend=backend) >= 1
+        rows = session.metrics.get("repro_sql_rows_total")
+        assert rows.value(backend=backend) >= 1
+
+    def test_registry_exports_as_valid_prometheus(self, session):
+        for backend in ALL_BACKENDS:
+            session.run(NAMES, backend=backend, trace=True)
+        text = render_prometheus(session.metrics)
+        samples = parse_prometheus(text)  # validates the format
+        assert any(key.startswith("repro_session_queries_total")
+                   for key in samples)
+
+
+class CountingTracer(Tracer):
+    """A tracer double that counts span() calls; reports as disabled."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+        self.calls = 0
+
+    def span(self, name, parent=None, **attributes):
+        self.calls += 1
+        return super().span(name, parent=parent, **attributes)
+
+
+class TestDisabledFastPath:
+    def test_engine_normalizes_disabled_tracer_to_none(self):
+        assert DIEngine(tracer=NullTracer())._tracer is None
+        assert DIEngine(tracer=None)._tracer is None
+        enabled = Tracer()
+        assert DIEngine(tracer=enabled)._tracer is enabled
+
+    def test_disabled_run_allocates_zero_spans(self, session):
+        """With tracing off, the engine hot loop never touches a tracer.
+
+        The counting double is installed as the process default and
+        (separately) given to the engine directly: neither path may call
+        span() even once per evaluated operator.
+        """
+        counting = CountingTracer()
+        previous = set_tracer(counting)
+        try:
+            session.run(NAMES)
+        finally:
+            set_tracer(previous)
+        assert counting.calls == 0
+
+        engine = DIEngine(tracer=counting)
+        compiled = session.prepare(NAMES)
+        plan = compiled.plan()
+        bindings = session._bindings(compiled)
+        engine.run_plan(plan, bindings)
+        assert counting.calls == 0
+
+    def test_disabled_overhead_is_small(self):
+        """Observability off must not slow the engine measurably.
+
+        The design target is <5% on a Q8-style query; the assertion allows
+        50% so shared-CI timer noise cannot flake the build — a fast-path
+        regression (per-operator span allocation) costs far more than that.
+        """
+        with XQuerySession() as active:
+            active.add_xmark_document("auction.xml", 0.002)
+            query = QUERIES["Q8"]
+            compiled = active.prepare(query)
+            target = active.backend_instance("engine")
+            target.prepare(active._bindings(compiled))
+            runner = target.runner(compiled, ExecutionOptions())
+            runner()  # warm caches (plan, encodings)
+
+            def best_of(fn, repeats=5):
+                timings = []
+                for _ in range(repeats):
+                    started = time.perf_counter()
+                    fn()
+                    timings.append(time.perf_counter() - started)
+                return min(timings)
+
+            raw = best_of(runner)
+            via_session = best_of(lambda: active.run(query))
+            assert via_session <= raw * 1.5 + 0.01
+
+
+class TestLogging:
+    def test_repro_logger_has_null_handler(self):
+        import repro  # noqa: F401 — ensures package __init__ ran
+
+        root = logging.getLogger("repro")
+        assert any(isinstance(handler, logging.NullHandler)
+                   for handler in root.handlers)
+
+    def test_session_logs_documents_and_runs(self, caplog):
+        with caplog.at_level(logging.DEBUG, logger="repro.session"):
+            with XQuerySession() as active:
+                active.add_document("a.xml", FIGURE1_SAMPLE)
+                active.run(NAMES, trace=True)
+        messages = [record.getMessage() for record in caplog.records]
+        assert any("registered document 'a.xml'" in m for m in messages)
+        assert any("traced run" in m for m in messages)
