@@ -75,6 +75,18 @@ def main(argv: list[str] | None = None) -> int:
                              "after the run")
     parser.add_argument("--verbose", action="store_true",
                         help="log progress to stderr (the 'repro' loggers)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="cancel the query after this many seconds "
+                             "(raises a QueryTimeoutError; see "
+                             "docs/ROBUSTNESS.md)")
+    parser.add_argument("--max-tuples", type=int, default=None, metavar="N",
+                        help="cancel the query once it has produced more "
+                             "than N interval tuples")
+    parser.add_argument("--fallback", action="append", default=[],
+                        choices=list(registered_backends()), metavar="BACKEND",
+                        help="backend(s) to degrade to, in order, when the "
+                             "primary fails (repeatable)")
     args = parser.parse_args(argv)
 
     if args.verbose:
@@ -109,7 +121,15 @@ def main(argv: list[str] | None = None) -> int:
             for uri, text in documents.items():
                 session.add_document(uri, text)
             traced = bool(args.trace) or args.metrics
-            result = session.run(query_text, trace=traced)
+            result = session.run(query_text, trace=traced,
+                                 deadline=args.timeout,
+                                 budget=args.max_tuples,
+                                 fallback=tuple(args.fallback))
+            if result.degraded:
+                for degradation in result.degradations:
+                    print(f"degraded: {degradation}", file=sys.stderr)
+                print(f"answered by fallback backend {result.backend!r}",
+                      file=sys.stderr)
             print(result.to_xml(indent=args.indent))
             # Export after to_xml so the serialize span is in the file.
             if args.trace:

@@ -66,6 +66,16 @@ class QueryResult:
     trace: Span | None = field(default=None, compare=False)
     #: The tracer that produced :attr:`trace` (for follow-up spans).
     tracer: Tracer | None = field(default=None, compare=False)
+    #: Name of the backend that actually produced the forest.
+    backend: str | None = field(default=None, compare=False)
+    #: Backends given up on before :attr:`backend` answered (resilient
+    #: runs only; see :mod:`repro.resilience.fallback`).
+    degradations: tuple = field(default=(), compare=False)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether a fallback backend answered instead of the primary."""
+        return bool(self.degradations)
 
     def to_xml(self, indent: int | None = None) -> str:
         """Serialize the result as XML text."""

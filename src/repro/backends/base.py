@@ -35,6 +35,7 @@ from repro.xml.forest import Forest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api imports us)
     from repro.api import CompiledQuery
+    from repro.resilience.guard import QueryGuard
 
 
 @dataclass(frozen=True)
@@ -64,13 +65,17 @@ class ExecutionOptions:
     """Per-execution knobs passed to :meth:`Backend.execute`.
 
     Backends ignore options that do not apply to them (the interpreter has
-    no join strategy; only the DI engine fills ``stats``).
+    no join strategy; only the DI engine fills ``stats``).  ``guard``
+    carries the query's deadline and resource budgets; every builtin
+    backend enforces it cooperatively (engine/interpreter/naive step
+    hooks, SQL progress handlers) — see :mod:`repro.resilience.guard`.
     """
 
     strategy: JoinStrategy = JoinStrategy.MSJ
     stats: EngineStats | None = None
     decorrelate: bool = True
     metrics: MetricsRegistry | None = None
+    guard: "QueryGuard | None" = None
     extra: dict[str, object] = field(default_factory=dict)
 
 

@@ -38,7 +38,11 @@ from repro.backends.base import Backend, BackendCapabilities, ExecutionOptions
 from repro.backends.registry import register_backend
 from repro.encoding.interval import decode, encode
 from repro.errors import ExecutionError
-from repro.sql.sqlite_backend import SQLITE_MAX_WIDTH, _SQLObserver
+from repro.sql.sqlite_backend import (
+    SQLITE_MAX_WIDTH,
+    _SQLObserver,
+    wrap_driver_error,
+)
 from repro.sql.translator import translate_query
 from repro.xml.forest import Forest
 
@@ -91,21 +95,30 @@ class DBAPIBackend(Backend):
     def _load(self, name: str, forest: Forest) -> None:
         encoded = encode(forest)
         cursor = self.connection.cursor()
-        if name in self._tables:
-            table, _ = self._tables[name]
-            cursor.execute(f"DELETE FROM {table}")
-        else:
-            table = f"doc_{len(self._tables)}"
-            cursor.execute(
-                f"CREATE TABLE {table} "
-                f"(s TEXT NOT NULL, l INTEGER PRIMARY KEY, r INTEGER NOT NULL)"
+        statement = ""
+        try:
+            if name in self._tables:
+                table, _ = self._tables[name]
+                statement = f"DELETE FROM {table}"
+                cursor.execute(statement)
+            else:
+                table = f"doc_{len(self._tables)}"
+                statement = (
+                    f"CREATE TABLE {table} (s TEXT NOT NULL, "
+                    f"l INTEGER PRIMARY KEY, r INTEGER NOT NULL)"
+                )
+                cursor.execute(statement)
+            statement = (
+                f"INSERT INTO {table} (s, l, r) VALUES "
+                f"({self._placeholder}, {self._placeholder}, "
+                f"{self._placeholder})"
             )
-        cursor.executemany(
-            f"INSERT INTO {table} (s, l, r) VALUES "
-            f"({self._placeholder}, {self._placeholder}, {self._placeholder})",
-            encoded.tuples,
-        )
-        self.connection.commit()
+            cursor.executemany(statement, encoded.tuples)
+            self.connection.commit()
+        except ExecutionError:
+            raise
+        except Exception as error:  # driver-specific exception types
+            raise wrap_driver_error(error, statement) from error
         self._tables[name] = (table, encoded.width)
 
     def _close(self) -> None:
@@ -121,16 +134,35 @@ class DBAPIBackend(Backend):
                                       max_width=self._max_width)
         connection = self.connection
 
+        guard = options.guard
+        if guard is not None and not guard.enabled:
+            guard = None
+
         def run() -> Forest:
             observer = _SQLObserver(self._tracer, options.metrics, self.name)
             cursor = connection.cursor()
+            # Drivers exposing SQLite's progress-handler hook get in-flight
+            # enforcement; the rest are still checked at call boundaries.
+            set_handler = getattr(connection, "set_progress_handler", None)
+            if guard is not None:
+                guard.start().check()
+                if set_handler is not None:
+                    from repro.resilience.guard import DEFAULT_PROGRESS_OPCODES
+
+                    set_handler(guard.as_progress_handler(),
+                                DEFAULT_PROGRESS_OPCODES)
             try:
                 with observer.statement("single"):
                     cursor.execute(translation.sql)
                     rows = cursor.fetchall()
             except Exception as error:  # driver-specific exception types
-                raise ExecutionError(
-                    f"DB-API execution failed: {error}") from error
+                raise wrap_driver_error(error, translation.sql,
+                                        guard) from error
+            finally:
+                if guard is not None and set_handler is not None:
+                    set_handler(None, 0)
+            if guard is not None:
+                guard.account(tuples=len(rows))
             observer.rows_fetched(len(rows))
             return decode([(s, l, r) for (s, l, r) in rows])
 

@@ -70,7 +70,7 @@ class EngineBackend(Backend):
         plan = self.plan_for(compiled, options)
         values = self._values(compiled)
         engine = DIEngine(stats=options.stats, tracer=self._tracer,
-                          metrics=options.metrics)
+                          metrics=options.metrics, guard=options.guard)
 
         def run() -> Forest:
             # Re-copy the relation lists per run: cached encodings must

@@ -34,7 +34,11 @@ class InterpreterBackend(Backend):
     def _runner(self, compiled: "CompiledQuery",
                 options: ExecutionOptions) -> Callable[[], Forest]:
         bindings = self._bindings(compiled)
-        interpreter = Interpreter()
+        guard = options.guard
+        if guard is not None and guard.enabled:
+            interpreter = Interpreter(tick=guard.start().tick)
+        else:
+            interpreter = Interpreter()
 
         def run() -> Forest:
             if self._tracer is None:

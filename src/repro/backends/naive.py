@@ -40,8 +40,13 @@ class NaiveBackend(Backend):
     def _runner(self, compiled: "CompiledQuery",
                 options: ExecutionOptions) -> Callable[[], Forest]:
         bindings = self._bindings(compiled)
+        guard = options.guard
+        tick = None
+        if guard is not None and guard.enabled:
+            tick = guard.start().tick
         evaluator = NaiveEvaluator(memory_budget=self._memory_budget,
-                                   work_budget=self._work_budget)
+                                   work_budget=self._work_budget,
+                                   tick=tick)
 
         def run() -> Forest:
             if self._tracer is None:

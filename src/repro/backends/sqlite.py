@@ -67,4 +67,5 @@ class SQLiteBackend(Backend):
         # built once can be driven both traced and untraced.
         return lambda: database.run_translation(
             translation, mode=mode,
-            tracer=self._tracer, metrics=options.metrics)
+            tracer=self._tracer, metrics=options.metrics,
+            guard=options.guard)

@@ -56,20 +56,26 @@ class NaiveEvaluator:
     """Tree-walking nested-loop evaluation with resource accounting.
 
     ``memory_budget`` / ``work_budget`` are in cells and steps; ``None``
-    disables the corresponding limit.
+    disables the corresponding limit.  ``tick`` — optional callback
+    invoked once per evaluation step (cooperative deadlines: the session
+    passes a :class:`~repro.resilience.guard.QueryGuard` tick here).
     """
 
     def __init__(self, memory_budget: int | None = None,
-                 work_budget: int | None = None):
+                 work_budget: int | None = None,
+                 tick=None):
         self.memory_budget = memory_budget
         self.work_budget = work_budget
         self.work = 0
         self.peak_memory = 0
         self._live = 0
+        self._tick = tick
 
     # -- resource accounting -----------------------------------------------------
 
     def _step(self, amount: int = 1) -> None:
+        if self._tick is not None:
+            self._tick()
         self.work += amount
         if self.work_budget is not None and self.work > self.work_budget:
             raise WorkLimitExceeded(

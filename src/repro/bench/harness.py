@@ -102,14 +102,32 @@ def run_cell(system: str, query: str, scale: float,
     process.start()
     child_conn.close()
     outcome: tuple[str, Any] | None = None
-    if parent_conn.poll(timeout):
-        outcome = parent_conn.recv()
-    process.join(timeout=1.0)
-    if process.is_alive():
-        process.terminate()
-        process.join()
-    parent_conn.close()
+    crashed = False
+    try:
+        try:
+            if parent_conn.poll(timeout):
+                outcome = parent_conn.recv()
+        except EOFError:
+            # Child died before sending (hard crash, OOM kill): classified
+            # below as an error rather than leaking up as a pipe failure.
+            crashed = True
+        process.join(timeout=1.0)
+        if process.is_alive():
+            # Escalate: SIGTERM first, SIGKILL if the child ignores it
+            # (e.g. stuck in uninterruptible C code), so no zombie ever
+            # outlives the harness.
+            process.terminate()
+            process.join(timeout=1.0)
+            if process.is_alive():
+                process.kill()
+                process.join()
+    finally:
+        parent_conn.close()
 
+    if outcome is None and crashed:
+        return CellResult(system, query, scale, ERROR,
+                          detail=f"worker died with exit code "
+                                 f"{process.exitcode} before reporting")
     if outcome is None:
         return CellResult(system, query, scale, DNF,
                           detail=f"exceeded {timeout:.0f}s budget")

@@ -11,7 +11,10 @@ Section 5.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping
+from typing import TYPE_CHECKING, Callable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.guard import QueryGuard
 
 from repro.compiler.plan import (
     AndCond,
@@ -80,26 +83,38 @@ class DIEngine:
     Figure 10 category, and output tuples/width/environment counts.
     ``metrics`` — optional :class:`~repro.obs.metrics.MetricsRegistry`
     observing tuples produced per operator, environment-sequence sizes,
-    and interval widths.
+    and interval widths.  ``guard`` — optional
+    :class:`~repro.resilience.guard.QueryGuard`; its deadline rides the
+    ``tick`` hook (checked at every evaluation step and inside the
+    quadratic copy/NLJ loops) and its tuple/env/width budgets are charged
+    per node result.
 
     A disabled tracer is normalized to ``None`` at construction so the
     hot loop pays a single attribute test and allocates nothing per node
-    when tracing is off.
+    when tracing is off; a guard that enforces nothing is likewise
+    dropped, keeping the unguarded fast path identical.
     """
 
     def __init__(self, stats: EngineStats | None = None,
                  tick: Callable[[], None] | None = None,
                  validate: bool = False,
                  tracer: Tracer | None = None,
-                 metrics: MetricsRegistry | None = None):
+                 metrics: MetricsRegistry | None = None,
+                 guard: "QueryGuard | None" = None):
         self.stats = stats
-        self._tick = tick
         self._validate = validate
         self._base: EnvSeq | None = None
         if tracer is not None and not tracer.enabled:
             tracer = None
         self._tracer = tracer
         self._metrics = metrics
+        if guard is not None and not guard.enabled:
+            guard = None
+        self._guard = guard
+        if guard is not None:
+            guard.start()
+            tick = _chain_ticks(tick, guard.tick)
+        self._tick = tick
         if metrics is not None:
             self._m_tuples = metrics.counter(
                 "repro_engine_tuples_total",
@@ -151,7 +166,8 @@ class DIEngine:
     def evaluate(self, node: PlanNode, seq: EnvSeq) -> Value:
         if self._tick is not None:
             self._tick()
-        if self._tracer is None and self._metrics is None:
+        if self._tracer is None and self._metrics is None \
+                and self._guard is None:
             return self._dispatch(node, seq)  # the no-observability fast path
         return self._evaluate_observed(node, seq)
 
@@ -166,6 +182,9 @@ class DIEngine:
                 result = self._dispatch(node, seq)
                 span.set(tuples=len(result[0]), width=result[1],
                          envs=len(seq.index))
+        if self._guard is not None:
+            self._guard.account(tuples=len(result[0]), width=result[1],
+                                envs=len(seq.index))
         if self._metrics is not None:
             self._m_envs.observe(len(seq.index))
             self._m_width.observe(result[1])
@@ -537,6 +556,19 @@ class DIEngine:
             if self._tick is not None:
                 self._tick()
         return result, width
+
+
+def _chain_ticks(first: Callable[[], None] | None,
+                 second: Callable[[], None]) -> Callable[[], None]:
+    """Compose an existing tick callback with a guard tick."""
+    if first is None:
+        return second
+
+    def tick() -> None:
+        first()
+        second()
+
+    return tick
 
 
 def _span_name(node: PlanNode) -> str:

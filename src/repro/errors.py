@@ -67,6 +67,22 @@ class TranslationError(ReproError):
     """Raised when a core expression cannot be translated to SQL."""
 
 
+class DocumentNotFoundError(ReproError):
+    """Raised when a session query references an unregistered document URI.
+
+    The message always lists the URIs that *are* registered (mirroring
+    :class:`UnknownBackendError`), so a typo'd ``document(...)`` call is
+    diagnosable from the error text alone.
+    """
+
+    def __init__(self, uri: str, registered: "tuple[str, ...] | list[str]" = ()):
+        self.uri = uri
+        self.registered = tuple(registered)
+        known = ", ".join(repr(u) for u in self.registered) or "<none>"
+        super().__init__(
+            f"no document registered for {uri!r}; registered documents: {known}")
+
+
 class UnknownBackendError(ReproError):
     """Raised when a backend name is not present in the backend registry.
 
@@ -87,8 +103,87 @@ class PlanError(ReproError):
     """Raised when a core expression cannot be compiled to a physical plan."""
 
 
+def _truncate_statement(statement: str, limit: int = 200) -> str:
+    flattened = " ".join(statement.split())
+    if len(flattened) <= limit:
+        return flattened
+    return flattened[: limit - 1] + "…"
+
+
 class ExecutionError(ReproError):
-    """Raised when a physical plan fails during execution."""
+    """Raised when a physical plan fails during execution.
+
+    ``statement`` optionally attaches the offending SQL text (truncated in
+    the message) so driver failures surfacing through the public API carry
+    enough context to reproduce without leaking driver exception types.
+    """
+
+    def __init__(self, message: str, *, statement: str | None = None):
+        self.statement = statement
+        if statement is not None:
+            message = f"{message} [statement: {_truncate_statement(statement)}]"
+        super().__init__(message)
+
+
+class TransientBackendError(ExecutionError):
+    """A backend failure that is expected to succeed on retry.
+
+    Raised for driver-level conditions such as a locked/busy database or
+    an injected transport fault; :class:`repro.resilience.RetryPolicy`
+    retries these by default, and repeated occurrences trip the
+    per-backend circuit breaker.
+    """
+
+
+class QueryTimeoutError(ExecutionError):
+    """Raised when a query runs past its configured deadline.
+
+    Enforced cooperatively: the DI engine checks the deadline in its
+    operator loop, SQL backends via the connection's progress handler, and
+    the interpreter/naive evaluators via their step callbacks — the
+    in-process analogue of the paper's two-hour benchmark cutoff.
+    """
+
+    def __init__(self, deadline: float, elapsed: float, *,
+                 backend: str | None = None):
+        self.deadline = deadline
+        self.elapsed = elapsed
+        self.backend = backend
+        where = f" on backend {backend!r}" if backend else ""
+        super().__init__(
+            f"query exceeded its {deadline:.3f}s deadline{where} "
+            f"(elapsed {elapsed:.3f}s)")
+
+
+class ResourceBudgetError(ExecutionError):
+    """Raised when a query exhausts a configured resource budget.
+
+    ``resource`` names the budget dimension (``tuples``, ``envs``,
+    ``width``), mirroring the Koch-style polynomial blow-up the guard is
+    designed to cap (see PAPERS.md).
+    """
+
+    def __init__(self, resource: str, limit: int, used: int):
+        self.resource = resource
+        self.limit = limit
+        self.used = used
+        super().__init__(
+            f"query exceeded its {resource} budget: used {used}, limit {limit}")
+
+
+class CircuitOpenError(ExecutionError):
+    """Raised (or recorded as a degradation) when a backend's circuit is open.
+
+    The breaker opened after consecutive failures; ``retry_after`` is the
+    time remaining until the breaker half-opens and allows a probe.
+    """
+
+    def __init__(self, backend: str, retry_after: float | None = None):
+        self.backend = backend
+        self.retry_after = retry_after
+        hint = (f"; retry in {retry_after:.3f}s"
+                if retry_after is not None else "")
+        super().__init__(f"circuit breaker for backend {backend!r} is open{hint}")
 
 
 class BenchmarkTimeout(ReproError):

@@ -31,6 +31,7 @@ from repro.obs.export import (
 from repro.obs.logs import setup_console_logging
 from repro.obs.metrics import (
     Counter,
+    Gauge,
     Histogram,
     MetricsRegistry,
     get_metrics,
@@ -48,6 +49,7 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",

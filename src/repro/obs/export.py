@@ -17,7 +17,7 @@ import re
 from typing import Iterable, Mapping
 
 from repro.errors import ReproError
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import Span
 
 
@@ -97,7 +97,7 @@ def render_prometheus(registry: MetricsRegistry) -> str:
             lines.append(f"# HELP {metric.name} "
                          f"{_escape_help(metric.description)}")
         lines.append(f"# TYPE {metric.name} {metric.kind}")
-        if isinstance(metric, Counter):
+        if isinstance(metric, (Counter, Gauge)):
             for labels, value in metric.samples():
                 lines.append(f"{metric.name}{_labels(labels)} {_number(value)}")
         elif isinstance(metric, Histogram):

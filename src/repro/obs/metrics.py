@@ -94,6 +94,41 @@ class Counter(Metric):
         self._values.clear()
 
 
+class Gauge(Metric):
+    """A value that can go up and down (breaker states, live resources)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, description: str = "",
+                 label_names: tuple[str, ...] = ()):
+        super().__init__(name, description, label_names)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        return self._values.get(self._key(labels), 0.0)
+
+    def label_sets(self) -> list[tuple[str, ...]]:
+        return sorted(self._values)
+
+    def samples(self) -> Iterator[tuple[dict[str, str], float]]:
+        """(labels dict, value) pairs in sorted label order."""
+        for key in self.label_sets():
+            yield dict(zip(self.label_names, key)), self._values[key]
+
+    def reset(self) -> None:
+        self._values.clear()
+
+
 class Histogram(Metric):
     """Observation counts over fixed buckets, plus sum and count.
 
@@ -168,6 +203,10 @@ class MetricsRegistry:
     def counter(self, name: str, description: str = "",
                 label_names: tuple[str, ...] = ()) -> Counter:
         return self._get_or_create(Counter, name, description, label_names)
+
+    def gauge(self, name: str, description: str = "",
+              label_names: tuple[str, ...] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, description, label_names)
 
     def histogram(self, name: str, description: str = "",
                   label_names: tuple[str, ...] = (),

@@ -1,0 +1,152 @@
+"""Per-backend circuit breakers (closed → open → half-open).
+
+A breaker protects the service from repeatedly paying for a backend that
+is failing deterministically: after ``failure_threshold`` consecutive
+failures the circuit *opens* and requests skip the backend (falling back
+down the session's degradation chain) until ``recovery_seconds`` have
+passed, at which point it *half-opens* and admits a limited number of
+probe attempts — success closes the circuit, failure re-opens it.
+
+The clock is injectable, so state transitions are tested without
+sleeping.  Breaker instances are owned per backend name by
+:mod:`repro.backends.registry` (see
+:func:`repro.backends.registry.backend_breaker`), making the health
+state shared across sessions in one process — the same place backend
+factories already live.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.errors import CircuitOpenError, ExecutionError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Numeric encoding used by the ``repro_resilience_breaker_state`` gauge.
+STATE_VALUES = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+#: Observes transitions: (backend name, old state, new state).
+TransitionObserver = Callable[[str, str, str], None]
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with timed half-open recovery."""
+
+    def __init__(self, name: str = "",
+                 failure_threshold: int = 5,
+                 recovery_seconds: float = 30.0,
+                 half_open_probes: int = 1,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_transition: TransitionObserver | None = None):
+        if failure_threshold < 1:
+            raise ExecutionError(
+                f"failure_threshold must be ≥ 1, got {failure_threshold}")
+        if recovery_seconds < 0:
+            raise ExecutionError(
+                f"recovery_seconds cannot be negative, got {recovery_seconds}")
+        if half_open_probes < 1:
+            raise ExecutionError(
+                f"half_open_probes must be ≥ 1, got {half_open_probes}")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.recovery_seconds = recovery_seconds
+        self.half_open_probes = half_open_probes
+        self.on_transition = on_transition
+        self._clock = clock
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probes_in_flight = 0
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state; an expired open circuit reads as half-open."""
+        self._maybe_half_open()
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._failures
+
+    @property
+    def retry_after(self) -> float | None:
+        """Seconds until an open circuit half-opens (None when not open)."""
+        if self._state != OPEN or self._opened_at is None:
+            return None
+        remaining = self._opened_at + self.recovery_seconds - self._clock()
+        return max(remaining, 0.0)
+
+    def _transition(self, new_state: str) -> None:
+        old_state = self._state
+        if old_state == new_state:
+            return
+        self._state = new_state
+        if self.on_transition is not None:
+            self.on_transition(self.name, old_state, new_state)
+
+    def _maybe_half_open(self) -> None:
+        if (self._state == OPEN and self._opened_at is not None
+                and self._clock() - self._opened_at >= self.recovery_seconds):
+            self._probes_in_flight = 0
+            self._transition(HALF_OPEN)
+
+    # -- protocol -------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May the caller attempt the backend right now?
+
+        Half-open admits at most ``half_open_probes`` concurrent probes;
+        every admitted probe must be resolved with
+        :meth:`record_success` or :meth:`record_failure`.
+        """
+        self._maybe_half_open()
+        if self._state == CLOSED:
+            return True
+        if self._state == HALF_OPEN:
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                return True
+            return False
+        return False
+
+    def check(self) -> None:
+        """Like :meth:`allow` but raising :class:`CircuitOpenError`."""
+        if not self.allow():
+            raise CircuitOpenError(self.name, self.retry_after)
+
+    def record_success(self) -> None:
+        """An attempt succeeded: reset failures, close the circuit."""
+        self._failures = 0
+        self._probes_in_flight = 0
+        self._opened_at = None
+        self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """An attempt failed: trip after the threshold; re-open half-open."""
+        self._failures += 1
+        if self._state == HALF_OPEN:
+            self._open()
+        elif self._state == CLOSED and self._failures >= self.failure_threshold:
+            self._open()
+
+    def _open(self) -> None:
+        self._opened_at = self._clock()
+        self._probes_in_flight = 0
+        self._transition(OPEN)
+
+    def reset(self) -> None:
+        """Forget all history (tests, administrative reset)."""
+        self._failures = 0
+        self._probes_in_flight = 0
+        self._opened_at = None
+        self._transition(CLOSED)
+
+    def __repr__(self) -> str:
+        return (f"<CircuitBreaker {self.name!r} {self.state} "
+                f"failures={self._failures}/{self.failure_threshold}>")

@@ -1,0 +1,108 @@
+"""Bounded retries with exponential backoff and deterministic jitter.
+
+A :class:`RetryPolicy` wraps one backend attempt: transient failures
+(:class:`~repro.errors.TransientBackendError` by default) are retried up
+to ``max_attempts`` with exponentially growing, jittered delays.  Both
+the sleep function and the jitter RNG are injectable, so the test suite
+observes exact backoff sequences through a recorder instead of sleeping —
+no wall-clock dependence anywhere.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator, TypeVar
+
+from repro.errors import ExecutionError, TransientBackendError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.guard import QueryGuard
+
+T = TypeVar("T")
+
+#: Called before each retry sleep: (attempt just failed, delay, error).
+RetryObserver = Callable[[int, float, BaseException], None]
+
+
+@dataclass
+class RetryPolicy:
+    """How (and whether) to retry a failed backend attempt.
+
+    * ``max_attempts`` — total attempts including the first (1 = no retry);
+    * ``base_delay`` / ``multiplier`` / ``max_delay`` — exponential
+      backoff: attempt *k* waits ``min(max_delay, base·multiplier^(k-1))``;
+    * ``jitter`` — symmetric fractional jitter (0.1 = ±10%), drawn from
+      ``rng`` (seeded by default, so schedules are reproducible);
+    * ``retry_on`` — exception types considered transient;
+    * ``sleep`` / ``rng`` — injectable for deterministic tests.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 5.0
+    jitter: float = 0.1
+    retry_on: tuple[type[BaseException], ...] = (TransientBackendError,)
+    sleep: Callable[[float], None] = time.sleep
+    rng: random.Random = field(default_factory=lambda: random.Random(0x5EED))
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ExecutionError(
+                f"max_attempts must be ≥ 1, got {self.max_attempts}")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ExecutionError("retry delays cannot be negative")
+        if not 0 <= self.jitter <= 1:
+            raise ExecutionError(
+                f"jitter must be a fraction in [0, 1], got {self.jitter}")
+
+    def delay_for(self, attempt: int) -> float:
+        """The backoff before retrying after failed attempt ``attempt``."""
+        raw = self.base_delay * (self.multiplier ** (attempt - 1))
+        delay = min(self.max_delay, raw)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * self.rng.uniform(-1.0, 1.0)
+        return max(delay, 0.0)
+
+    def delays(self) -> Iterator[float]:
+        """The full (jittered) backoff schedule, one per possible retry."""
+        for attempt in range(1, self.max_attempts):
+            yield self.delay_for(attempt)
+
+    def is_retryable(self, error: BaseException) -> bool:
+        return isinstance(error, self.retry_on)
+
+    def call(self, fn: Callable[[], T], *,
+             guard: "QueryGuard | None" = None,
+             on_retry: RetryObserver | None = None) -> T:
+        """Run ``fn``, retrying transient failures per this policy.
+
+        ``guard`` bounds the schedule: a retry never sleeps past the
+        query deadline — if the next delay would, the last error is
+        raised immediately (the deadline belongs to the whole request,
+        not to any one attempt).  ``on_retry`` observes each backoff
+        (metrics, span recording) before the sleep happens.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except Exception as error:  # noqa: BLE001 — filtered below
+                if attempt >= self.max_attempts or not self.is_retryable(error):
+                    raise
+                delay = self.delay_for(attempt)
+                if guard is not None:
+                    remaining = guard.remaining
+                    if remaining is not None and delay >= remaining:
+                        raise
+                if on_retry is not None:
+                    on_retry(attempt, delay, error)
+                if delay > 0:
+                    self.sleep(delay)
+
+
+#: The do-nothing policy: one attempt, no sleeping.
+NO_RETRY = RetryPolicy(max_attempts=1, base_delay=0.0, jitter=0.0)

@@ -26,18 +26,33 @@ from typing import TYPE_CHECKING, Mapping
 
 from repro.api import CompiledQuery, DocumentInput, QueryResult, as_forest, compile_xquery
 from repro.backends.base import Backend, ExecutionOptions, coerce_strategy
-from repro.backends.registry import create_backend
+from repro.backends.registry import backend_breaker, create_backend
 from repro.compiler.plan import JoinStrategy
 from repro.encoding.updates import UpdatableDocument
 from repro.engine.stats import EngineStats
-from repro.errors import ReproError
+from repro.errors import (
+    CircuitOpenError,
+    DocumentNotFoundError,
+    QueryTimeoutError,
+    ResourceBudgetError,
+)
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.trace import Tracer, get_tracer
+from repro.obs.trace import NULL_TRACER, Tracer, get_tracer
+from repro.resilience.breaker import STATE_VALUES
+from repro.resilience.fallback import (
+    Degradation,
+    build_chain,
+    counts_against_breaker,
+    is_degradable,
+)
+from repro.resilience.guard import QueryGuard, ResourceBudget
+from repro.resilience.retry import NO_RETRY, RetryPolicy
 from repro.xml.forest import Forest
 from repro.xquery.lowering import document_forest, document_variable
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.compiler.plan import PlanNode
+    from repro.resilience.breaker import CircuitBreaker
 
 logger = logging.getLogger("repro.session")
 
@@ -69,6 +84,19 @@ class XQuerySession:
         self._m_invalidations = self.metrics.counter(
             "repro_session_invalidations_total",
             "backend cache invalidations after document changes")
+        self._m_retries = self.metrics.counter(
+            "repro_resilience_retries_total",
+            "backend attempts retried after transient failures", ("backend",))
+        self._m_fallbacks = self.metrics.counter(
+            "repro_resilience_fallbacks_total",
+            "queries answered by a fallback backend", ("source", "target"))
+        self._m_timeouts = self.metrics.counter(
+            "repro_resilience_timeouts_total",
+            "queries cancelled at their deadline", ("backend",))
+        self._g_breaker = self.metrics.gauge(
+            "repro_resilience_breaker_state",
+            "circuit state per backend (0 closed, 1 half-open, 2 open)",
+            ("backend",))
 
     # -- document management ---------------------------------------------------
 
@@ -100,7 +128,7 @@ class XQuerySession:
         try:
             return self._documents[uri]
         except KeyError:
-            raise ReproError(f"no document registered for {uri!r}") from None
+            raise DocumentNotFoundError(uri, self.documents) from None
 
     # -- updates --------------------------------------------------------------------
 
@@ -132,7 +160,12 @@ class XQuerySession:
             strategy: str | JoinStrategy | None = None,
             stats: EngineStats | None = None,
             trace: bool = False,
-            tracer: Tracer | None = None) -> QueryResult:
+            tracer: Tracer | None = None,
+            deadline: float | None = None,
+            budget: "int | ResourceBudget | None" = None,
+            guard: QueryGuard | None = None,
+            fallback: "tuple[str, ...] | list[str]" = (),
+            retry: RetryPolicy | None = None) -> QueryResult:
         """Run a query against the registered documents.
 
         ``trace=True`` collects the full lifecycle — compile passes,
@@ -141,17 +174,38 @@ class XQuerySession:
         :attr:`QueryResult.trace`.  ``tracer`` shares an existing tracer
         instead; with neither, the process-wide default tracer applies
         (a no-op unless :func:`repro.obs.set_tracer` installed one).
+
+        Resilience (see ``docs/ROBUSTNESS.md``): ``deadline`` (seconds)
+        and ``budget`` (max tuples, or a
+        :class:`~repro.resilience.ResourceBudget`) build a
+        :class:`~repro.resilience.QueryGuard` enforced inside every
+        backend; pass ``guard`` to share one across calls instead.
+        ``fallback`` names backends tried in order when the primary fails
+        degradably (execution failure, width overflow, open circuit) —
+        the result records what was skipped in
+        :attr:`QueryResult.degradations`.  ``retry`` re-runs transient
+        failures per a :class:`~repro.resilience.RetryPolicy` before
+        degrading.  Deadline and budget violations are request-level and
+        never fall back.
         """
         name = backend or self.backend
         active = self._effective_tracer(trace, tracer)
+        if guard is None and (deadline is not None or budget is not None):
+            guard = QueryGuard(deadline=deadline, budget=budget)
+        if guard is not None and not guard.enabled:
+            guard = None
         self._m_queries.inc(backend=name)
+        if guard is not None or fallback or retry is not None:
+            return self._run_resilient(query, name, strategy, stats, active,
+                                       guard, fallback, retry)
         if active is None:
             compiled = self.prepare(query)
             target = self.backend_instance(name)
             target.prepare(self._bindings(compiled))
             options = ExecutionOptions(strategy=self._strategy(strategy),
                                        stats=stats)
-            return QueryResult(target.execute(compiled, options))
+            return QueryResult(target.execute(compiled, options),
+                               backend=name)
         return self._run_traced(query, name, strategy, stats, active)
 
     def _run_traced(self, query: str, name: str,
@@ -187,7 +241,128 @@ class XQuerySession:
                                           compiler_pass=record.name)
                 if record.detail:
                     span.set(detail=record.detail)
-        return QueryResult(forest, trace=root, tracer=active)
+        return QueryResult(forest, trace=root, tracer=active, backend=name)
+
+    def _run_resilient(self, query: str, name: str,
+                       strategy: str | JoinStrategy | None,
+                       stats: EngineStats | None,
+                       active: Tracer | None,
+                       guard: QueryGuard | None,
+                       fallback: "tuple[str, ...] | list[str]",
+                       retry: RetryPolicy | None) -> QueryResult:
+        """Execute with guard enforcement, retries, and fallback chain."""
+        tracing = active is not None
+        tr = active if active is not None else NULL_TRACER
+        policy = retry if retry is not None else NO_RETRY
+        chain = build_chain(name, tuple(fallback))
+        options = ExecutionOptions(
+            strategy=self._strategy(strategy), stats=stats,
+            metrics=self.metrics if tracing else None, guard=guard)
+        degradations: list[Degradation] = []
+        last_error: BaseException | None = None
+        winner: str | None = None
+        forest: Forest = ()
+        with tr.span("query", backend=name, resilient=True) as root:
+            with tr.span("compile") as compile_span:
+                compiled = self.prepare(query)
+            for target_name in chain:
+                if guard is not None:
+                    guard.backend = target_name
+                    guard.start().check()  # never start an attempt past limit
+                breaker = backend_breaker(target_name)
+                if not breaker.allow():
+                    error = CircuitOpenError(target_name,
+                                             retry_after=breaker.retry_after)
+                    logger.debug("skipping backend %r: %s", target_name, error)
+                    tr.record_span("skip", 0.0, backend=target_name,
+                                   error="CircuitOpenError")
+                    degradations.append(
+                        Degradation.from_error(target_name, error))
+                    last_error = error
+                    self._record_breaker(target_name, breaker)
+                    continue
+                try:
+                    forest = self._attempt(compiled, target_name, options,
+                                           active, breaker, policy, guard)
+                except (QueryTimeoutError, ResourceBudgetError) as error:
+                    if isinstance(error, QueryTimeoutError):
+                        self._m_timeouts.inc(backend=target_name)
+                    self._record_breaker(target_name, breaker)
+                    root.set(outcome=type(error).__name__)
+                    raise
+                except Exception as error:
+                    self._record_breaker(target_name, breaker)
+                    if not is_degradable(error):
+                        raise
+                    logger.debug("degrading from backend %r: %s",
+                                 target_name, error)
+                    degradations.append(
+                        Degradation.from_error(target_name, error))
+                    last_error = error
+                    continue
+                winner = target_name
+                self._record_breaker(target_name, breaker)
+                break
+            if winner is None:
+                root.set(outcome="exhausted")
+                assert last_error is not None
+                raise last_error
+            if degradations:
+                self._m_fallbacks.inc(source=name, target=winner)
+            root.set(backend=winner, degraded=bool(degradations))
+            for record in compiled.trace.records:
+                span = tr.record_span(f"pass.{record.name}", record.seconds,
+                                      parent=compile_span,
+                                      compiler_pass=record.name)
+                if record.detail:
+                    span.set(detail=record.detail)
+        return QueryResult(forest,
+                           trace=root if tracing else None,
+                           tracer=active, backend=winner,
+                           degradations=tuple(degradations))
+
+    def _attempt(self, compiled: CompiledQuery, name: str,
+                 options: ExecutionOptions, active: Tracer | None,
+                 breaker: "CircuitBreaker", policy: RetryPolicy,
+                 guard: QueryGuard | None) -> Forest:
+        """One backend's (possibly retried) prepare + execute."""
+        target = self.backend_instance(name)
+        tr = active if active is not None else NULL_TRACER
+
+        def once() -> Forest:
+            with tr.span("attempt", backend=name):
+                try:
+                    with tr.span("prepare") as prepare_span:
+                        target.prepare(self._bindings(compiled))
+                        prepare_span.set(documents=len(compiled.documents))
+                    if active is not None:
+                        target.instrument(active)
+                    try:
+                        with tr.span("execute") as execute_span:
+                            result = target.execute(compiled, options)
+                            execute_span.set(trees=len(result))
+                    finally:
+                        if active is not None:
+                            target.instrument(None)
+                except Exception as error:
+                    if counts_against_breaker(error):
+                        breaker.record_failure()
+                    raise
+            return result
+
+        def on_retry(attempt: int, delay: float, error: BaseException) -> None:
+            self._m_retries.inc(backend=name)
+            tr.record_span("retry", delay, backend=name, attempt=attempt,
+                           error=type(error).__name__)
+            logger.debug("retrying backend %r after %s (attempt %d, "
+                         "backoff %.3fs)", name, error, attempt, delay)
+
+        result = policy.call(once, guard=guard, on_retry=on_retry)
+        breaker.record_success()
+        return result
+
+    def _record_breaker(self, name: str, breaker: "CircuitBreaker") -> None:
+        self._g_breaker.set(STATE_VALUES[breaker.state], backend=name)
 
     def _effective_tracer(self, trace: bool,
                           tracer: Tracer | None) -> Tracer | None:

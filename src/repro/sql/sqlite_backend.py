@@ -15,15 +15,51 @@ Section 4.3 trade-off of fixed-size machine integers.
 from __future__ import annotations
 
 import sqlite3
-from typing import Mapping
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Mapping
 
 from repro.encoding.interval import decode, encode
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, TransientBackendError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.xml.forest import Forest, Node
 from repro.xquery.ast import CoreExpr
 from repro.sql.translator import TranslationResult, translate_query
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.resilience.guard import QueryGuard
+
+#: Driver messages indicating a condition worth retrying (another writer
+#: holds the file lock, the schema changed under a prepared statement).
+_TRANSIENT_MARKERS = ("database is locked", "database is busy",
+                      "database schema has changed")
+
+
+def wrap_driver_error(error: BaseException, statement: str,
+                      guard: "QueryGuard | None" = None) -> ExecutionError:
+    """Convert a driver exception into the package's typed hierarchy.
+
+    No ``sqlite3.OperationalError`` / ``sqlite3.DataError`` (or any other
+    driver type) may escape the public API: callers get an
+    :class:`ExecutionError` carrying the offending statement (truncated),
+    or a :class:`TransientBackendError` for retry-worthy lock/busy
+    conditions.  When ``guard`` interrupted the statement through its
+    progress handler, the guard's own typed error (timeout/budget) is
+    returned instead of the driver's ``interrupted``.
+    """
+    if guard is not None and guard.pending_error is not None:
+        pending = guard.take_pending()
+        pending.__cause__ = error
+        return pending
+    message = str(error)
+    if any(marker in message for marker in _TRANSIENT_MARKERS):
+        wrapped: ExecutionError = TransientBackendError(
+            f"transient SQL failure: {message}", statement=statement)
+    else:
+        wrapped = ExecutionError(f"SQL execution failed: {message}",
+                                 statement=statement)
+    wrapped.__cause__ = error
+    return wrapped
 
 
 class _SQLObserver:
@@ -67,6 +103,31 @@ class _NullContext:
 
 
 _NULL_CONTEXT = _NullContext()
+
+
+@contextmanager
+def _guarded_connection(connection: sqlite3.Connection,
+                        guard: "QueryGuard | None"):
+    """Install a guard's progress handler for the duration of a block.
+
+    The handler interrupts long-running statements when the guard's
+    deadline or budgets are violated (the violation is stored on the
+    guard and re-raised typed by :func:`wrap_driver_error`).  Removed on
+    exit so unguarded runs on the same connection pay nothing.
+    """
+    if guard is None or not guard.enabled:
+        yield
+        return
+    from repro.resilience.guard import DEFAULT_PROGRESS_OPCODES
+
+    guard.start()
+    connection.set_progress_handler(guard.as_progress_handler(),
+                                    DEFAULT_PROGRESS_OPCODES)
+    try:
+        yield
+    finally:
+        connection.set_progress_handler(None, 0)
+
 
 #: Conservative width cap for 64-bit backends (see module docstring).
 SQLITE_MAX_WIDTH = 2 ** 61
@@ -119,10 +180,12 @@ class SQLiteDatabase:
             self.connection.execute(
                 f"CREATE INDEX {table}_s ON {table} (s, l)"
             )
-        self.connection.executemany(
-            f"INSERT INTO {table} (s, l, r) VALUES (?, ?, ?)", encoded.tuples
-        )
-        self.connection.commit()
+        insert = f"INSERT INTO {table} (s, l, r) VALUES (?, ?, ?)"
+        try:
+            self.connection.executemany(insert, encoded.tuples)
+            self.connection.commit()
+        except sqlite3.Error as error:
+            raise wrap_driver_error(error, insert) from error
         self._documents[name] = (table, encoded.width)
         return self._documents[name]
 
@@ -158,36 +221,52 @@ class SQLiteDatabase:
     def run_translation(self, translation: TranslationResult,
                         mode: str = "staged",
                         tracer: Tracer | None = None,
-                        metrics: MetricsRegistry | None = None) -> Forest:
+                        metrics: MetricsRegistry | None = None,
+                        guard: "QueryGuard | None" = None) -> Forest:
         """Run an already-translated query and decode the result.
 
         ``tracer`` opens one ``sql.statement`` span per statement executed;
-        ``metrics`` counts statements and fetched rows.
+        ``metrics`` counts statements and fetched rows.  ``guard``
+        installs a progress handler on the connection for the duration of
+        the run, so deadlines and budgets interrupt statements mid-flight
+        and surface as the guard's typed errors.
         """
         observer = _SQLObserver(tracer, metrics, "sqlite")
-        if mode == "single":
-            try:
-                with observer.statement("single"):
-                    rows = self.connection.execute(translation.sql).fetchall()
-            except sqlite3.Error as error:
-                raise ExecutionError(f"SQLite execution failed: {error}") from error
-        elif mode == "staged":
-            rows = self._run_staged(translation, observer)
-        else:
-            raise ValueError(f"unknown execution mode {mode!r}")
+        with _guarded_connection(self.connection, guard):
+            if guard is not None:
+                guard.check()
+            if mode == "single":
+                try:
+                    with observer.statement("single"):
+                        rows = self.connection.execute(
+                            translation.sql).fetchall()
+                except sqlite3.Error as error:
+                    raise wrap_driver_error(error, translation.sql,
+                                            guard) from error
+            elif mode == "staged":
+                rows = self._run_staged(translation, observer, guard)
+            else:
+                raise ValueError(f"unknown execution mode {mode!r}")
+            if guard is not None:
+                guard.account(tuples=len(rows))
         observer.rows_fetched(len(rows))
         return decode([(s, l, r) for (s, l, r) in rows])
 
     def _run_staged(self, translation: TranslationResult,
                     observer: _SQLObserver | None = None,
+                    guard: "QueryGuard | None" = None,
                     ) -> list[tuple[str, int, int]]:
         observer = observer or _SQLObserver(None, None, "sqlite")
         cursor = self.connection.cursor()
         created: list[str] = []
+        statement = translation.final_select
         try:
             for name, sql in translation.ctes:
+                if guard is not None:
+                    guard.check()  # statement boundary
+                statement = f"CREATE TEMP TABLE {name} AS {sql}"
                 with observer.statement(name):
-                    cursor.execute(f"CREATE TEMP TABLE {name} AS {sql}")
+                    cursor.execute(statement)
                 created.append(name)
                 # Encoded relations carry an l column worth indexing; helper
                 # views (sequences, root ids) have other shapes — skip those.
@@ -197,10 +276,11 @@ class SQLiteDatabase:
                     cursor.execute(
                         f"CREATE INDEX IF NOT EXISTS temp.{name}_l ON {name} (l)"
                     )
+            statement = translation.final_select
             with observer.statement("final_select"):
                 return cursor.execute(translation.final_select).fetchall()
         except sqlite3.Error as error:
-            raise ExecutionError(f"SQLite execution failed: {error}") from error
+            raise wrap_driver_error(error, statement, guard) from error
         finally:
             for name in created:
                 cursor.execute(f"DROP TABLE IF EXISTS temp.{name}")

@@ -54,6 +54,83 @@ class TestHarnessFailures:
         assert cell.status == harness.OV
 
 
+class TestHarnessProcessHygiene:
+    def test_worker_hard_crash_reported_not_hung(self, monkeypatch):
+        """A worker dying without reporting (segfault analogue) yields a
+        classified error, not a DNF or a leaked pipe exception."""
+        import os
+
+        def die(*args, **kwargs):
+            os._exit(17)
+
+        monkeypatch.setattr(harness, "execute_cell", die)
+        cell = harness.run_cell("di-msj", "Q13", 0.0005, timeout=30)
+        assert cell.status == harness.ERROR
+        assert "exit code" in cell.detail
+
+    def test_no_child_process_leaks(self, monkeypatch):
+        """After any outcome the worker is fully reaped (no zombies)."""
+        import multiprocessing
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(harness, "execute_cell", explode)
+        harness.run_cell("di-msj", "Q13", 0.0005, timeout=30)
+        assert multiprocessing.active_children() == []
+
+
+class TestWidthOverflowDegradation:
+    """Section 4.3's fixed-width limitation, end to end through sessions."""
+
+    DOC = "<a><a><a><a/></a></a></a>"
+    #: Each descendant step squares the inferred width; five steps push a
+    #: four-node document past SQLite's 2**61 cap.
+    QUERY = 'document("w.xml")' + "//a" * 5
+
+    @pytest.mark.parametrize("backend", ["sqlite", "dbapi"])
+    def test_deep_nesting_overflows_sql_backends(self, backend):
+        from repro.errors import WidthOverflowError
+        from repro.session import XQuerySession
+
+        with XQuerySession() as session:
+            session.add_document("w.xml", self.DOC)
+            with pytest.raises(WidthOverflowError):
+                session.run(self.QUERY, backend=backend)
+
+    @pytest.mark.parametrize("backend", ["sqlite", "dbapi"])
+    def test_fallback_converts_overflow_to_degraded_answer(self, backend):
+        from repro.backends.registry import reset_breakers
+        from repro.session import XQuerySession
+
+        reset_breakers()
+        with XQuerySession() as session:
+            session.add_document("w.xml", self.DOC)
+            result = session.run(self.QUERY, backend=backend,
+                                 fallback=("engine",))
+            assert result.backend == "engine"
+            assert result.degraded
+            assert result.degradations[0].kind == "WidthOverflowError"
+            # The unbounded-integer engine agrees with itself undegraded.
+            plain = session.run(self.QUERY, backend="engine")
+            assert result.forest == plain.forest
+
+    def test_overflow_does_not_trip_the_breaker(self):
+        """A deterministic capability limit is not backend ill-health."""
+        from repro.backends.registry import backend_breaker, reset_breakers
+        from repro.resilience import CLOSED
+        from repro.session import XQuerySession
+
+        reset_breakers()
+        with XQuerySession() as session:
+            session.add_document("w.xml", self.DOC)
+            for _ in range(6):  # past any default failure threshold
+                session.run(self.QUERY, backend="sqlite",
+                            fallback=("engine",))
+        assert backend_breaker("sqlite").state == CLOSED
+        reset_breakers()
+
+
 class TestEngineFailures:
     def test_corrupt_relation_caught_by_validation(self):
         from repro.compiler.plan import FnNode, VarNode
