@@ -10,6 +10,7 @@ Examples::
     python -m repro @query.xq --doc a.xml=./auction.xml --sql
     python -m repro @query.xq --doc a.xml=./auction.xml \
         --trace trace.json --metrics --verbose
+    python -m repro @q1.xq @q2.xq @q3.xq --doc a.xml=./auction.xml --jobs 4
 """
 
 from __future__ import annotations
@@ -48,8 +49,9 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro",
         description="Run XQuery over XML documents via dynamic intervals.",
     )
-    parser.add_argument("query",
-                        help="XQuery text, or @path to read it from a file")
+    parser.add_argument("query", nargs="+",
+                        help="XQuery text, or @path to read it from a file; "
+                             "several queries run as one batch (see --jobs)")
     parser.add_argument("--doc", action="append", default=[],
                         type=_parse_doc_argument, metavar="URI=PATH",
                         help="bind document(URI) to the XML file at PATH")
@@ -87,19 +89,28 @@ def main(argv: list[str] | None = None) -> int:
                         choices=list(registered_backends()), metavar="BACKEND",
                         help="backend(s) to degrade to, in order, when the "
                              "primary fails (repeatable)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="run the queries concurrently on N worker "
+                             "threads (results print in input order; see "
+                             "docs/CONCURRENCY.md)")
     args = parser.parse_args(argv)
 
     if args.verbose:
         setup_console_logging()
 
     try:
-        query_text = _load_query(args.query)
-        compiled = compile_xquery(query_text)
+        queries = [_load_query(argument) for argument in args.query]
 
-        if args.explain or args.explain_verbose:
-            print(compiled.explain(args.strategy,
-                                   verbose=args.explain_verbose))
-            return 0
+        if args.explain or args.explain_verbose or args.sql:
+            if len(queries) > 1:
+                raise ReproError(
+                    "--explain/--sql take exactly one query")
+            compiled = compile_xquery(queries[0])
+
+            if args.explain or args.explain_verbose:
+                print(compiled.explain(args.strategy,
+                                       verbose=args.explain_verbose))
+                return 0
 
         documents: dict[str, str] = {}
         for uri, path in args.doc:
@@ -121,19 +132,28 @@ def main(argv: list[str] | None = None) -> int:
             for uri, text in documents.items():
                 session.add_document(uri, text)
             traced = bool(args.trace) or args.metrics
-            result = session.run(query_text, trace=traced,
-                                 deadline=args.timeout,
-                                 budget=args.max_tuples,
-                                 fallback=tuple(args.fallback))
-            if result.degraded:
-                for degradation in result.degradations:
-                    print(f"degraded: {degradation}", file=sys.stderr)
-                print(f"answered by fallback backend {result.backend!r}",
-                      file=sys.stderr)
-            print(result.to_xml(indent=args.indent))
+            if len(queries) > 1 or args.jobs > 1:
+                results = session.run_many(
+                    queries, max_workers=max(args.jobs, 1),
+                    trace=traced,
+                    deadline=args.timeout, budget=args.max_tuples,
+                    fallback=tuple(args.fallback))
+            else:
+                results = [session.run(queries[0], trace=traced,
+                                       deadline=args.timeout,
+                                       budget=args.max_tuples,
+                                       fallback=tuple(args.fallback))]
+            for result in results:
+                if result.degraded:
+                    for degradation in result.degradations:
+                        print(f"degraded: {degradation}", file=sys.stderr)
+                    print(f"answered by fallback backend {result.backend!r}",
+                          file=sys.stderr)
+                print(result.to_xml(indent=args.indent))
             # Export after to_xml so the serialize span is in the file.
             if args.trace:
-                write_chrome_trace([result.trace], args.trace)
+                write_chrome_trace([result.trace for result in results
+                                    if result.trace is not None], args.trace)
                 print(f"trace written to {args.trace}", file=sys.stderr)
             if args.metrics:
                 print(render_prometheus(session.metrics), file=sys.stderr)

@@ -23,6 +23,7 @@ Concrete adapters live in sibling modules and are registered with
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Mapping
 
@@ -99,6 +100,24 @@ class Backend(abc.ABC):
     queries, :meth:`close`.  ``prepare`` is incremental — already-loaded
     names are skipped until :meth:`invalidate` drops them — so sessions
     can call it with the full binding set on every query.
+
+    **Thread-safety contract.**  One backend instance may be shared by
+    many worker threads (``XQuerySession.run_many`` does exactly this):
+
+    * :meth:`prepare`, :meth:`invalidate`, :meth:`close` and the
+      :attr:`prepared` snapshot serialize on an internal lock, so
+      concurrent prepares/invalidations never corrupt the prepared map;
+    * :meth:`execute` / :meth:`runner` may be called concurrently from
+      any number of threads — relational adapters keep one connection
+      per calling thread (see :class:`repro.concurrency.ThreadLocalPool`)
+      and in-process adapters keep per-call state only;
+    * :meth:`instrument` is **per thread**: each worker attaches its own
+      tracer (or ``None``) without disturbing spans other threads emit;
+    * :meth:`close` may be called from any thread and releases every
+      thread's resources in one idempotent sweep.
+
+    The full contract, per adapter, is documented in
+    ``docs/CONCURRENCY.md``.
     """
 
     #: Registry name; set by subclasses.
@@ -106,11 +125,19 @@ class Backend(abc.ABC):
     capabilities: BackendCapabilities = BackendCapabilities()
 
     def __init__(self) -> None:
+        # Re-entrant: close() → _close() and prepare() → _load() may take
+        # it again from subclass hooks.
+        self._lock = threading.RLock()
         self._prepared: dict[str, Forest] = {}
         self._closed = False
-        self._tracer: Tracer | None = None
+        self._tls = threading.local()
 
     # -- observability --------------------------------------------------------
+
+    @property
+    def _tracer(self) -> Tracer | None:
+        """The calling thread's tracer (set via :meth:`instrument`)."""
+        return getattr(self._tls, "tracer", None)
 
     def instrument(self, tracer: Tracer | None) -> None:
         """Attach (or detach, with ``None``) a tracer for execution spans.
@@ -118,11 +145,13 @@ class Backend(abc.ABC):
         Adapters consult ``self._tracer`` when building runners so that
         executions open backend-specific spans (engine operators, SQL
         statements) under the caller's active span.  A disabled tracer is
-        normalized to ``None`` so runners stay on their fast path.
+        normalized to ``None`` so runners stay on their fast path.  The
+        attachment is per calling thread: concurrent workers may trace
+        (or not) independently on one shared backend.
         """
         if tracer is not None and not tracer.enabled:
             tracer = None
-        self._tracer = tracer
+        self._tls.tracer = tracer
 
     # -- document lifecycle ---------------------------------------------------
 
@@ -130,22 +159,25 @@ class Backend(abc.ABC):
         """Load ``documents`` (core variable name → forest), skipping names
         already prepared.  Call :meth:`invalidate` first to force a reload.
         """
-        self._check_open()
-        for name, forest in documents.items():
-            if name not in self._prepared:
-                self._load(name, forest)
-                self._prepared[name] = forest
+        with self._lock:
+            self._check_open()
+            for name, forest in documents.items():
+                if name not in self._prepared:
+                    self._load(name, forest)
+                    self._prepared[name] = forest
 
     def invalidate(self, name: str) -> None:
         """Drop prepared state for ``name`` (no-op when not prepared)."""
-        if name in self._prepared:
-            del self._prepared[name]
-            self._unload(name)
+        with self._lock:
+            if name in self._prepared:
+                del self._prepared[name]
+                self._unload(name)
 
     @property
     def prepared(self) -> tuple[str, ...]:
         """Names of currently prepared documents, sorted."""
-        return tuple(sorted(self._prepared))
+        with self._lock:
+            return tuple(sorted(self._prepared))
 
     # -- execution ------------------------------------------------------------
 
@@ -169,11 +201,13 @@ class Backend(abc.ABC):
     # -- resource management --------------------------------------------------
 
     def close(self) -> None:
-        """Release backend resources; idempotent."""
-        if not self._closed:
+        """Release backend resources (every thread's); idempotent."""
+        with self._lock:
+            if self._closed:
+                return
             self._closed = True
             self._prepared.clear()
-            self._close()
+        self._close()
 
     def __enter__(self) -> "Backend":
         return self
@@ -208,12 +242,13 @@ class Backend(abc.ABC):
     def _bindings(self, compiled: "CompiledQuery") -> dict[str, Forest]:
         """The prepared forests the compiled query actually references."""
         bindings: dict[str, Forest] = {}
-        for uri, var in compiled.documents.items():
-            try:
-                bindings[var] = self._prepared[var]
-            except KeyError:
-                raise ReproError(
-                    f"query references document({uri!r}) but variable "
-                    f"{var!r} was not prepared on backend {self.name!r}"
-                ) from None
+        with self._lock:
+            for uri, var in compiled.documents.items():
+                try:
+                    bindings[var] = self._prepared[var]
+                except KeyError:
+                    raise ReproError(
+                        f"query references document({uri!r}) but variable "
+                        f"{var!r} was not prepared on backend {self.name!r}"
+                    ) from None
         return bindings

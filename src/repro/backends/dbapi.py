@@ -23,6 +23,22 @@ form; engines with CTE-reference limits (SQLite's 65535-branch cap) should
 prefer the specialized :mod:`repro.backends.sqlite` adapter, which stages
 CTEs as temp tables.
 
+Concurrency comes in two connection disciplines (see
+``docs/CONCURRENCY.md``):
+
+* ``isolated=False`` (default) — every connection from ``connect`` sees
+  the *same* server-side state (a networked engine, a file database).
+  The adapter keeps one connection per worker thread and loads each
+  document once, on whichever thread prepares it.
+* ``isolated=True`` — each connection has private state (stdlib
+  ``sqlite3`` ``:memory:`` databases).  Every worker thread must
+  materialize the documents into its own connection; a monotonic
+  per-document generation tells each thread exactly what it is missing.
+
+DB-API drivers are in general not safe for concurrent statements on one
+connection, so each connection is only ever driven by its owning thread;
+:meth:`~Backend.close` closes all of them from whatever thread calls it.
+
 :class:`SQLiteDBAPIBackend` below is the adapter driving the stdlib
 ``sqlite3`` module purely through the generic DB-API surface; it ships
 registered as ``"dbapi"`` and doubles as the registered exemplar of the
@@ -36,7 +52,8 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.backends.base import Backend, BackendCapabilities, ExecutionOptions
 from repro.backends.registry import register_backend
-from repro.encoding.interval import decode, encode
+from repro.concurrency import ThreadLocalPool
+from repro.encoding.interval import EncodedForest, decode, encode
 from repro.errors import ExecutionError
 from repro.sql.sqlite_backend import (
     SQLITE_MAX_WIDTH,
@@ -52,14 +69,32 @@ if TYPE_CHECKING:  # pragma: no cover
 _PLACEHOLDERS = {"qmark": "?", "format": "%s"}
 
 
+class _ThreadConnection:
+    """One worker thread's connection plus what it has materialized."""
+
+    __slots__ = ("connection", "loaded", "created")
+
+    def __init__(self, connection):
+        self.connection = connection
+        #: document name → generation shredded into this connection.
+        self.loaded: dict[str, int] = {}
+        #: table names CREATEd on this connection.
+        self.created: set[str] = set()
+
+    def close(self) -> None:
+        self.connection.close()
+
+
 class DBAPIBackend(Backend):
     """Execute translated queries over any DB-API 2.0 connection.
 
     ``connect`` is a zero-argument callable returning a fresh connection
-    (opened lazily, closed by :meth:`~Backend.close`); ``paramstyle`` is
-    the driver's placeholder style (``"qmark"`` or ``"format"``);
-    ``max_width`` caps inferred interval widths for engines with
-    fixed-size integers (Section 4.3).
+    (one is opened lazily per worker thread, all closed by
+    :meth:`~Backend.close`); ``paramstyle`` is the driver's placeholder
+    style (``"qmark"`` or ``"format"``); ``max_width`` caps inferred
+    interval widths for engines with fixed-size integers (Section 4.3);
+    ``isolated`` declares whether each connection sees private state
+    (see the module docstring).
     """
 
     name = "dbapi"
@@ -73,7 +108,8 @@ class DBAPIBackend(Backend):
 
     def __init__(self, connect: Callable[[], object],
                  paramstyle: str = "qmark",
-                 max_width: int | None = None) -> None:
+                 max_width: int | None = None,
+                 isolated: bool = False) -> None:
         super().__init__()
         if paramstyle not in _PLACEHOLDERS:
             raise ExecutionError(
@@ -83,56 +119,115 @@ class DBAPIBackend(Backend):
         self._connect = connect
         self._placeholder = _PLACEHOLDERS[paramstyle]
         self._max_width = max_width
-        self._connection: object | None = None
+        self._isolated = isolated
+        #: name → (table, width); table names are stable per document so
+        #: every thread's connection agrees with the shared translation.
         self._tables: dict[str, tuple[str, int]] = {}
+        #: name → (generation, encoded rows); what _sync replays.
+        self._generations: dict[str, tuple[int, EncodedForest]] = {}
+        self._next_generation = 0
+        #: Tables CREATEd in shared (non-isolated) engines, where table
+        #: existence is global across connections; mutated only while the
+        #: backend lock is held (prepare path).
+        self._shared_created: set[str] = set()
+        self._pool: ThreadLocalPool[_ThreadConnection] = ThreadLocalPool(
+            lambda: _ThreadConnection(self._connect()))
 
     @property
     def connection(self):
-        if self._connection is None:
-            self._connection = self._connect()
-        return self._connection
+        """The calling thread's connection, synced to current documents."""
+        return self._thread_connection().connection
+
+    # -- per-thread connection management ---------------------------------------
+
+    def _thread_connection(self) -> _ThreadConnection:
+        state = self._pool.get()
+        self._sync(state)
+        return state
+
+    def _sync(self, state: _ThreadConnection) -> None:
+        """Materialize every document ``state`` has not seen yet.
+
+        For shared (non-isolated) engines only the preparing thread
+        materializes rows — other connections already see the shared
+        tables, so they merely record the generation.
+        """
+        with self._lock:
+            pending = [(name, generation, encoded)
+                       for name, (generation, encoded)
+                       in self._generations.items()
+                       if state.loaded.get(name) != generation]
+        for name, generation, encoded in pending:
+            if self._isolated:
+                self._materialize(state, name, encoded)
+            state.loaded[name] = generation
 
     def _load(self, name: str, forest: Forest) -> None:
+        # Called under the backend lock (base.prepare).
         encoded = encode(forest)
-        cursor = self.connection.cursor()
+        if name not in self._tables:
+            table = f"doc_{len(self._tables)}"
+        else:
+            table = self._tables[name][0]
+        self._tables[name] = (table, encoded.width)
+        self._next_generation += 1
+        self._generations[name] = (self._next_generation, encoded)
+        # Materialize eagerly for the calling thread — prepare is the
+        # untimed phase.  Shared engines are now fully loaded; isolated
+        # ones replay on each other thread via _sync.
+        state = self._pool.get()
+        self._materialize(state, name, encoded)
+        state.loaded[name] = self._next_generation
+
+    def _unload(self, name: str) -> None:
+        # Keep the table-name assignment (stable names); drop the
+        # generation so a future prepare re-materializes everywhere.
+        self._generations.pop(name, None)
+
+    def _materialize(self, state: _ThreadConnection, name: str,
+                     encoded: EncodedForest) -> None:
+        table, _width = self._tables[name]
+        created = state.created if self._isolated else self._shared_created
+        cursor = state.connection.cursor()
         statement = ""
         try:
-            if name in self._tables:
-                table, _ = self._tables[name]
+            if table in created:
                 statement = f"DELETE FROM {table}"
                 cursor.execute(statement)
             else:
-                table = f"doc_{len(self._tables)}"
                 statement = (
                     f"CREATE TABLE {table} (s TEXT NOT NULL, "
                     f"l INTEGER PRIMARY KEY, r INTEGER NOT NULL)"
                 )
                 cursor.execute(statement)
+                created.add(table)
             statement = (
                 f"INSERT INTO {table} (s, l, r) VALUES "
                 f"({self._placeholder}, {self._placeholder}, "
                 f"{self._placeholder})"
             )
             cursor.executemany(statement, encoded.tuples)
-            self.connection.commit()
+            state.connection.commit()
         except ExecutionError:
             raise
         except Exception as error:  # driver-specific exception types
             raise wrap_driver_error(error, statement) from error
-        self._tables[name] = (table, encoded.width)
 
     def _close(self) -> None:
-        if self._connection is not None:
-            self._connection.close()
-            self._connection = None
         self._tables.clear()
+        self._generations.clear()
+        self._pool.close_all()
+
+    # -- execution --------------------------------------------------------------
 
     def _runner(self, compiled: "CompiledQuery",
                 options: ExecutionOptions) -> Callable[[], Forest]:
         self._bindings(compiled)  # uniform missing-document error
-        translation = translate_query(compiled.core, self._tables,
+        with self._lock:
+            tables = dict(self._tables)
+        translation = translate_query(compiled.core, tables,
                                       max_width=self._max_width)
-        connection = self.connection
+        connection = self._thread_connection().connection
 
         guard = options.guard
         if guard is not None and not guard.enabled:
@@ -176,7 +271,10 @@ class SQLiteDBAPIBackend(DBAPIBackend):
     Registered as ``"dbapi"``: same engine as the ``"sqlite"`` backend but
     driven entirely through the portable DB-API path (verbatim
     single-statement ``WITH`` form, ``qmark`` placeholders), exercising
-    the code every third-party driver would go through.
+    the code every third-party driver would go through.  ``:memory:``
+    databases are per connection, hence ``isolated=True``;
+    ``check_same_thread=False`` only so close-all works cross-thread —
+    each connection is still driven by its owning thread only.
     """
 
     name = "dbapi"
@@ -189,6 +287,9 @@ class SQLiteDBAPIBackend(DBAPIBackend):
     )
 
     def __init__(self) -> None:
-        super().__init__(lambda: sqlite3.connect(":memory:"),
-                         paramstyle="qmark",
-                         max_width=SQLITE_MAX_WIDTH)
+        super().__init__(
+            lambda: sqlite3.connect(":memory:", check_same_thread=False),
+            paramstyle="qmark",
+            max_width=SQLITE_MAX_WIDTH,
+            isolated=True,
+        )

@@ -52,17 +52,26 @@ class EngineBackend(Backend):
 
     def plan_for(self, compiled: "CompiledQuery",
                  options: ExecutionOptions) -> PlanNode:
-        """The (cached) physical plan for a compiled query."""
+        """The (cached) physical plan for a compiled query.
+
+        Planning happens under the backend lock so concurrent workers
+        asking for the same key share one plan instead of racing to
+        build duplicates (plans are immutable once built, so sharing
+        the cached instance across threads is safe).
+        """
         key = (compiled.source, options.strategy, options.decorrelate)
         plan = self._plans.get(key)
         if plan is None:
-            plan = plan_stage(
-                compiled.core, options.strategy,
-                base_vars=compiled.documents.values(),
-                decorrelate=options.decorrelate,
-                trace=compiled.trace,
-            )
-            self._plans[key] = plan
+            with self._lock:
+                plan = self._plans.get(key)
+                if plan is None:
+                    plan = plan_stage(
+                        compiled.core, options.strategy,
+                        base_vars=compiled.documents.values(),
+                        decorrelate=options.decorrelate,
+                        trace=compiled.trace,
+                    )
+                    self._plans[key] = plan
         return plan
 
     def _runner(self, compiled: "CompiledQuery",
@@ -85,6 +94,7 @@ class EngineBackend(Backend):
         return run
 
     def _values(self, compiled: "CompiledQuery") -> Mapping[str, Value]:
-        self._bindings(compiled)  # uniform missing-document error
-        return {var: self._encoded[var]
-                for var in compiled.documents.values()}
+        with self._lock:
+            self._bindings(compiled)  # uniform missing-document error
+            return {var: self._encoded[var]
+                    for var in compiled.documents.values()}

@@ -19,6 +19,7 @@ time:
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.backends.base import Backend
@@ -32,6 +33,9 @@ _REGISTRY: dict[str, Callable[..., Backend]] = {}
 
 #: name → the process-wide circuit breaker guarding that backend.
 _BREAKERS: dict[str, "CircuitBreaker"] = {}
+
+#: Guards _BREAKERS get-or-create so concurrent sessions share one breaker.
+_BREAKERS_LOCK = threading.Lock()
 
 
 def register_backend(factory: Callable[..., Backend] | None = None, *,
@@ -126,16 +130,18 @@ def backend_breaker(name: str, **config: object) -> "CircuitBreaker":
     """
     from repro.resilience.breaker import CircuitBreaker
 
-    breaker = _BREAKERS.get(name)
-    if breaker is None:
-        breaker = CircuitBreaker(name, **config)  # type: ignore[arg-type]
-        _BREAKERS[name] = breaker
-    return breaker
+    with _BREAKERS_LOCK:
+        breaker = _BREAKERS.get(name)
+        if breaker is None:
+            breaker = CircuitBreaker(name, **config)  # type: ignore[arg-type]
+            _BREAKERS[name] = breaker
+        return breaker
 
 
 def reset_breakers(name: str | None = None) -> None:
     """Drop breaker state for one backend, or for all of them."""
-    if name is None:
-        _BREAKERS.clear()
-    else:
-        _BREAKERS.pop(name, None)
+    with _BREAKERS_LOCK:
+        if name is None:
+            _BREAKERS.clear()
+        else:
+            _BREAKERS.pop(name, None)

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Callable
 
 from repro.backends.base import Backend, BackendCapabilities, ExecutionOptions
 from repro.backends.registry import register_backend
+from repro.concurrency import ThreadLocalPool
 from repro.sql.sqlite_backend import SQLITE_MAX_WIDTH, SQLiteDatabase
 from repro.xml.forest import Forest
 
@@ -13,13 +15,45 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.api import CompiledQuery
 
 
+class _ThreadDatabase:
+    """One worker thread's database plus what it has materialized.
+
+    ``loaded`` maps document name → the backend generation shredded into
+    this database; comparing it against the backend's current generation
+    map tells a thread exactly which documents it must (re)load.
+    """
+
+    __slots__ = ("database", "loaded")
+
+    def __init__(self, database: SQLiteDatabase):
+        self.database = database
+        self.loaded: dict[str, int] = {}
+
+    def close(self) -> None:
+        self.database.close()
+
+
 @register_backend
 class SQLiteBackend(Backend):
     """Run the single-statement SQL translation on a stock SQLite engine.
 
-    Owns a :class:`~repro.sql.sqlite_backend.SQLiteDatabase`; documents
-    stay shredded between queries and :meth:`~Backend.close` closes the
-    connection, so benchmark cells and one-shot runs never leak handles.
+    Thread safety hinges on where the shredded tables live:
+
+    * ``:memory:`` (the default) — in-memory SQLite databases are
+      **per connection**, so the backend keeps one
+      :class:`~repro.sql.sqlite_backend.SQLiteDatabase` per worker thread
+      (lazily, via :class:`~repro.concurrency.ThreadLocalPool`).  Every
+      ``prepare``/``invalidate`` bumps a monotonic per-document
+      generation; each thread re-shreds exactly the documents whose
+      generation it has not materialized yet, so all threads observe a
+      consistent snapshot without sharing a connection.
+    * a file path — the tables are shared on disk, so all threads share
+      one database and executions serialize on an internal lock (the
+      stdlib driver does not support concurrent statements on one
+      connection).
+
+    :meth:`~Backend.close` closes every thread's connection in one
+    idempotent sweep, from whatever thread calls it.
     """
 
     name = "sqlite"
@@ -33,39 +67,94 @@ class SQLiteBackend(Backend):
 
     def __init__(self, path: str = ":memory:", mode: str = "staged") -> None:
         super().__init__()
-        self._database: SQLiteDatabase | None = None
         self._path = path
         self._mode = mode
+        #: name → (generation, forest); generations are globally monotonic
+        #: so per-thread databases know exactly what is stale.
+        self._generations: dict[str, tuple[int, Forest]] = {}
+        self._next_generation = 0
+        self._pool: ThreadLocalPool[_ThreadDatabase] = ThreadLocalPool(
+            lambda: _ThreadDatabase(SQLiteDatabase(self._path)))
+        # File-backed databases share tables between connections, so all
+        # threads use one database and serialize on this lock.
+        self._serial = threading.RLock() if path != ":memory:" else None
+        self._shared: _ThreadDatabase | None = None
+
+    # -- per-thread database management ----------------------------------------
 
     @property
     def database(self) -> SQLiteDatabase:
-        """The lazily-opened underlying database."""
-        if self._database is None:
-            self._database = SQLiteDatabase(self._path)
-        return self._database
+        """The calling thread's database, synced to the current documents."""
+        return self._thread_database().database
+
+    def _thread_database(self) -> _ThreadDatabase:
+        if self._serial is not None:
+            with self._serial:
+                if self._shared is None:
+                    self._check_open()
+                    self._shared = _ThreadDatabase(SQLiteDatabase(self._path))
+                state = self._shared
+                self._sync(state)
+                return state
+        state = self._pool.get()
+        self._sync(state)
+        return state
+
+    def _sync(self, state: _ThreadDatabase) -> None:
+        """Shred into ``state`` every document it has not materialized yet."""
+        with self._lock:
+            pending = [(name, generation, forest)
+                       for name, (generation, forest)
+                       in self._generations.items()
+                       if state.loaded.get(name) != generation]
+        for name, generation, forest in pending:
+            state.database.load_document(name, forest)
+            state.loaded[name] = generation
 
     def _load(self, name: str, forest: Forest) -> None:
-        self.database.load_document(name, forest)
+        # Called under the backend lock (base.prepare).  Bump the
+        # generation, then shred eagerly for the calling thread so
+        # prepare stays the untimed phase (benchmark methodology).
+        self._next_generation += 1
+        self._generations[name] = (self._next_generation, forest)
+        self._thread_database()
 
     def _unload(self, name: str) -> None:
-        # Table contents are replaced wholesale on the next prepare();
-        # nothing to drop eagerly.
-        pass
+        # Dropping the generation is enough: per-thread tables for the
+        # old contents are replaced wholesale by the next load's sync.
+        self._generations.pop(name, None)
 
     def _close(self) -> None:
-        if self._database is not None:
-            self._database.close()
-            self._database = None
+        if self._serial is not None:
+            with self._serial:
+                if self._shared is not None:
+                    self._shared.close()
+                    self._shared = None
+        self._pool.close_all()
+
+    # -- execution --------------------------------------------------------------
 
     def _runner(self, compiled: "CompiledQuery",
                 options: ExecutionOptions) -> Callable[[], Forest]:
         self._bindings(compiled)  # uniform missing-document error
-        database = self.database
+        state = self._thread_database()
+        database = state.database
         translation = database.translate(compiled.core)
         mode = self._mode
+        serial = self._serial
         # self._tracer is read at call time, not build time, so a runner
         # built once can be driven both traced and untraced.
-        return lambda: database.run_translation(
-            translation, mode=mode,
-            tracer=self._tracer, metrics=options.metrics,
-            guard=options.guard)
+        if serial is None:
+            return lambda: database.run_translation(
+                translation, mode=mode,
+                tracer=self._tracer, metrics=options.metrics,
+                guard=options.guard)
+
+        def run() -> Forest:
+            with serial:
+                return database.run_translation(
+                    translation, mode=mode,
+                    tracer=self._tracer, metrics=options.metrics,
+                    guard=options.guard)
+
+        return run

@@ -1,0 +1,15 @@
+"""Concurrency primitives for serving many clients from one session.
+
+* :class:`~repro.concurrency.rwlock.RWLock` — the readers–writer lock
+  guarding session state (queries read, updates write);
+* :class:`~repro.concurrency.pool.ThreadLocalPool` — per-thread
+  connections/databases with uniform close-all semantics.
+
+The thread-safety contract these enable is documented in
+``docs/CONCURRENCY.md``.
+"""
+
+from repro.concurrency.pool import ThreadLocalPool
+from repro.concurrency.rwlock import RWLock
+
+__all__ = ["RWLock", "ThreadLocalPool"]

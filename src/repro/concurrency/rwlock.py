@@ -1,0 +1,131 @@
+"""A readers–writer lock for session state.
+
+Many queries read a session's documents and caches concurrently; document
+registration and in-place updates must observe none of them in flight.  A
+:class:`RWLock` gives exactly that shape: any number of readers proceed
+together, a writer waits for them to drain and then runs alone.
+
+Semantics chosen for the serving workload:
+
+* **writer preference** — once a writer is waiting, *new* readers queue
+  behind it, so a stream of queries cannot starve an update indefinitely;
+* **re-entrant read acquisition** — a thread already holding the read
+  side may re-acquire it even while a writer waits (tracked per thread),
+  so nested read-locked helpers never deadlock against writer preference;
+* **no read→write upgrade** — acquiring the write side while holding the
+  read side raises instead of deadlocking.
+
+The lock is deliberately not fair between writers; the session has no
+workload where that matters.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import ReproError
+
+
+class RWLock:
+    """A writer-preferring readers–writer lock with re-entrant reads."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: int | None = None  # owning thread id, when held
+        self._writers_waiting = 0
+        self._local = threading.local()
+
+    # -- per-thread hold counts -----------------------------------------------
+
+    def _held_reads(self) -> int:
+        return getattr(self._local, "reads", 0)
+
+    @property
+    def read_held(self) -> bool:
+        """Whether the calling thread holds the read side."""
+        return self._held_reads() > 0
+
+    @property
+    def write_held(self) -> bool:
+        """Whether the calling thread holds the write side."""
+        return self._writer == threading.get_ident()
+
+    # -- read side ------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        held = self._held_reads()
+        if held or self.write_held:
+            # Re-entrant read (or read under own write lock): no blocking,
+            # or a waiting writer would deadlock us against ourselves.
+            self._local.reads = held + 1
+            return
+        with self._cond:
+            while self._writer is not None or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        self._local.reads = 1
+
+    def release_read(self) -> None:
+        held = self._held_reads()
+        if held <= 0:
+            raise ReproError("release_read without a matching acquire_read")
+        self._local.reads = held - 1
+        if held > 1 or self.write_held:
+            return
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- write side -----------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        if self.write_held:
+            raise ReproError("RWLock write side is not re-entrant")
+        if self._held_reads():
+            raise ReproError(
+                "cannot upgrade a read lock to a write lock; release the "
+                "read side first")
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = threading.get_ident()
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self.write_held:
+                raise ReproError(
+                    "release_write by a thread not holding the write side")
+            self._writer = None
+            self._cond.notify_all()
+
+    # -- context managers ------------------------------------------------------
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    def __repr__(self) -> str:
+        with self._cond:
+            state = (f"writer={self._writer}" if self._writer is not None
+                     else f"readers={self._readers}")
+        return f"<RWLock {state} waiting_writers={self._writers_waiting}>"

@@ -35,7 +35,12 @@ def _check_name(name: str) -> str:
 
 
 class Metric:
-    """Shared bookkeeping for one named instrument."""
+    """Shared bookkeeping for one named instrument.
+
+    Every mutation (``inc``/``set``/``observe``) takes the instrument's
+    own lock, so instruments are safe to feed from concurrent worker
+    threads and totals always add up; reads are lock-free snapshots.
+    """
 
     kind = "untyped"
 
@@ -44,6 +49,7 @@ class Metric:
         self.name = _check_name(name)
         self.description = description
         self.label_names = tuple(label_names)
+        self._lock = threading.Lock()
         for label in self.label_names:
             _check_name(label)
 
@@ -77,7 +83,8 @@ class Counter(Metric):
             raise ReproError(
                 f"counter {self.name!r} cannot decrease (got {amount})")
         key = self._key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: object) -> float:
         return self._values.get(self._key(labels), 0.0)
@@ -109,7 +116,8 @@ class Gauge(Metric):
 
     def inc(self, amount: float = 1.0, **labels: object) -> None:
         key = self._key(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, **labels: object) -> None:
         self.inc(-amount, **labels)
@@ -156,15 +164,17 @@ class Histogram(Metric):
         return state
 
     def observe(self, value: float, **labels: object) -> None:
-        state = self._state(self._key(labels))
-        for position, bound in enumerate(self.buckets):
-            if value <= bound:
-                state[position] += 1
-                break
-        else:
-            state[len(self.buckets)] += 1  # +Inf
-        state[-2] += value
-        state[-1] += 1
+        key = self._key(labels)
+        with self._lock:
+            state = self._state(key)
+            for position, bound in enumerate(self.buckets):
+                if value <= bound:
+                    state[position] += 1
+                    break
+            else:
+                state[len(self.buckets)] += 1  # +Inf
+            state[-2] += value
+            state[-1] += 1
 
     def count(self, **labels: object) -> int:
         state = self._states.get(self._key(labels))

@@ -24,6 +24,7 @@ tracer entirely when disabled; see :class:`repro.engine.evaluator.DIEngine`.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Callable, Iterable, Iterator
@@ -121,6 +122,12 @@ class Tracer:
 
     ``enabled`` distinguishes a real tracer from :data:`NULL_TRACER`;
     instrumented code may use it to skip attribute computation entirely.
+
+    One tracer may be shared across worker threads: the active-span stack
+    is **per thread**, so spans opened by concurrent workers nest within
+    their own thread's tree and never interleave.  Each thread's
+    top-level span lands in :attr:`roots` (shared, append-only), which is
+    how ``run_many`` yields one span tree per worker.
     """
 
     enabled = True
@@ -129,7 +136,17 @@ class Tracer:
         self._clock = clock
         #: Finished (or open) top-level spans, in start order.
         self.roots: list[Span] = []
-        self._stack: list[Span] = []
+        self._local = threading.local()
+
+    @property
+    def _stack(self) -> list[Span]:
+        """The calling thread's active-span stack (created on first use)."""
+        try:
+            return self._local.stack
+        except AttributeError:
+            stack: list[Span] = []
+            self._local.stack = stack
+            return stack
 
     def span(self, name: str, parent: Span | None = None,
              **attributes: object) -> Span:
@@ -177,6 +194,8 @@ class Tracer:
         self.roots.append(span)
 
     def reset(self) -> None:
+        """Drop roots and the calling thread's stack (other threads keep
+        theirs — reset while workers are tracing is a caller error)."""
         self.roots.clear()
         self._stack.clear()
 

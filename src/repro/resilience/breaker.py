@@ -17,6 +17,7 @@ factories already live.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Callable
 
@@ -34,7 +35,14 @@ TransitionObserver = Callable[[str, str, str], None]
 
 
 class CircuitBreaker:
-    """Consecutive-failure circuit breaker with timed half-open recovery."""
+    """Consecutive-failure circuit breaker with timed half-open recovery.
+
+    Instances are shared by every session (and worker thread) in the
+    process, so all state transitions happen under an internal lock —
+    half-open probe admission in particular stays exact under concurrent
+    :meth:`allow` calls.  ``on_transition`` observers run while the lock
+    is held and must not call back into the breaker.
+    """
 
     def __init__(self, name: str = "",
                  failure_threshold: int = 5,
@@ -57,6 +65,7 @@ class CircuitBreaker:
         self.half_open_probes = half_open_probes
         self.on_transition = on_transition
         self._clock = clock
+        self._mutex = threading.RLock()
         self._state = CLOSED
         self._failures = 0
         self._opened_at: float | None = None
@@ -67,8 +76,9 @@ class CircuitBreaker:
     @property
     def state(self) -> str:
         """Current state; an expired open circuit reads as half-open."""
-        self._maybe_half_open()
-        return self._state
+        with self._mutex:
+            self._maybe_half_open()
+            return self._state
 
     @property
     def consecutive_failures(self) -> int:
@@ -77,10 +87,11 @@ class CircuitBreaker:
     @property
     def retry_after(self) -> float | None:
         """Seconds until an open circuit half-opens (None when not open)."""
-        if self._state != OPEN or self._opened_at is None:
-            return None
-        remaining = self._opened_at + self.recovery_seconds - self._clock()
-        return max(remaining, 0.0)
+        with self._mutex:
+            if self._state != OPEN or self._opened_at is None:
+                return None
+            remaining = self._opened_at + self.recovery_seconds - self._clock()
+            return max(remaining, 0.0)
 
     def _transition(self, new_state: str) -> None:
         old_state = self._state
@@ -105,15 +116,16 @@ class CircuitBreaker:
         every admitted probe must be resolved with
         :meth:`record_success` or :meth:`record_failure`.
         """
-        self._maybe_half_open()
-        if self._state == CLOSED:
-            return True
-        if self._state == HALF_OPEN:
-            if self._probes_in_flight < self.half_open_probes:
-                self._probes_in_flight += 1
+        with self._mutex:
+            self._maybe_half_open()
+            if self._state == CLOSED:
                 return True
+            if self._state == HALF_OPEN:
+                if self._probes_in_flight < self.half_open_probes:
+                    self._probes_in_flight += 1
+                    return True
+                return False
             return False
-        return False
 
     def check(self) -> None:
         """Like :meth:`allow` but raising :class:`CircuitOpenError`."""
@@ -122,18 +134,21 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         """An attempt succeeded: reset failures, close the circuit."""
-        self._failures = 0
-        self._probes_in_flight = 0
-        self._opened_at = None
-        self._transition(CLOSED)
+        with self._mutex:
+            self._failures = 0
+            self._probes_in_flight = 0
+            self._opened_at = None
+            self._transition(CLOSED)
 
     def record_failure(self) -> None:
         """An attempt failed: trip after the threshold; re-open half-open."""
-        self._failures += 1
-        if self._state == HALF_OPEN:
-            self._open()
-        elif self._state == CLOSED and self._failures >= self.failure_threshold:
-            self._open()
+        with self._mutex:
+            self._failures += 1
+            if self._state == HALF_OPEN:
+                self._open()
+            elif (self._state == CLOSED
+                    and self._failures >= self.failure_threshold):
+                self._open()
 
     def _open(self) -> None:
         self._opened_at = self._clock()
@@ -142,10 +157,11 @@ class CircuitBreaker:
 
     def reset(self) -> None:
         """Forget all history (tests, administrative reset)."""
-        self._failures = 0
-        self._probes_in_flight = 0
-        self._opened_at = None
-        self._transition(CLOSED)
+        with self._mutex:
+            self._failures = 0
+            self._probes_in_flight = 0
+            self._opened_at = None
+            self._transition(CLOSED)
 
     def __repr__(self) -> str:
         return (f"<CircuitBreaker {self.name!r} {self.state} "

@@ -21,13 +21,17 @@ application would use:
 from __future__ import annotations
 
 import logging
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
 from pathlib import Path
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.api import CompiledQuery, DocumentInput, QueryResult, as_forest, compile_xquery
 from repro.backends.base import Backend, ExecutionOptions, coerce_strategy
 from repro.backends.registry import backend_breaker, create_backend
 from repro.compiler.plan import JoinStrategy
+from repro.concurrency import RWLock
 from repro.encoding.updates import UpdatableDocument
 from repro.engine.stats import EngineStats
 from repro.errors import (
@@ -64,6 +68,16 @@ class XQuerySession:
     (:attr:`metrics`) counting queries run, documents loaded, and cache
     invalidations; traced runs additionally feed engine/SQL instruments
     into it.  Export with :func:`repro.obs.render_prometheus`.
+
+    **Thread safety.**  One session serves many threads: any number of
+    :meth:`run` calls proceed concurrently (they share the read side of a
+    readers–writer lock), while :meth:`add_document`,
+    :meth:`apply_update`, and :meth:`close` take the write side and so
+    observe — and are observed by — a quiesced session.  A query
+    therefore sees a document either entirely before or entirely after an
+    update, never a mix.  :meth:`run_many` runs a batch of queries on the
+    session's persistent worker pool.  The full contract is documented in
+    ``docs/CONCURRENCY.md``.
     """
 
     def __init__(self, backend: str = "engine",
@@ -76,6 +90,13 @@ class XQuerySession:
         self._updatable: dict[str, UpdatableDocument] = {}
         self._compiled: dict[str, CompiledQuery] = {}
         self._backends: dict[str, Backend] = {}
+        #: Queries hold the read side; document mutations and close hold
+        #: the write side (writer-preferring, so updates are not starved).
+        self._state_lock = RWLock()
+        self._backend_lock = threading.Lock()
+        self._executor_lock = threading.Lock()
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_workers = 0
         self.metrics = MetricsRegistry()
         self._m_queries = self.metrics.counter(
             "repro_session_queries_total", "queries run", ("backend",))
@@ -97,17 +118,30 @@ class XQuerySession:
             "repro_resilience_breaker_state",
             "circuit state per backend (0 closed, 1 half-open, 2 open)",
             ("backend",))
+        self._m_batches = self.metrics.counter(
+            "repro_session_batches_total", "query batches run via run_many")
+        self._g_pool_workers = self.metrics.gauge(
+            "repro_session_pool_workers",
+            "worker threads in the session's batch pool")
+        self._g_pool_active = self.metrics.gauge(
+            "repro_session_pool_active",
+            "batch queries currently executing on a worker")
+        self._g_pool_queued = self.metrics.gauge(
+            "repro_session_pool_queued",
+            "batch queries submitted but not yet started")
 
     # -- document management ---------------------------------------------------
 
     def add_document(self, uri: str, source: DocumentInput) -> None:
         """Register (or replace) the document bound to ``document(uri)``."""
-        self._documents[uri] = as_forest(source)
-        self._updatable.pop(uri, None)
-        self._invalidate(uri)
+        forest = as_forest(source)  # parse before excluding readers
+        with self._state_lock.write_locked():
+            self._documents[uri] = forest
+            self._updatable.pop(uri, None)
+            self._invalidate(uri)
         self._m_documents.inc()
         logger.debug("registered document %r (%d tree(s))",
-                     uri, len(self._documents[uri]))
+                     uri, len(forest))
 
     def add_document_file(self, uri: str, path: str | Path) -> None:
         """Register a document from an XML file."""
@@ -122,29 +156,39 @@ class XQuerySession:
 
     @property
     def documents(self) -> list[str]:
-        return sorted(self._documents)
+        with self._state_lock.read_locked():
+            return sorted(self._documents)
 
     def document(self, uri: str) -> Forest:
-        try:
-            return self._documents[uri]
-        except KeyError:
-            raise DocumentNotFoundError(uri, self.documents) from None
+        with self._state_lock.read_locked():
+            try:
+                return self._documents[uri]
+            except KeyError:
+                raise DocumentNotFoundError(uri, self.documents) from None
 
     # -- updates --------------------------------------------------------------------
 
     def updatable(self, uri: str) -> UpdatableDocument:
         """The updatable encoding of a document (created on first use)."""
-        if uri not in self._updatable:
-            self._updatable[uri] = UpdatableDocument.from_forest(
-                self.document(uri))
-        return self._updatable[uri]
+        with self._state_lock.write_locked():
+            if uri not in self._updatable:
+                self._updatable[uri] = UpdatableDocument.from_forest(
+                    self.document(uri))
+            return self._updatable[uri]
 
     def apply_update(self, uri: str,
                      updated: UpdatableDocument) -> None:
-        """Commit an updated encoding back as the document's new state."""
-        self._documents[uri] = updated.to_forest()
-        self._updatable[uri] = updated
-        self._invalidate(uri)
+        """Commit an updated encoding back as the document's new state.
+
+        Takes the session write lock: in-flight queries finish against
+        the old state, queries started afterwards see the new one — a
+        concurrent reader never observes half an update.
+        """
+        forest = updated.to_forest()
+        with self._state_lock.write_locked():
+            self._documents[uri] = forest
+            self._updatable[uri] = updated
+            self._invalidate(uri)
 
     # -- querying ----------------------------------------------------------------------
 
@@ -152,8 +196,10 @@ class XQuerySession:
         """Compile (and cache) a query."""
         compiled = self._compiled.get(query)
         if compiled is None:
-            compiled = compile_xquery(query, simplify=self.simplify)
-            self._compiled[query] = compiled
+            # Compile outside any lock (it can be slow); setdefault makes
+            # concurrent compilers of the same text agree on one winner.
+            compiled = self._compiled.setdefault(
+                query, compile_xquery(query, simplify=self.simplify))
         return compiled
 
     def run(self, query: str, backend: str | None = None,
@@ -195,18 +241,109 @@ class XQuerySession:
         if guard is not None and not guard.enabled:
             guard = None
         self._m_queries.inc(backend=name)
-        if guard is not None or fallback or retry is not None:
-            return self._run_resilient(query, name, strategy, stats, active,
-                                       guard, fallback, retry)
-        if active is None:
-            compiled = self.prepare(query)
-            target = self.backend_instance(name)
-            target.prepare(self._bindings(compiled))
-            options = ExecutionOptions(strategy=self._strategy(strategy),
-                                       stats=stats)
-            return QueryResult(target.execute(compiled, options),
-                               backend=name)
-        return self._run_traced(query, name, strategy, stats, active)
+        with self._state_lock.read_locked():
+            if guard is not None or fallback or retry is not None:
+                return self._run_resilient(query, name, strategy, stats,
+                                           active, guard, fallback, retry)
+            if active is None:
+                compiled = self.prepare(query)
+                target = self.backend_instance(name)
+                target.prepare(self._bindings(compiled))
+                options = ExecutionOptions(strategy=self._strategy(strategy),
+                                           stats=stats)
+                return QueryResult(target.execute(compiled, options),
+                                   backend=name)
+            return self._run_traced(query, name, strategy, stats, active)
+
+    def run_many(self, queries: "Iterable[str]", *,
+                 max_workers: int | None = None,
+                 backend: str | None = None,
+                 strategy: str | JoinStrategy | None = None,
+                 trace: bool = False,
+                 tracer: Tracer | None = None,
+                 deadline: float | None = None,
+                 budget: "int | ResourceBudget | None" = None,
+                 fallback: "tuple[str, ...] | list[str]" = (),
+                 retry: RetryPolicy | None = None,
+                 return_errors: bool = False,
+                 ) -> "list[QueryResult | BaseException]":
+        """Run a batch of queries concurrently on the session's worker pool.
+
+        Each query goes through :meth:`run` on a pool thread, so the full
+        per-query machinery composes unchanged: ``deadline``/``budget``
+        build a fresh :class:`~repro.resilience.QueryGuard` per query
+        (guards are stateful and never shared), and ``fallback``/``retry``
+        apply to each query independently.  Results come back **in input
+        order** regardless of completion order.
+
+        The pool is persistent: repeated batches reuse the same worker
+        threads, which keeps the relational backends' per-thread
+        connections warm.  Asking for a different ``max_workers`` tears
+        the pool down and rebuilds it (cold connections for one batch).
+
+        ``trace=True`` collects one span tree per query (rooted at
+        ``batch.query``, tagged with the input index and worker thread)
+        on a tracer shared by the whole batch; each
+        :attr:`QueryResult.trace` points at its own query's tree.
+
+        Errors are collected, not fire-and-forget: by default the first
+        failing query **by input order** is re-raised after every query
+        has finished; with ``return_errors=True`` the exception object
+        takes the failed query's slot in the returned list instead.
+        """
+        batch = list(queries)
+        if not batch:
+            return []
+        workers = max_workers or min(len(batch), os.cpu_count() or 4)
+        executor = self._ensure_executor(workers)
+        active = self._effective_tracer(trace, tracer)
+        self._m_batches.inc()
+        self._g_pool_queued.inc(len(batch))
+
+        def work(index: int, query: str) -> QueryResult:
+            self._g_pool_queued.dec()
+            self._g_pool_active.inc()
+            tr = active if active is not None else NULL_TRACER
+            try:
+                with tr.span("batch.query", index=index,
+                             worker=threading.current_thread().name):
+                    return self.run(query, backend=backend, strategy=strategy,
+                                    tracer=active, deadline=deadline,
+                                    budget=budget, fallback=fallback,
+                                    retry=retry)
+            finally:
+                self._g_pool_active.dec()
+
+        futures: "list[Future[QueryResult]]" = [
+            executor.submit(work, index, query)
+            for index, query in enumerate(batch)
+        ]
+        results: "list[QueryResult | BaseException]" = []
+        first_error: BaseException | None = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as error:  # collected, re-raised below
+                results.append(error)
+                if first_error is None:
+                    first_error = error
+        if first_error is not None and not return_errors:
+            raise first_error
+        return results
+
+    def _ensure_executor(self, workers: int) -> ThreadPoolExecutor:
+        """The persistent batch pool, (re)built for ``workers`` threads."""
+        with self._executor_lock:
+            if (self._executor is not None
+                    and self._executor_workers != workers):
+                self._executor.shutdown(wait=True)
+                self._executor = None
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="repro-worker")
+                self._executor_workers = workers
+                self._g_pool_workers.set(workers)
+            return self._executor
 
     def _run_traced(self, query: str, name: str,
                     strategy: str | JoinStrategy | None,
@@ -397,11 +534,16 @@ class XQuerySession:
         Resolution goes through the backend registry, so any backend
         registered via :func:`repro.backends.register_backend` — including
         third-party ones — is available here and in :meth:`run`.
+        Creation is double-checked so concurrent workers share one
+        instance per name.
         """
         target = self._backends.get(name)
         if target is None:
-            target = create_backend(name)
-            self._backends[name] = target
+            with self._backend_lock:
+                target = self._backends.get(name)
+                if target is None:
+                    target = create_backend(name)
+                    self._backends[name] = target
         return target
 
     @property
@@ -410,10 +552,25 @@ class XQuerySession:
         return sorted(self._backends)
 
     def close(self) -> None:
-        """Close every live backend; the session can keep being used."""
-        for target in self._backends.values():
-            target.close()
-        self._backends.clear()
+        """Close every live backend; the session can keep being used.
+
+        The worker pool is drained *before* the write lock is taken
+        (workers hold the read side while running, so shutting down under
+        the write lock would deadlock); backends are then closed with the
+        session quiesced.
+        """
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+            self._executor_workers = 0
+        if executor is not None:
+            executor.shutdown(wait=True)
+            self._g_pool_workers.set(0)
+        with self._state_lock.write_locked():
+            with self._backend_lock:
+                backends = list(self._backends.values())
+                self._backends.clear()
+            for target in backends:
+                target.close()
 
     def __enter__(self) -> "XQuerySession":
         return self
@@ -448,14 +605,19 @@ class XQuerySession:
 
         Backends whose capabilities declare ``updates`` invalidate just the
         affected document; the rest are closed and recreated lazily.
+        Callers hold the session write lock, so no query is mid-flight
+        while backend state is dropped; each live backend is counted
+        exactly once in ``repro_session_invalidations_total``.
         """
         var = document_variable(uri)
-        for name in list(self._backends):
-            target = self._backends[name]
+        with self._backend_lock:
+            items = list(self._backends.items())
+        for name, target in items:
             if target.capabilities.updates:
                 target.invalidate(var)
             else:
                 target.close()
-                del self._backends[name]
+                with self._backend_lock:
+                    self._backends.pop(name, None)
             self._m_invalidations.inc()
             logger.debug("invalidated %r on backend %r", uri, name)

@@ -139,10 +139,16 @@ class SQLiteDatabase:
     Documents are shredded with the canonical DFS encoder into tables
     ``doc_<n>(s TEXT, l INTEGER PRIMARY KEY, r INTEGER)`` with an index on
     ``s`` to support label lookups.
+
+    Instances are single-threaded: one ``SQLiteDatabase`` serves one
+    thread at a time.  The connection is opened with
+    ``check_same_thread=False`` only so the owning backend can close
+    every per-thread database from whichever thread calls ``close()``
+    (see :class:`repro.concurrency.ThreadLocalPool`).
     """
 
     def __init__(self, path: str = ":memory:"):
-        self.connection = sqlite3.connect(path)
+        self.connection = sqlite3.connect(path, check_same_thread=False)
         self.connection.execute("PRAGMA journal_mode = OFF")
         self.connection.execute("PRAGMA synchronous = OFF")
         self._documents: dict[str, tuple[str, int]] = {}

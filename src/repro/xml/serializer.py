@@ -11,7 +11,11 @@ from __future__ import annotations
 from repro.xml.forest import Forest, Node
 
 _TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
-_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", '"': "&quot;"}
+# Tab/newline/CR must be character references inside attribute values:
+# a conformant parser normalizes raw literals to spaces (XML 1.0 §3.3.3),
+# so emitting them bare would not round-trip.
+_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", '"': "&quot;",
+                 "\t": "&#9;", "\n": "&#10;", "\r": "&#13;"}
 
 
 def escape_text(value: str) -> str:

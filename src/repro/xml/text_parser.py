@@ -255,6 +255,14 @@ class _Parser:
             attributes.append(attribute(name, self.parse_attribute_value()))
 
     def parse_attribute_value(self) -> str:
+        """A quoted attribute value, with whitespace normalization.
+
+        Raw literal tab/newline/CR become spaces (XML 1.0 §3.3.3
+        attribute-value normalization for CDATA attributes); characters
+        produced by references — ``&#9;``, ``&#10;``, ``&#13;`` or any
+        entity — are preserved verbatim.  The serializer emits those
+        references for exactly this reason.
+        """
         quote = self.peek()
         if quote not in ("'", '"'):
             raise XMLParseError("attribute value must be quoted", self.pos)
@@ -267,6 +275,9 @@ class _Parser:
                 return "".join(parts)
             if char == "&":
                 parts.append(self.parse_entity())
+            elif char in "\t\r\n":
+                parts.append(" ")
+                self.pos += 1
             else:
                 parts.append(char)
                 self.pos += 1

@@ -44,12 +44,18 @@ def xml_safe_nodes(draw, max_depth: int = 4):
     text_alphabet = st.text(
         alphabet="abz 09'", min_size=1, max_size=6
     ).filter(lambda s: s.strip())
+    # Attribute values additionally exercise tab/newline/CR: the
+    # serializer must emit them as character references (&#9; &#10;
+    # &#13;) for the round-trip to survive attribute-value normalization.
+    attr_alphabet = st.text(
+        alphabet="abz 09'\t\n\r", min_size=1, max_size=6
+    ).filter(lambda s: s.strip())
     if max_depth <= 1:
         return Node(draw(text_alphabet))
     tag = draw(st.sampled_from(("<a>", "<b>", "<c>")))
     attr_count = draw(st.integers(min_value=0, max_value=2))
     attr_names = draw(st.permutations(["@p", "@q"]))[:attr_count]
-    attributes = [Node(name, (Node(draw(text_alphabet)),))
+    attributes = [Node(name, (Node(draw(attr_alphabet)),))
                   for name in sorted(attr_names)]
     child_count = draw(st.integers(min_value=0, max_value=3))
     content = []

@@ -12,6 +12,8 @@ class TestDocFilesExist:
     @pytest.mark.parametrize("name", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md",
         "docs/TRANSLATION.md", "docs/OPERATORS.md", "docs/API.md",
+        "docs/OBSERVABILITY.md", "docs/ROBUSTNESS.md",
+        "docs/CONCURRENCY.md",
     ])
     def test_exists_and_nonempty(self, name):
         path = ROOT / name

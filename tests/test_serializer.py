@@ -12,6 +12,12 @@ class TestEscaping:
     def test_attribute_escapes(self):
         assert escape_attribute('a"b<c&d') == "a&quot;b&lt;c&amp;d"
 
+    def test_attribute_whitespace_becomes_character_references(self):
+        assert escape_attribute("a\tb\nc\rd") == "a&#9;b&#10;c&#13;d"
+
+    def test_text_whitespace_untouched(self):
+        assert escape_text("a\tb\nc") == "a\tb\nc"
+
     def test_quote_untouched_in_text(self):
         assert escape_text('"quoted"') == '"quoted"'
 
@@ -74,3 +80,17 @@ class TestRoundTrip:
     def test_xmark_roundtrip(self, xmark_tiny):
         rendered = forest_to_xml(xmark_tiny)
         assert parse_forest(rendered) == (xmark_tiny,)
+
+    def test_attribute_whitespace_roundtrip(self):
+        tree = element("a", (attribute("t", "x\ty\nz\rw"),))
+        rendered = forest_to_xml(tree)
+        assert rendered == '<a t="x&#9;y&#10;z&#13;w"/>'
+        assert parse_forest(rendered) == (tree,)
+
+    def test_raw_attribute_whitespace_normalized_to_spaces(self):
+        # A conformant parser replaces raw literal tab/newline/CR in
+        # attribute values with spaces; reference-derived ones survive.
+        trees = parse_forest('<a t="x\ty" u="p&#9;q"/>')
+        expected = element("a", (attribute("t", "x y"),
+                                 attribute("u", "p\tq")))
+        assert trees == (expected,)
