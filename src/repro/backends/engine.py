@@ -82,13 +82,12 @@ class EngineBackend(Backend):
                           metrics=options.metrics, guard=options.guard)
 
         def run() -> Forest:
-            # Re-copy the relation lists per run: cached encodings must
-            # not alias state a plan evaluation could observe mutating.
+            # Cached encodings are immutable IntervalColumns: every kernel
+            # returns fresh columns, so runs (and threads) share the cached
+            # document directly — no per-run re-copy.
             from repro.encoding.interval import decode
 
-            fresh = {name: (list(rel), width)
-                     for name, (rel, width) in values.items()}
-            rel, _width = engine.run_plan_values(plan, fresh)
+            rel, _width = engine.run_plan_values(plan, dict(values))
             return decode(rel)
 
         return run

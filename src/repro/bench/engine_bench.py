@@ -1,0 +1,351 @@
+"""Engine kernel benchmark: columnar kernels vs the list-based algebra.
+
+Writes a ``BENCH_engine.json`` trajectory file recording, on one XMark
+document,
+
+* **operators** — ops/sec for every columnar kernel against its
+  list-based reference implementation (the pre-columnar operator
+  algebra, kept in :mod:`repro.engine.operators` as ``_list_*``), and
+* **queries** — the Figure 8 (Q13) and Figure 9 (Q8) paper queries run
+  through :class:`~repro.engine.evaluator.DIEngine`, serially and as a
+  concurrent ``run_many``-style batch, for both relation
+  representations.
+
+The recorded ``speedup`` fields are host-independent ratios (both sides
+measured back-to-back on the same machine), which is what the CI smoke
+job diffs against the committed baseline::
+
+    python -m repro.bench.engine_bench --out BENCH_engine.json
+    python -m repro.bench.engine_bench --smoke --out /tmp/bench.json \
+        --check BENCH_engine_smoke.json
+
+``--check`` fails (exit 1) when any kernel or query speedup regresses
+by more than ``--tolerance`` (default 25%) relative to the baseline,
+with a small absolute slack so near-1.0 ratios cannot flake the build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable
+
+from repro.api import compile_xquery
+from repro.compiler.plan import JoinStrategy
+from repro.compiler.planner import compile_plan
+from repro.engine import kernels
+from repro.engine import operators as ops
+from repro.engine.evaluator import DIEngine
+from repro.engine.relation import group_by_env
+from repro.engine.structural import tree_keys
+from repro.xmark.generator import cached_document
+from repro.xmark.queries import QUERIES
+from repro.xml.forest import is_text_label
+from repro.xquery.lowering import document_forest
+
+#: Paper figure → query mapping (Section 6.1 / 6.2).
+FIGURE_QUERIES = {"fig8_q13": "Q13", "fig9_q8": "Q8"}
+
+#: Default scale — the largest seed document the suite benches against.
+FULL_SCALE = 0.2
+SMOKE_SCALE = 0.01
+SEED = 42
+
+
+def _best_seconds(fn: Callable[[], Any], repeats: int) -> float:
+    """Best-of-N wall time of ``fn()`` (min filters scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _pair(columnar: Callable[[], Any], listform: Callable[[], Any],
+          repeats: int) -> dict[str, float]:
+    """Ops/sec for both representations plus the columnar speedup."""
+    col = _best_seconds(columnar, repeats)
+    ref = _best_seconds(listform, repeats)
+    return {
+        "columnar_ops_per_sec": round(1.0 / col, 2),
+        "list_ops_per_sec": round(1.0 / ref, 2),
+        "speedup": round(ref / col, 3),
+    }
+
+
+def _operator_inputs(scale: float) -> dict[str, Any]:
+    """Shared benchmark relations derived from the XMark document.
+
+    ``doc`` is the single-env encoded document; ``blocked`` re-blocks the
+    person trees into per-root environments — the multi-env shape the
+    iteration/constructor kernels see inside FLWR loops.
+    """
+    document = cached_document(scale, seed=SEED)
+    doc_cols, width = DIEngine.prepare_document((document,))
+    people = kernels.select_children(
+        kernels.select_children(doc_cols, "<people>"), "<person>")
+    roots = kernels.roots(people)
+    root_lefts = list(roots.l)
+    blocked = kernels.expand_variable(people, width, root_lefts)
+    envs = list(blocked.envs_present(width))
+    small = kernels.select_children(
+        kernels.select_children(doc_cols, "<regions>"), "<australia>")
+    return {
+        "width": width,
+        "doc": doc_cols,
+        "doc_list": list(doc_cols.tuples()),
+        "people": people,
+        "people_list": list(people.tuples()),
+        "root_lefts": root_lefts,
+        "blocked": blocked,
+        "blocked_list": list(blocked.tuples()),
+        "envs": envs,
+        "small": small,
+        "small_list": list(small.tuples()),
+        "nodes": document.size,
+    }
+
+
+def bench_operators(scale: float, repeats: int) -> dict[str, dict[str, float]]:
+    """Per-kernel ops/sec: columnar kernel vs ``_list_*`` reference."""
+    inp = _operator_inputs(scale)
+    width = inp["width"]
+    doc, doc_list = inp["doc"], inp["doc_list"]
+    people, people_list = inp["people"], inp["people_list"]
+    blocked, blocked_list = inp["blocked"], inp["blocked_list"]
+    small, small_list = inp["small"], inp["small_list"]
+    envs, root_lefts = inp["envs"], inp["root_lefts"]
+    moves = [(env, position) for position, env in enumerate(envs)]
+    half = envs[::2]
+    half_set = set(half)
+
+    cases: dict[str, tuple[Callable[[], Any], Callable[[], Any]]] = {
+        "roots": (lambda: kernels.roots(doc),
+                  lambda: ops._list_roots(doc_list)),
+        "children": (lambda: kernels.children(doc),
+                     lambda: ops._list_children(doc_list)),
+        "select_label": (
+            lambda: kernels.select_label(people, "<person>"),
+            lambda: ops._list_select_trees(people_list,
+                                           lambda s: s == "<person>")),
+        "select_children": (
+            lambda: kernels.select_children(doc, "<site>"),
+            lambda: ops._list_select_trees(ops._list_children(doc_list),
+                                           lambda s: s == "<site>")),
+        "textnode_trees": (
+            lambda: kernels.textnode_trees(people),
+            lambda: ops._list_select_trees(people_list, is_text_label)),
+        "head": (lambda: kernels.head(blocked, width),
+                 lambda: ops._list_head(blocked_list, width)),
+        "tail": (lambda: kernels.tail(blocked, width),
+                 lambda: ops._list_tail(blocked_list, width)),
+        "data": (lambda: kernels.data(blocked, width),
+                 lambda: ops._list_data(blocked_list, width)),
+        "reverse": (lambda: kernels.reverse(blocked, width),
+                    lambda: ops._list_reverse(blocked_list, width)),
+        "subtrees_dfs": (lambda: kernels.subtrees_dfs(small, width),
+                         lambda: ops._list_subtrees_dfs(small_list, width)),
+        "distinct": (lambda: kernels.distinct(blocked, width),
+                     lambda: ops._list_distinct(blocked_list, width)),
+        "sort": (lambda: kernels.sort(blocked, width),
+                 lambda: ops._list_sort(blocked_list, width)),
+        "concat": (
+            lambda: kernels.concat(blocked, width, blocked, width),
+            lambda: ops._list_concat(blocked_list, width,
+                                     blocked_list, width)),
+        "xnode": (
+            lambda: kernels.xnode("<item>", blocked, width, envs),
+            lambda: ops._list_xnode("<item>", blocked_list, width, envs)),
+        "expand_variable": (
+            lambda: kernels.expand_variable(people, width, root_lefts),
+            lambda: ops._list_expand_variable(people_list, width,
+                                              root_lefts)),
+        "gather_blocks": (
+            lambda: kernels.gather_blocks(blocked, width, moves),
+            lambda: ops._list_gather_blocks(blocked_list, width, moves)),
+        "filter_by_index": (
+            lambda: kernels.filter_by_index(blocked, width, half),
+            lambda: [row for row in blocked_list
+                     if row[1] // width in half_set]),
+        "count_roots": (
+            lambda: kernels.count_roots(blocked, width, envs),
+            lambda: ops._list_count_roots(blocked_list, width, envs)),
+        "string_fn": (
+            lambda: kernels.string_fn(blocked, width, envs),
+            lambda: ops._list_string_fn(blocked_list, width, envs)),
+        "block_tree_key_sets": (
+            lambda: kernels.block_tree_key_sets(blocked, width),
+            lambda: {env: set(tree_keys(list(block)))
+                     for env, block in group_by_env(blocked_list, width)}),
+    }
+    return {name: _pair(columnar, listform, repeats)
+            for name, (columnar, listform) in cases.items()}
+
+
+def _query_setup(query_name: str, scale: float):
+    document = cached_document(scale, seed=SEED)
+    compiled = compile_xquery(QUERIES[query_name])
+    bindings = {var: document_forest((document,))
+                for var in compiled.documents.values()}
+    plan = compile_plan(compiled.core, JoinStrategy.MSJ,
+                        base_vars=compiled.documents.values())
+    columnar = {name: DIEngine.prepare_document(forest)
+                for name, forest in bindings.items()}
+    listform = {name: (list(rel.tuples()), width)
+                for name, (rel, width) in columnar.items()}
+    return plan, columnar, listform
+
+
+def bench_queries(scale: float, repeats: int, workers: int,
+                  batch: int) -> dict[str, Any]:
+    """Figure 8/9 queries through the DI engine, serial and batched.
+
+    The batch mode mirrors ``Session.run_many``: one immutable document
+    encoding shared by ``workers`` pool threads, each running the plan on
+    its own engine — the concurrent-serving path the backends use.
+    """
+    results: dict[str, Any] = {}
+    for bench_name, query_name in FIGURE_QUERIES.items():
+        plan, columnar, listform = _query_setup(query_name, scale)
+
+        def serial(values):
+            engine = DIEngine()
+            return lambda: engine.run_plan_values(plan, dict(values))
+
+        def batched(values):
+            pool = ThreadPoolExecutor(max_workers=workers)
+
+            def run_batch():
+                def one(_ix):
+                    return DIEngine().run_plan_values(plan, dict(values))
+                return list(pool.map(one, range(batch)))
+            return run_batch, pool
+
+        entry: dict[str, Any] = {"query": query_name,
+                                 "strategy": "msj"}
+        entry["serial"] = _pair(serial(columnar), serial(listform), repeats)
+        col_batch, col_pool = batched(columnar)
+        list_batch, list_pool = batched(listform)
+        try:
+            col = _best_seconds(col_batch, max(2, repeats // 2)) / batch
+            ref = _best_seconds(list_batch, max(2, repeats // 2)) / batch
+        finally:
+            col_pool.shutdown()
+            list_pool.shutdown()
+        entry["run_many"] = {
+            "columnar_ops_per_sec": round(1.0 / col, 2),
+            "list_ops_per_sec": round(1.0 / ref, 2),
+            "speedup": round(ref / col, 3),
+            "workers": workers,
+            "batch": batch,
+        }
+        results[bench_name] = entry
+    return results
+
+
+def run_bench(scale: float, repeats: int, workers: int = 4,
+              batch: int = 8) -> dict[str, Any]:
+    document = cached_document(scale, seed=SEED)
+    return {
+        "meta": {
+            "schema": "repro-engine-bench/1",
+            "scale": scale,
+            "seed": SEED,
+            "document_nodes": document.size,
+            "repeats": repeats,
+            "numpy": kernels._np is not None,
+            "python": platform.python_version(),
+        },
+        "operators": bench_operators(scale, repeats),
+        "queries": bench_queries(scale, repeats, workers, batch),
+    }
+
+
+def check_regressions(current: dict[str, Any], baseline: dict[str, Any],
+                      tolerance: float = 0.25,
+                      slack: float = 0.25) -> list[str]:
+    """Speedup-ratio regressions of ``current`` against ``baseline``.
+
+    An entry regresses when its speedup drops below ``(1 - tolerance)``
+    of the baseline speedup *and* by more than ``slack`` absolute — the
+    absolute guard keeps near-1.0 ratios (where a 25% relative drop is
+    within timer noise) from flaking on shared CI runners.
+    Ratios are host-independent, so baselines recorded elsewhere remain
+    comparable; entries missing from either side are ignored.
+    """
+    failures: list[str] = []
+
+    def compare(kind: str, name: str, new: float, old: float) -> None:
+        if new < old * (1.0 - tolerance) and new < old - slack:
+            failures.append(
+                f"{kind} {name}: speedup {new:.3f} vs baseline {old:.3f} "
+                f"(allowed ≥ {old * (1.0 - tolerance):.3f})")
+
+    for name, entry in baseline.get("operators", {}).items():
+        now = current.get("operators", {}).get(name)
+        if now is not None:
+            compare("kernel", name, now["speedup"], entry["speedup"])
+    for name, entry in baseline.get("queries", {}).items():
+        now = current.get("queries", {}).get(name)
+        if now is None:
+            continue
+        for mode in ("serial", "run_many"):
+            if mode in entry and mode in now:
+                compare("query", f"{name}/{mode}",
+                        now[mode]["speedup"], entry[mode]["speedup"])
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark columnar engine kernels vs the list algebra")
+    parser.add_argument("--out", default="BENCH_engine.json",
+                        help="trajectory file to write")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="XMark scale factor (default %(default)s)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="best-of repeats per measurement")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced matrix for CI (small document)")
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare speedups against a baseline file")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative speedup regression")
+    args = parser.parse_args(argv)
+
+    scale = args.scale if args.scale is not None \
+        else (SMOKE_SCALE if args.smoke else FULL_SCALE)
+    repeats = args.repeats if args.repeats is not None \
+        else (3 if args.smoke else 5)
+
+    result = run_bench(scale, repeats)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"wrote {args.out} (scale={scale}, repeats={repeats})")
+    for name, entry in result["queries"].items():
+        print(f"  {name}: serial {entry['serial']['speedup']:.2f}x, "
+              f"run_many {entry['run_many']['speedup']:.2f}x columnar speedup")
+
+    if args.check:
+        with open(args.check, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        failures = check_regressions(result, baseline, args.tolerance)
+        if failures:
+            print("speedup regressions vs baseline:", file=sys.stderr)
+            for line in failures:
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"no speedup regressions vs {args.check}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

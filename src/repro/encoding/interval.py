@@ -116,6 +116,41 @@ def encode(trees: Forest | Node, start: int = 0) -> EncodedForest:
     return EncodedForest(rows, counter if counter > start else start, sort=False)
 
 
+def encode_columns(trees: Forest | Node, start: int = 0):
+    """Encode straight into columnar form: ``(IntervalColumns, width)``.
+
+    Same DFS counter scheme as :func:`encode`, but the triples land
+    directly in the three parallel columns the DI engine operates on — no
+    intermediate tuple list, no re-copy when the encoding is cached.
+    """
+    from repro.engine.columns import IntervalColumns, make_int_column
+
+    if isinstance(trees, Node):
+        trees = (trees,)
+    labels: list[str] = []
+    lefts: list[int] = []
+    rights: list[int] = []
+    counter = start
+    stack: list[tuple[Node, int | None]] = [
+        (tree, None) for tree in reversed(trees)]
+    while stack:
+        node, row_index = stack.pop()
+        if row_index is not None:
+            rights[row_index] = counter
+            counter += 1
+            continue
+        labels.append(node.label)
+        lefts.append(counter)
+        rights.append(-1)
+        counter += 1
+        stack.append((node, len(labels) - 1))
+        for child in reversed(node.children):
+            stack.append((child, None))
+    columns = IntervalColumns(labels, make_int_column(lefts),
+                              make_int_column(rights))
+    return columns, (counter if counter > start else start)
+
+
 def decode(encoded: EncodedForest | Sequence[IntervalTuple]) -> Forest:
     """Decode an interval relation back into an XF forest.
 

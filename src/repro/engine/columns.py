@@ -1,0 +1,206 @@
+"""Columnar interval relations: three parallel columns behind one class.
+
+The DI engine's hot path used to walk ``list[(s, l, r)]`` tuple-by-tuple;
+:class:`IntervalColumns` stores the same document-ordered relation as three
+parallel columns instead — ``s`` (labels, a plain list of strings) and
+``l``/``r`` (endpoints, ``array('q')`` machine integers) — so the operator
+kernels of :mod:`repro.engine.kernels` can shift, slice, and gather whole
+columns per plan node rather than touching every tuple from interpreted
+Python.
+
+Design points:
+
+* **Document order is the invariant** — ``l`` is strictly increasing, so
+  environment blocks are contiguous runs and :meth:`env_bounds` finds them
+  with ``bisect`` on the ``l`` column instead of scanning (zero-copy until
+  a block is actually materialized; array slicing is a C-level ``memcpy``
+  of machine words, never per-tuple Python objects).
+* **Immutability by convention** — every kernel returns fresh columns;
+  nothing mutates a relation after construction.  Backends therefore share
+  one cached encoding across runs and threads (see
+  :class:`repro.backends.engine.EngineBackend`).
+* **Unbounded widths still work** — interval coordinates grow
+  multiplicatively with query nesting and can exceed 64 bits.  When they
+  do, the endpoint columns transparently fall back from ``array('q')`` to
+  plain Python lists (bignum mode); kernels detect the storage kind and
+  take the scalar path.  ``array('q')`` is the fast common case, not a
+  correctness cap (contrast ``SQLITE_MAX_WIDTH``).
+
+Tuple compatibility: an :class:`IntervalColumns` *is* a sequence of
+``(s, l, r)`` tuples — iteration, indexing, slicing, and equality all
+behave like the old list representation, so ``decode``, ``check_sorted``,
+structural comparison, and the test suite consume either form unchanged.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Iterable, Iterator, Sequence
+
+from repro.encoding.interval import IntervalTuple
+
+#: Inclusive bounds of ``array('q')`` storage (two's-complement int64).
+INT64_MAX = 2 ** 63 - 1
+INT64_MIN = -(2 ** 63)
+
+
+def fits64(value: int) -> bool:
+    """Whether ``value`` is representable in an ``array('q')`` column."""
+    return INT64_MIN <= value <= INT64_MAX
+
+
+def make_int_column(values: Iterable[int]) -> "array | list[int]":
+    """An endpoint column: ``array('q')`` or, on overflow, a plain list."""
+    values = list(values)
+    try:
+        return array("q", values)
+    except OverflowError:
+        return values
+
+
+class IntervalColumns:
+    """An interval relation as three parallel columns, sorted by ``l``.
+
+    ``s`` is a list of labels; ``l`` and ``r`` are parallel endpoint
+    columns (``array('q')`` normally, plain lists in bignum mode).  The
+    constructor trusts the caller on document order; use
+    :meth:`from_tuples` for arbitrary input.
+    """
+
+    __slots__ = ("s", "l", "r")
+
+    def __init__(self, s: list[str], l: "array | list[int]",
+                 r: "array | list[int]"):
+        self.s = s
+        self.l = l
+        self.r = r
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_tuples(cls, rows: Iterable[IntervalTuple],
+                    sort: bool = False) -> "IntervalColumns":
+        """Build columns from ``(s, l, r)`` tuples (already in doc order)."""
+        if isinstance(rows, IntervalColumns):
+            return rows
+        rows = list(rows)
+        if sort:
+            rows.sort(key=lambda row: row[1])
+        return cls([row[0] for row in rows],
+                   make_int_column(row[1] for row in rows),
+                   make_int_column(row[2] for row in rows))
+
+    @classmethod
+    def empty(cls) -> "IntervalColumns":
+        return cls([], array("q"), array("q"))
+
+    def tuples(self) -> list[IntervalTuple]:
+        """Materialize the row form (for legacy/list-based consumers)."""
+        return list(zip(self.s, self.l, self.r))
+
+    @property
+    def is_array(self) -> bool:
+        """True when both endpoint columns are machine-word arrays."""
+        return isinstance(self.l, array) and isinstance(self.r, array)
+
+    # -- sequence protocol --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.s)
+
+    def __bool__(self) -> bool:
+        return bool(self.s)
+
+    def __iter__(self) -> Iterator[IntervalTuple]:
+        return zip(self.s, self.l, self.r)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return IntervalColumns(self.s[item], self.l[item], self.r[item])
+        return (self.s[item], self.l[item], self.r[item])
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IntervalColumns):
+            return (len(self) == len(other) and list(self.l) == list(other.l)
+                    and list(self.r) == list(other.r) and self.s == other.s)
+        if isinstance(other, (list, tuple)):
+            return len(self) == len(other) and all(
+                row == mine for row, mine in zip(other, self))
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        mode = "q" if self.is_array else "bignum"
+        return f"IntervalColumns({len(self)} tuples, {mode})"
+
+    # -- block arithmetic ---------------------------------------------------------
+
+    def env_bounds(self, width: int, env: int) -> tuple[int, int]:
+        """Index bounds ``[lo, hi)`` of environment ``env`` — O(log n).
+
+        Binary search on the sorted ``l`` column; no scan, no copies.
+        """
+        lo = bisect_left(self.l, env * width)
+        hi = bisect_left(self.l, (env + 1) * width, lo=lo)
+        return lo, hi
+
+    def env_slice(self, width: int, env: int) -> "IntervalColumns":
+        """The columns of environment ``env`` (C-level slice, no tuples)."""
+        lo, hi = self.env_bounds(width, env)
+        return self[lo:hi]
+
+    def iter_env_bounds(self, width: int) -> Iterator[tuple[int, int, int]]:
+        """Yield ``(env, lo, hi)`` for every non-empty block, in order.
+
+        Each block end is found with one binary search (O(b·log n) for b
+        blocks) instead of rescanning tuples.
+        """
+        if width <= 0:
+            return
+        l = self.l
+        size = len(l)
+        start = 0
+        while start < size:
+            env = l[start] // width
+            end = bisect_left(l, (env + 1) * width, lo=start)
+            yield env, start, end
+            start = end
+
+    def envs_present(self, width: int) -> list[int]:
+        """The sorted environment indices with at least one tuple."""
+        return [env for env, _lo, _hi in self.iter_env_bounds(width)]
+
+    def shifted(self, offset: int) -> "IntervalColumns":
+        """Whole-column shift of both endpoints by ``offset``."""
+        if offset == 0:
+            return self
+        return IntervalColumns(
+            self.s,
+            make_int_column(x + offset for x in self.l),
+            make_int_column(x + offset for x in self.r),
+        )
+
+    def max_right(self) -> int:
+        """The largest right endpoint (-1 when empty) — O(roots)."""
+        best = -1
+        l = self.l
+        r = self.r
+        position = 0
+        size = len(l)
+        while position < size:
+            right = r[position]
+            if right > best:
+                best = right
+            position = bisect_left(l, right, lo=position + 1)
+        return best
+
+
+#: Either relation representation, as accepted by the public operators.
+AnyRelation = Sequence[IntervalTuple]
+
+
+def as_columns(rel: AnyRelation) -> IntervalColumns:
+    """Coerce any relation form to columns (no copy when already columnar)."""
+    if isinstance(rel, IntervalColumns):
+        return rel
+    return IntervalColumns.from_tuples(rel)

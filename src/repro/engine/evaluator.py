@@ -11,6 +11,7 @@ Section 5.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Callable, Mapping
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -34,9 +35,11 @@ from repro.compiler.plan import (
     VarNode,
     WhereNode,
 )
-from repro.encoding.interval import decode, encode
+from repro.encoding.interval import decode, encode_columns
+from repro.engine import kernels
 from repro.engine import operators as ops
-from repro.engine.relation import Relation, env_blocks, filter_by_index, group_by_env
+from repro.engine.columns import IntervalColumns
+from repro.engine.relation import Relation, filter_by_index, group_by_env
 from repro.engine.stats import (
     EngineStats,
     FUNCTION_CATEGORIES,
@@ -57,6 +60,11 @@ _UNARY_OPERATORS = frozenset({
     "roots", "children", "select", "textnodes", "elementnodes", "head",
     "tail", "reverse", "subtrees_dfs", "data", "distinct", "sort",
 })
+
+#: Latency buckets for the per-kernel histogram (seconds, exponential).
+_KERNEL_SECONDS_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
 
 
 class EnvSeq:
@@ -125,6 +133,13 @@ class DIEngine:
             self._m_width = metrics.histogram(
                 "repro_engine_interval_width",
                 "interval widths of node results")
+            self._m_kernel = metrics.histogram(
+                "repro_engine_kernel_seconds",
+                "wall seconds per engine kernel invocation", ("kernel",),
+                buckets=_KERNEL_SECONDS_BUCKETS)
+        else:
+            self._m_kernel = None
+        self._columnar = False
 
     # -- public API --------------------------------------------------------------
 
@@ -149,13 +164,21 @@ class DIEngine:
         loaded between queries cache these instead of re-shredding the
         forest per run.
         """
-        encoded = encode(forest)
-        return (list(encoded.tuples), max(encoded.width, 1))
+        columns, width = encode_columns(forest)
+        return (columns, max(width, 1))
 
     def run_plan_values(self, plan: PlanNode,
                         values: Mapping[str, Value]) -> Value:
-        """Evaluate ``plan`` over already-encoded document values."""
+        """Evaluate ``plan`` over already-encoded document values.
+
+        Accepts either relation representation per value; constructors
+        (``text_const`` etc.) answer in kind — columnar when every
+        document binding is columnar, tuple lists otherwise.
+        """
         self._base = EnvSeq([0], dict(values))
+        self._columnar = bool(values) and all(
+            isinstance(rel, IntervalColumns) for rel, _width in values.values()
+        )
         try:
             return self.evaluate(plan, self._base)
         finally:
@@ -224,7 +247,38 @@ class DIEngine:
 
     # -- operators -------------------------------------------------------------------
 
+    def _kernel(self, name: str, fn: Callable, *args):
+        """Run one operator kernel under per-kernel observability.
+
+        With tracing/metrics disabled this is a plain call — no span, no
+        timestamp, no allocation (the counting-tracer overhead test pins
+        this).  Otherwise the invocation becomes an ``engine.kernel.*``
+        span and one ``repro_engine_kernel_seconds`` observation.
+        """
+        if self._tick is not None:
+            self._tick()
+        tracer = self._tracer
+        histogram = self._m_kernel
+        if tracer is None and histogram is None:
+            return fn(*args)
+        started = perf_counter()
+        if tracer is not None:
+            # Tagged with ``kernel=`` (not ``category=``) so the Figure 10
+            # accounting passes through and charges the enclosing op span.
+            with tracer.span("engine.kernel." + name, kernel=name):
+                result = fn(*args)
+        else:
+            result = fn(*args)
+        if histogram is not None:
+            histogram.observe(perf_counter() - started, kernel=name)
+        return result
+
     def _eval_fn(self, node: FnNode, seq: EnvSeq) -> Value:
+        if self._columnar and node.fn == "select" and len(node.args) == 1 \
+                and isinstance(node.args[0], FnNode) \
+                and node.args[0].fn == "children" \
+                and len(node.args[0].args) == 1:
+            return self._eval_fused_select(node, seq)
         args = [self.evaluate(arg, seq) for arg in node.args]
         category = FUNCTION_CATEGORIES.get(node.fn, OTHER)
         if self.stats is not None:
@@ -234,31 +288,65 @@ class DIEngine:
                 return result
         return self._apply_fn(node, args, seq)
 
+    def _eval_fused_select(self, node: FnNode, seq: EnvSeq) -> Value:
+        """``select(children(X), label)`` — the path-step idiom — fused.
+
+        On columnar input the combined kernel finds matching depth-1
+        trees directly, skipping the document-sized intermediate the
+        ``children`` copy would materialize.
+        """
+        rel, width = self.evaluate(node.args[0].args[0], seq)
+        label = node.param("label")
+
+        def apply() -> Value:
+            if width == 0:
+                return [], 0
+            if isinstance(rel, IntervalColumns):
+                return self._kernel("select_children",
+                                    kernels.select_children,
+                                    rel, label), width
+            return self._kernel(
+                "select", ops.select_label,
+                self._kernel("children", ops.children, rel), label), width
+
+        category = FUNCTION_CATEGORIES.get(node.fn, OTHER)
+        if self.stats is not None:
+            with self.stats.measure(category):
+                result = apply()
+                self.stats.add_tuples(category, len(result[0]))
+                return result
+        return apply()
+
     def _apply_fn(self, node: FnNode, args: list[Value], seq: EnvSeq) -> Value:
         fn = node.fn
         if fn == "empty_forest":
             return [], 0
         if fn == "text_const":
-            return ops.text_const(node.param("value"), seq.index)
+            return self._kernel("text_const", ops.text_const,
+                                node.param("value"), seq.index,
+                                self._columnar)
         if fn == "concat":
             (left, lw), (right, rw) = args
             if lw == 0:
                 return right, rw
             if rw == 0:
                 return left, lw
-            return ops.concat(left, lw, right, rw), lw + rw
+            return self._kernel("concat", ops.concat,
+                                left, lw, right, rw), lw + rw
         if fn == "xnode":
             (content, width), = args
-            return ops.xnode(node.param("label"), content, width, seq.index)
+            return self._kernel("xnode", ops.xnode, node.param("label"),
+                                content, width, seq.index)
         if fn == "count":
             (rel, width), = args
-            return ops.count_roots(rel, width, seq.index)
+            return self._kernel("count", ops.count_roots,
+                                rel, width, seq.index)
         if fn == "string_fn":
             (rel, width), = args
             if width == 0:
-                return [("", env * 2, env * 2 + 1)
-                        for env in seq.index], 2
-            return ops.string_fn(rel, width, seq.index)
+                return ops.text_const("", seq.index, self._columnar)
+            return self._kernel("string_fn", ops.string_fn,
+                                rel, width, seq.index)
         if fn not in _UNARY_OPERATORS:
             raise PlanError(f"no engine operator for XFn {fn!r}")
         # Remaining operators yield the empty relation for width-0 input.
@@ -266,29 +354,32 @@ class DIEngine:
         if width == 0:
             return [], 0
         if fn == "roots":
-            return ops.roots(rel), width
+            return self._kernel("roots", ops.roots, rel), width
         if fn == "children":
-            return ops.children(rel), width
+            return self._kernel("children", ops.children, rel), width
         if fn == "select":
-            return ops.select_label(rel, node.param("label")), width
+            return self._kernel("select", ops.select_label,
+                                rel, node.param("label")), width
         if fn == "textnodes":
-            return ops.textnode_trees(rel), width
+            return self._kernel("textnodes", ops.textnode_trees, rel), width
         if fn == "elementnodes":
-            return ops.elementnode_trees(rel), width
+            return self._kernel("elementnodes", ops.elementnode_trees,
+                                rel), width
         if fn == "head":
-            return ops.head(rel, width), width
+            return self._kernel("head", ops.head, rel, width), width
         if fn == "tail":
-            return ops.tail(rel, width), width
+            return self._kernel("tail", ops.tail, rel, width), width
         if fn == "reverse":
-            return ops.reverse(rel, width), width
+            return self._kernel("reverse", ops.reverse, rel, width), width
         if fn == "subtrees_dfs":
-            return ops.subtrees_dfs(rel, width), width * width
+            return self._kernel("subtrees_dfs", ops.subtrees_dfs,
+                                rel, width), width * width
         if fn == "data":
-            return ops.data(rel, width), width
+            return self._kernel("data", ops.data, rel, width), width
         if fn == "distinct":
-            return ops.distinct(rel, width), width
+            return self._kernel("distinct", ops.distinct, rel, width), width
         if fn == "sort":
-            return ops.sort(rel, width)
+            return self._kernel("sort", ops.sort, rel, width)
         raise PlanError(f"no engine operator for XFn {fn!r}")
 
     # -- where ------------------------------------------------------------------------
@@ -311,7 +402,9 @@ class DIEngine:
                     inner_vars[name] = value
                 else:
                     inner_vars[name] = (
-                        filter_by_index(rel, width, surviving), width
+                        self._kernel("filter_by_index", filter_by_index,
+                                     rel, width, surviving),
+                        width,
                     )
         return self.evaluate(node.body, EnvSeq(surviving, inner_vars))
 
@@ -321,7 +414,12 @@ class DIEngine:
         """The set of environment indices satisfying the condition."""
         if isinstance(condition, EmptyCond):
             rel, width = self.evaluate(condition.expr, seq)
-            occupied = ({row[1] // width for row in rel} if width else set())
+            if width == 0:
+                occupied: set[int] = set()
+            elif isinstance(rel, IntervalColumns):
+                occupied = set(rel.envs_present(width))
+            else:
+                occupied = {row[1] // width for row in rel}
             return set(seq.index) - occupied
         if isinstance(condition, EqualCond):
             left_keys = self._forest_keys(condition.left, seq)
@@ -353,15 +451,13 @@ class DIEngine:
         rel, width = self.evaluate(node, seq)
         if width == 0:
             return {}
-        return {env: canonical_key(block)
-                for env, block in group_by_env(rel, width)}
+        return self._kernel("forest_keys", _block_key_map, rel, width)
 
     def _tree_key_sets(self, node: PlanNode, seq: EnvSeq) -> dict[int, set]:
         rel, width = self.evaluate(node, seq)
         if width == 0:
             return {}
-        return {env: set(tree_keys(block))
-                for env, block in group_by_env(rel, width)}
+        return self._kernel("tree_key_sets", _block_tree_keys_map, rel, width)
 
     # -- iteration ---------------------------------------------------------------------
 
@@ -374,16 +470,16 @@ class DIEngine:
         else:
             context = _NullContext()
         with context:
-            roots = ops.roots(source_rel)
-            index = [row[1] for row in roots]
-            bound = self._expand_variable(source_rel, source_width, roots)
+            roots = self._kernel("roots", ops.roots, source_rel)
+            index = _root_lefts(roots)
+            bound = self._expand_variable(source_rel, source_width, index)
             inner_vars: dict[str, Value] = {node.var: (bound, source_width)}
             for name in sorted(node.required_outer):
                 value = seq.vars.get(name)
                 if value is None:
                     continue
                 inner_vars[name] = self._copy_per_root(
-                    value, roots, source_width
+                    value, index, source_width
                 )
         body_rel, body_width = self.evaluate(
             node.body, EnvSeq(index, inner_vars)
@@ -391,41 +487,44 @@ class DIEngine:
         return body_rel, source_width * body_width
 
     def _expand_variable(self, source_rel: Relation, width: int,
-                         roots: Relation) -> Relation:
-        """Build ``T'_x``: one environment per tree, indexed by root left end."""
-        result: Relation = []
-        position = 0
-        for s, l, r in source_rel:
-            while roots[position][2] < l:
-                position += 1
-            root_left = roots[position][1]
-            env = root_left // width
-            offset = root_left * width - env * width
-            result.append((s, l + offset, r + offset))
-        return result
+                         root_lefts) -> Relation:
+        """Build ``T'_x``: one environment per tree, indexed by root left end.
 
-    def _copy_per_root(self, value: Value, roots: Relation,
+        ``root_lefts`` is the list of root left endpoints; a roots
+        *relation* (either representation) is also accepted.
+        """
+        if root_lefts and not isinstance(root_lefts[0], int):
+            root_lefts = _root_lefts(root_lefts)
+        elif isinstance(root_lefts, IntervalColumns):
+            root_lefts = _root_lefts(root_lefts)
+        if isinstance(source_rel, IntervalColumns):
+            return self._kernel("expand_variable", kernels.expand_variable,
+                                source_rel, width, root_lefts)
+        return self._kernel("expand_variable", ops._list_expand_variable,
+                            source_rel, width, root_lefts)
+
+    def _copy_per_root(self, value: Value, root_lefts: list[int],
                        source_width: int) -> Value:
         """Copy an outer binding into every expanded environment.
 
         This per-root duplication is the quadratic cost of nested-loop
-        iteration: |roots| × |binding blocks| tuples.
+        iteration: |roots| × |binding blocks| tuples — one
+        ``gather_blocks`` kernel over the move plan.
         """
         rel, width = value
         if width == 0:
             return value
-        blocks = env_blocks(rel, width)
-        result: Relation = []
-        for root in roots:
-            parent = root[1] // source_width
-            block = blocks.get(parent)
-            if not block:
-                continue
-            offset = (root[1] - parent) * width
-            result.extend((s, l + offset, r + offset) for (s, l, r) in block)
-            if self._tick is not None:
-                self._tick()
-        return result, width
+        moves = [(left // source_width, left) for left in root_lefts]
+        return self._gather(rel, width, moves), width
+
+    def _gather(self, rel: Relation, width: int,
+                moves: list[tuple[int, int]]) -> Relation:
+        """Dispatch the block-copy plan to the matching representation."""
+        if isinstance(rel, IntervalColumns):
+            return self._kernel("gather_blocks", kernels.gather_blocks,
+                                rel, width, moves)
+        return self._kernel("gather_blocks", ops._list_gather_blocks,
+                            rel, width, moves)
 
     def _eval_join_for(self, node: JoinForNode, seq: EnvSeq) -> Value:
         if self._base is None:
@@ -434,9 +533,9 @@ class DIEngine:
         if source_width == 0:
             return [], 0
         # Expand the source once, against the base environment.
-        roots = ops.roots(source_rel)
-        inner_index = [row[1] for row in roots]
-        bound = self._expand_variable(source_rel, source_width, roots)
+        roots = self._kernel("roots", ops.roots, source_rel)
+        inner_index = _root_lefts(roots)
+        bound = self._expand_variable(source_rel, source_width, inner_index)
         inner_seq = EnvSeq(inner_index, {node.var: (bound, source_width)})
         inner_rel, inner_width = self.evaluate(node.key_inner, inner_seq)
         outer_rel, outer_width = self.evaluate(node.key_outer, seq)
@@ -498,19 +597,20 @@ class DIEngine:
         if outer_width == 0 or inner_width == 0:
             return []
 
-        def keys_of(block: Relation) -> set:
-            if existential:
-                return set(tree_keys(block))
-            return {canonical_key(block)}
-
-        outer_keys: list[tuple[tuple, int]] = []
-        for env, block in group_by_env(outer_rel, outer_width):
-            for key in keys_of(block):
-                outer_keys.append((key, env))
-        inner_keys: list[tuple[tuple, int]] = []
-        for env, block in group_by_env(inner_rel, inner_width):
-            for key in keys_of(block):
-                inner_keys.append((key, env))
+        if existential:
+            outer_map = self._kernel("tree_key_sets", _block_tree_keys_map,
+                                     outer_rel, outer_width)
+            inner_map = self._kernel("tree_key_sets", _block_tree_keys_map,
+                                     inner_rel, inner_width)
+        else:
+            outer_map = {env: {key} for env, key in self._kernel(
+                "forest_keys", _block_key_map, outer_rel, outer_width).items()}
+            inner_map = {env: {key} for env, key in self._kernel(
+                "forest_keys", _block_key_map, inner_rel, inner_width).items()}
+        outer_keys: list[tuple[tuple, int]] = [
+            (key, env) for env, keys in outer_map.items() for key in keys]
+        inner_keys: list[tuple[tuple, int]] = [
+            (key, env) for env, keys in inner_map.items() for key in keys]
         if not existential:
             # A deep-Equal join must also match environments whose key
             # forest is empty (they are absent from the grouped stream).
@@ -544,18 +644,36 @@ class DIEngine:
         rel, width = value
         if width == 0:
             return value
-        blocks = env_blocks(rel, width)
-        result: Relation = []
-        for (ix, iy), target in zip(pairs, pair_index):
-            origin = ix if side == "outer" else iy
-            block = blocks.get(origin)
-            if not block:
-                continue
-            offset = (target - origin) * width
-            result.extend((s, l + offset, r + offset) for (s, l, r) in block)
-            if self._tick is not None:
-                self._tick()
-        return result, width
+        if side == "outer":
+            moves = [(ix, target)
+                     for (ix, _iy), target in zip(pairs, pair_index)]
+        else:
+            moves = [(iy, target)
+                     for (_ix, iy), target in zip(pairs, pair_index)]
+        return self._gather(rel, width, moves), width
+
+
+def _root_lefts(roots: Relation) -> list[int]:
+    """The root left endpoints — the expanded environment index."""
+    if isinstance(roots, IntervalColumns):
+        return list(roots.l)
+    return [row[1] for row in roots]
+
+
+def _block_key_map(rel: Relation, width: int) -> dict[int, tuple]:
+    """Canonical structural key per environment, either representation."""
+    if isinstance(rel, IntervalColumns):
+        return kernels.block_keys(rel, width)
+    return {env: canonical_key(block)
+            for env, block in group_by_env(rel, width)}
+
+
+def _block_tree_keys_map(rel: Relation, width: int) -> dict[int, set]:
+    """Per-environment sets of per-tree keys, either representation."""
+    if isinstance(rel, IntervalColumns):
+        return kernels.block_tree_key_sets(rel, width)
+    return {env: set(tree_keys(block))
+            for env, block in group_by_env(rel, width)}
 
 
 def _chain_ticks(first: Callable[[], None] | None,

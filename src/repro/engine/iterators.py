@@ -155,6 +155,27 @@ def data_stream(source: Iterable[IntervalTuple], width: int) -> TupleStream:
         open_rights.append(r)
 
 
+def collect_columns(stream: Iterable[IntervalTuple]):
+    """Drain a tuple stream into :class:`IntervalColumns`.
+
+    The bridge back into the columnar engine: streaming pipelines (all the
+    generators above accept an ``IntervalColumns`` as their source, since
+    it iterates as tuples) can hand their result to the whole-column
+    kernels without an intermediate list round-trip by the caller.
+    """
+    from repro.engine.columns import IntervalColumns, make_int_column
+
+    labels: list[str] = []
+    lefts: list[int] = []
+    rights: list[int] = []
+    for s, l, r in stream:
+        labels.append(s)
+        lefts.append(l)
+        rights.append(r)
+    return IntervalColumns(labels, make_int_column(lefts),
+                           make_int_column(rights))
+
+
 def path_pipeline(source: Iterable[IntervalTuple],
                   steps: Iterable[tuple[str, str | None]],
                   width: int) -> TupleStream:

@@ -1,0 +1,894 @@
+"""Whole-column operator kernels over :class:`IntervalColumns`.
+
+Each kernel is the columnar counterpart of one list-based operator in
+:mod:`repro.engine.operators` (which remain as the reference
+implementations, exercised against these by the property suite in
+``tests/test_columnar_kernels.py``).  Instead of walking ``(s, l, r)``
+tuples in interpreted loops, a kernel computes per-block *runs* with
+binary search on the sorted ``l`` column and then moves whole slices:
+labels with C-level list slicing, endpoints with bulk arithmetic.
+
+When NumPy is available (gated — never required), endpoint columns are
+viewed zero-copy via ``frombuffer`` and the scan kernels become genuine
+vector expressions: ``roots`` is one ``maximum.accumulate``, node depths
+(the basis of structural keys, ``data``, ``distinct``, ``sort``) come from
+one argsort over the endpoint events, and subtree extents for *every* node
+at once are one ``searchsorted``.  Without NumPy the kernels fall back to
+pure-Python paths that still operate column-at-a-time (slice + shift
+comprehensions) or, for the scan-shaped operators, to the reference
+list implementation — correct everywhere, fastest where the hardware
+allows.
+
+Two fusion rules remove whole passes from the evaluator's hot path:
+
+* **select→shift** — :func:`expand_variable` places every subtree into its
+  per-root environment in one pass over trees (bulk slice add per tree)
+  instead of a per-tuple root lookup followed by a per-tuple shift;
+* **slice→concat** — :func:`gather_blocks` materializes "copy block of env
+  *a* to env *b*" plans (the quadratic cost of nested-loop iteration) as
+  one preallocated output filled with shifted slices, instead of
+  per-tuple append loops per root/pair.
+
+Overflow discipline: interval coordinates grow multiplicatively with query
+nesting and may exceed ``int64``.  Every coordinate-growing kernel bounds
+its largest output value *before* touching vector arithmetic (NumPy wraps
+silently on int64 overflow — never acceptable here) and falls back to the
+bignum-safe reference path, whose output lands in list-backed columns.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Callable, Sequence
+
+from repro.engine.columns import (
+    INT64_MAX,
+    IntervalColumns,
+    make_int_column,
+)
+from repro.xml.forest import is_element_label, is_text_label
+
+try:  # NumPy accelerates the kernels but is never required.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via _force_scalar tests
+    _np = None
+
+LabelPredicate = Callable[[str], bool]
+
+#: Test hook: set True to exercise the scalar fallbacks with NumPy present.
+_force_scalar = False
+
+
+def _vectorized(cols: IntervalColumns) -> bool:
+    """Whether the NumPy fast path applies to this relation."""
+    return _np is not None and not _force_scalar and cols.is_array
+
+
+def _view(column: array) -> "_np.ndarray":
+    """Zero-copy int64 view of an ``array('q')`` column."""
+    return _np.frombuffer(column, dtype=_np.int64)
+
+
+def _col(values: "_np.ndarray") -> array:
+    """An ``array('q')`` column from an int64 ndarray (one memcpy)."""
+    out = array("q")
+    out.frombytes(_np.ascontiguousarray(values, dtype=_np.int64).tobytes())
+    return out
+
+
+def _reference(name: str, rel: IntervalColumns, *args, **kwargs):
+    """Run the list-based reference operator; re-wrap the result."""
+    from repro.engine import operators as list_ops
+
+    result = getattr(list_ops, "_list_" + name)(rel.tuples(), *args, **kwargs)
+    return IntervalColumns.from_tuples(result)
+
+
+def _emit_runs(cols: IntervalColumns, a: "_np.ndarray", b: "_np.ndarray",
+               offsets: "_np.ndarray", total: int) -> IntervalColumns:
+    """Vectorized fused slice→shift→concat over per-run bound arrays.
+
+    ``a``/``b``/``offsets`` hold one entry per run.  Labels move as
+    C-level list slices; endpoints are produced by one gather —
+    ``arange`` mapped back to source positions via ``repeat`` — plus one
+    bulk add, so cost is O(runs + total) with no per-run ndarray slicing.
+    """
+    if len(a) == 1:
+        # One contiguous run — the shape every selective path step
+        # produces.  Pure C slicing, no index arithmetic at all.
+        x, y, off = int(a[0]), int(b[0]), int(offsets[0])
+        if off == 0:
+            return IntervalColumns(cols.s[x:y], cols.l[x:y], cols.r[x:y])
+        return IntervalColumns(cols.s[x:y], _col(_view(cols.l)[x:y] + off),
+                               _col(_view(cols.r)[x:y] + off))
+    s = cols.s
+    sizes = b - a
+    out_starts = _np.cumsum(sizes) - sizes
+    source = _np.arange(total, dtype=_np.int64) \
+        + _np.repeat(a - out_starts, sizes)
+    shift = _np.repeat(offsets, sizes)
+    out_l = _view(cols.l)[source] + shift
+    out_r = _view(cols.r)[source] + shift
+    if total >= 4 * len(a):
+        labels: list[str] = []
+        for x, y in zip(a.tolist(), b.tolist()):
+            labels.extend(s[x:y])
+    else:
+        # Mostly-tiny runs: one C-level gather beats a Python loop of
+        # slice copies.
+        labels = list(map(s.__getitem__, source.tolist()))
+    return IntervalColumns(labels, _col(out_l), _col(out_r))
+
+
+def _gather(cols: IntervalColumns, index: "_np.ndarray") -> IntervalColumns:
+    """Select rows by position (bool mask or int index array).
+
+    Positions are regrouped into maximal contiguous runs first: the scan
+    kernels keep long stretches (children drops only roots), so labels
+    copy as a handful of list slices instead of one append per row.
+    """
+    if index.dtype == _np.bool_:
+        index = _np.flatnonzero(index)
+    total = len(index)
+    if total == 0:
+        return IntervalColumns.empty()
+    breaks = _np.flatnonzero(_np.diff(index) != 1) + 1
+    a = index[_np.concatenate((_np.zeros(1, _np.int64), breaks))]
+    sizes = _np.diff(_np.concatenate((_np.zeros(1, _np.int64), breaks,
+                                      _np.asarray([total], _np.int64))))
+    return _emit_runs(cols, a, a + sizes,
+                      _np.zeros(len(a), dtype=_np.int64), total)
+
+
+def _take_tree_runs(cols: IntervalColumns, starts: "_np.ndarray",
+                    ends: "_np.ndarray") -> IntervalColumns:
+    """Keep the disjoint, ordered runs ``[start, end)`` — straight to the
+    run emitter, without materializing a whole-relation boolean mask."""
+    total = int((ends - starts).sum())
+    if total == 0:
+        return IntervalColumns.empty()
+    return _emit_runs(cols, starts, ends,
+                      _np.zeros(len(starts), dtype=_np.int64), total)
+
+
+def _runs_mask(size: int, starts: "_np.ndarray",
+               ends: "_np.ndarray") -> "_np.ndarray":
+    """Boolean mask covering the disjoint half-open runs [start, end)."""
+    delta = _np.zeros(size + 1, dtype=_np.int64)
+    delta[starts] += 1
+    delta[ends] -= 1
+    return _np.cumsum(delta[:-1]) > 0
+
+
+def _roots_mask(l: "_np.ndarray", r: "_np.ndarray") -> "_np.ndarray":
+    """Algorithm 5.2 as one vector expression: l > running max of r."""
+    mask = _np.empty(len(l), dtype=_np.bool_)
+    if len(l):
+        mask[0] = True
+        mask[1:] = l[1:] > _np.maximum.accumulate(r)[:-1]
+    return mask
+
+
+def depths(cols: IntervalColumns) -> "_np.ndarray | list[int]":
+    """Nesting depth of every node (roots are 0) — one pass.
+
+    Vector form: sort the 2n interval endpoints (all distinct), treat each
+    ``l`` as +1 and each ``r`` as -1, and read each node's depth off the
+    running sum at its own open event.  Blocks are disjoint, so global
+    depths equal per-block depths.
+    """
+    if _vectorized(cols):
+        n = len(cols)
+        if n == 0:
+            return _np.empty(0, dtype=_np.int64)
+        l = _view(cols.l)
+        r = _view(cols.r)
+        events = _np.concatenate([l, r])
+        deltas = _np.concatenate([_np.ones(n, _np.int64),
+                                  _np.full(n, -1, _np.int64)])
+        order = _np.argsort(events, kind="stable")
+        running = _np.cumsum(deltas[order])
+        at_event = _np.empty(2 * n, dtype=_np.int64)
+        at_event[order] = running
+        return at_event[:n] - 1
+    result: list[int] = []
+    open_rights: list[int] = []
+    for left, right in zip(cols.l, cols.r):
+        while open_rights and open_rights[-1] < left:
+            open_rights.pop()
+        result.append(len(open_rights))
+        open_rights.append(right)
+    return result
+
+
+# -- scan kernels ------------------------------------------------------------------
+
+
+def roots(cols: IntervalColumns) -> IntervalColumns:
+    if not _vectorized(cols):
+        # Scalar path beats the reference scan: hop from root to root with
+        # binary search, O(roots · log n) instead of O(n).
+        runs: list[tuple[int, int, int]] = []
+        l = cols.l
+        position = 0
+        size = len(cols)
+        while position < size:
+            runs.append((position, position + 1, 0))
+            position = bisect_left(l, cols.r[position], lo=position + 1)
+        return _shift_runs(cols, runs, len(runs))
+    return _gather(cols, _roots_mask(_view(cols.l), _view(cols.r)))
+
+
+def children(cols: IntervalColumns) -> IntervalColumns:
+    if not _vectorized(cols):
+        return _reference("children", cols)
+    return _gather(cols, ~_roots_mask(_view(cols.l), _view(cols.r)))
+
+
+def select_trees(cols: IntervalColumns,
+                 predicate: LabelPredicate) -> IntervalColumns:
+    """Whole trees whose root label satisfies ``predicate``.
+
+    The predicate runs on root labels only; kept subtrees become runs
+    ``[root, searchsorted(l, root.r))`` marked in bulk.
+    """
+    if not _vectorized(cols):
+        return _reference("select_trees", cols, predicate)
+    l = _view(cols.l)
+    r = _view(cols.r)
+    root_positions = _np.flatnonzero(_roots_mask(l, r))
+    s = cols.s
+    chosen = [p for p in root_positions.tolist() if predicate(s[p])]
+    if not chosen:
+        return IntervalColumns.empty()
+    starts = _np.asarray(chosen, dtype=_np.int64)
+    ends = _np.searchsorted(l, r[starts])
+    return _take_tree_runs(cols, starts, ends)
+
+
+def select_children(cols: IntervalColumns, label: str) -> IntervalColumns:
+    """Fused ``select_label ∘ children`` — the path-step idiom.
+
+    ``children`` drops root rows without shifting coordinates, so the
+    roots of the children relation are exactly the depth-1 nodes of the
+    input: one roots-mask over the non-root subset finds them without
+    materializing the (document-sized) children relation at all.
+    """
+    if not _vectorized(cols):
+        return select_label(children(cols), label)
+    l = _view(cols.l)
+    r = _view(cols.r)
+    nonroot = _np.flatnonzero(~_roots_mask(l, r))
+    if len(nonroot) == 0:
+        return IntervalColumns.empty()
+    child_roots = nonroot[_roots_mask(l[nonroot], r[nonroot])]
+    s = cols.s
+    positions = child_roots.tolist()
+    chosen = [p for p, root_label in zip(positions,
+                                         map(s.__getitem__, positions))
+              if root_label == label]
+    if not chosen:
+        return IntervalColumns.empty()
+    starts = _np.asarray(chosen, dtype=_np.int64)
+    ends = _np.searchsorted(l, r[starts])
+    return _take_tree_runs(cols, starts, ends)
+
+
+def select_label(cols: IntervalColumns, label: str) -> IntervalColumns:
+    if not _vectorized(cols):
+        return select_trees(cols, lambda s: s == label)
+    # Specialized: equality against root labels without a per-root
+    # predicate call (the most common select, one per path step).
+    l = _view(cols.l)
+    r = _view(cols.r)
+    root_positions = _np.flatnonzero(_roots_mask(l, r))
+    s = cols.s
+    chosen = [p for p, root_label
+              in zip(root_positions.tolist(),
+                     map(s.__getitem__, root_positions.tolist()))
+              if root_label == label]
+    if not chosen:
+        return IntervalColumns.empty()
+    starts = _np.asarray(chosen, dtype=_np.int64)
+    ends = _np.searchsorted(l, r[starts])
+    return _take_tree_runs(cols, starts, ends)
+
+
+def _select_roots_inline(cols: IntervalColumns, want_text: bool) -> IntervalColumns:
+    """Root filter with the element/attribute test inlined (no per-root
+    function calls): element = ``<…>`` with len > 2, attribute = ``@…``,
+    text = neither."""
+    l = _view(cols.l)
+    r = _view(cols.r)
+    root_positions = _np.flatnonzero(_roots_mask(l, r)).tolist()
+    s = cols.s
+    if want_text:
+        chosen = [p for p, lab in zip(root_positions,
+                                      map(s.__getitem__, root_positions))
+                  if not (lab[:1] == "<" and lab[-1:] == ">" and len(lab) > 2
+                          or lab[:1] == "@" and len(lab) > 1)]
+    else:
+        chosen = [p for p, lab in zip(root_positions,
+                                      map(s.__getitem__, root_positions))
+                  if lab[:1] == "<" and lab[-1:] == ">" and len(lab) > 2]
+    if not chosen:
+        return IntervalColumns.empty()
+    starts = _np.asarray(chosen, dtype=_np.int64)
+    ends = _np.searchsorted(l, r[starts])
+    return _take_tree_runs(cols, starts, ends)
+
+
+def textnode_trees(cols: IntervalColumns) -> IntervalColumns:
+    if _vectorized(cols):
+        return _select_roots_inline(cols, want_text=True)
+    return select_trees(cols, is_text_label)
+
+
+def elementnode_trees(cols: IntervalColumns) -> IntervalColumns:
+    if _vectorized(cols):
+        return _select_roots_inline(cols, want_text=False)
+    return select_trees(cols, is_element_label)
+
+
+def _block_starts(l: "_np.ndarray", width: int) -> "_np.ndarray":
+    """Positions where a new environment block begins."""
+    env = l // width
+    starts = _np.empty(len(l), dtype=_np.bool_)
+    if len(l):
+        starts[0] = True
+        starts[1:] = env[1:] != env[:-1]
+    return _np.flatnonzero(starts)
+
+
+def head(cols: IntervalColumns, width: int) -> IntervalColumns:
+    """The first tree of every environment — block starts + one searchsorted."""
+    if not _vectorized(cols):
+        return _reference("head", cols, width)
+    l = _view(cols.l)
+    starts = _block_starts(l, width)
+    ends = _np.searchsorted(l, _view(cols.r)[starts])
+    return _take_tree_runs(cols, starts, ends)
+
+
+def tail(cols: IntervalColumns, width: int) -> IntervalColumns:
+    """Everything but each environment's first tree (runs after the head)."""
+    if not _vectorized(cols):
+        return _reference("tail", cols, width)
+    l = _view(cols.l)
+    starts = _block_starts(l, width)
+    first_tree_ends = _np.searchsorted(l, _view(cols.r)[starts])
+    block_ends = _np.append(starts[1:], len(cols))
+    return _take_tree_runs(cols, first_tree_ends, block_ends)
+
+
+def data(cols: IntervalColumns, width: int) -> IntervalColumns:
+    """Atomization: text roots, and text children of non-text roots."""
+    if not _vectorized(cols):
+        return _reference("data", cols, width)
+    depth = depths(cols)
+    root_positions = _np.flatnonzero(depth == 0)
+    s = cols.s
+    root_is_text = [is_text_label(s[p]) for p in root_positions.tolist()]
+    keep = [p for p, text in zip(root_positions.tolist(), root_is_text)
+            if text]
+    level_one = _np.flatnonzero(depth == 1)
+    governors = _np.searchsorted(root_positions, level_one, side="right") - 1
+    keep.extend(p for p, g in zip(level_one.tolist(), governors.tolist())
+                if not root_is_text[g] and is_text_label(s[p]))
+    keep.sort()
+    return _gather(cols, _np.asarray(keep, dtype=_np.int64))
+
+
+# -- shift kernels ------------------------------------------------------------------
+
+
+def _shift_runs(cols: IntervalColumns,
+                runs: Sequence[tuple[int, int, int]],
+                total: int) -> IntervalColumns:
+    """Fused slice→shift→concat: emit ``cols[a:b] + offset`` per run.
+
+    ``runs`` are ``(a, b, offset)`` triples in output order; ``total`` is
+    the output length.  Labels move as C-level list slices; endpoints as
+    bulk slice adds (vectorized) or shift comprehensions (scalar).
+    """
+    if _vectorized(cols):
+        if not runs:
+            return IntervalColumns.empty()
+        bounds = _np.asarray(runs, dtype=_np.int64)
+        return _emit_runs(cols, bounds[:, 0], bounds[:, 1], bounds[:, 2],
+                          total)
+    labels: list[str] = []
+    s = cols.s
+    l = cols.l
+    r = cols.r
+    out_l: list[int] = []
+    out_r: list[int] = []
+    for a, b, offset in runs:
+        labels.extend(s[a:b])
+        out_l.extend(x + offset for x in l[a:b])
+        out_r.extend(x + offset for x in r[a:b])
+    return IntervalColumns(labels, make_int_column(out_l),
+                           make_int_column(out_r))
+
+
+def _max_left(cols: IntervalColumns) -> int:
+    return cols.l[-1] if len(cols) else 0
+
+
+def reverse(cols: IntervalColumns, width: int) -> IntervalColumns:
+    """Top-level reversal per environment — one bulk shift per tree."""
+    if len(cols) == 0:
+        return cols
+    l = cols.l
+    r = cols.r
+    runs: list[tuple[int, int, int]] = []
+    for env, lo, hi in cols.iter_env_bounds(width):
+        base = env * width
+        trees: list[tuple[int, int]] = []
+        position = lo
+        while position < hi:
+            end = bisect_left(l, r[position], lo=position + 1, hi=hi)
+            trees.append((position, end))
+            position = end
+        for a, b in reversed(trees):
+            shift = (width - 1) - (r[a] - base) - (l[a] - base)
+            runs.append((a, b, shift))
+    return _shift_runs(cols, runs, len(cols))
+
+
+def subtrees_dfs(cols: IntervalColumns, width: int) -> IntervalColumns:
+    """All subtrees in DFS order; output width is ``width²``.
+
+    Subtree extents for every node come from one vectorized
+    ``searchsorted``; each copy is then a single bulk shift run.
+    """
+    wout = width * width
+    if len(cols) == 0:
+        return cols
+    if not cols.is_array or (_max_left(cols) // width + 1) * wout > INT64_MAX:
+        return _reference("subtrees_dfs", cols, width)
+    l = cols.l
+    if _vectorized(cols):
+        l_view = _view(l)
+        ends = _np.searchsorted(l_view, _view(cols.r)).tolist()
+    else:
+        ends = [bisect_left(l, right) for right in cols.r]
+    runs: list[tuple[int, int, int]] = []
+    total = 0
+    for position, end in enumerate(ends):
+        left = l[position]
+        env = left // width
+        base = env * wout + (left - env * width) * width
+        runs.append((position, end, base - left))
+        total += end - position
+    return _shift_runs(cols, runs, total)
+
+
+class _Emitter:
+    """Single-pass output builder: shifted slices from any source relation.
+
+    Preallocates vectorized endpoint buffers when ``total`` is known and
+    every source is array-backed; otherwise accumulates plain lists.  Used
+    by the kernels whose output interleaves runs from several sources
+    (``concat``) or mixes fresh tuples with runs (``xnode``).
+    """
+
+    __slots__ = ("labels", "_l", "_r", "_position", "_vector")
+
+    def __init__(self, total: int, vectorize: bool):
+        self.labels: list[str] = []
+        self._vector = vectorize and _np is not None and not _force_scalar
+        self._position = 0
+        if self._vector:
+            self._l = _np.empty(total, dtype=_np.int64)
+            self._r = _np.empty(total, dtype=_np.int64)
+        else:
+            self._l = []
+            self._r = []
+
+    def run(self, source: IntervalColumns, a: int, b: int,
+            offset: int) -> None:
+        self.labels.extend(source.s[a:b])
+        if self._vector:
+            size = b - a
+            position = self._position
+            self._l[position:position + size] = _view(source.l)[a:b] + offset
+            self._r[position:position + size] = _view(source.r)[a:b] + offset
+            self._position += size
+        else:
+            self._l.extend(x + offset for x in source.l[a:b])
+            self._r.extend(x + offset for x in source.r[a:b])
+
+    def tuple(self, label: str, left: int, right: int) -> None:
+        self.labels.append(label)
+        if self._vector:
+            self._l[self._position] = left
+            self._r[self._position] = right
+            self._position += 1
+        else:
+            self._l.append(left)
+            self._r.append(right)
+
+    def finish(self) -> IntervalColumns:
+        if self._vector:
+            return IntervalColumns(self.labels, _col(self._l), _col(self._r))
+        return IntervalColumns(self.labels, make_int_column(self._l),
+                               make_int_column(self._r))
+
+
+def concat(left: IntervalColumns, left_width: int, right: IntervalColumns,
+           right_width: int) -> IntervalColumns:
+    """Per-env concatenation — a merge over block *bounds*, emitting whole
+    shifted slices; output width is the sum of widths."""
+    width = left_width + right_width
+    max_env = max(_max_left(left) // left_width if left_width else 0,
+                  _max_left(right) // right_width if right_width else 0)
+    if not (left.is_array and right.is_array) \
+            or (max_env + 1) * width > INT64_MAX:
+        from repro.engine import operators as list_ops
+
+        return IntervalColumns.from_tuples(list_ops._list_concat(
+            left.tuples(), left_width, right.tuples(), right_width))
+    if _vectorized(left) and _vectorized(right) \
+            and left_width and right_width and len(left) and len(right):
+        # Fully vectorized: each element's shift depends only on its own
+        # env (left gains env·right_width, right env·left_width +
+        # left_width), and merge positions come from two searchsorteds —
+        # no per-block loop at all.
+        ll, lr = _view(left.l), _view(left.r)
+        rl, rr = _view(right.l), _view(right.r)
+        left_env = ll // left_width
+        right_env = rl // right_width
+        dest_left = _np.arange(len(left), dtype=_np.int64) \
+            + _np.searchsorted(rl, left_env * right_width)
+        dest_right = _np.arange(len(right), dtype=_np.int64) \
+            + _np.searchsorted(ll, (right_env + 1) * left_width)
+        total = len(left) + len(right)
+        out_l = _np.empty(total, dtype=_np.int64)
+        out_r = _np.empty(total, dtype=_np.int64)
+        out_l[dest_left] = ll + left_env * right_width
+        out_r[dest_left] = lr + left_env * right_width
+        out_l[dest_right] = rl + right_env * left_width + left_width
+        out_r[dest_right] = rr + right_env * left_width + left_width
+        labels = _np.empty(total, dtype=object)
+        labels[dest_left] = left.s
+        labels[dest_right] = right.s
+        return IntervalColumns(labels.tolist(), _col(out_l), _col(out_r))
+    left_blocks = list(left.iter_env_bounds(left_width)) if left_width else []
+    right_blocks = (list(right.iter_env_bounds(right_width))
+                    if right_width else [])
+    out = _Emitter(len(left) + len(right),
+                   left.is_array and right.is_array)
+    i = j = 0
+    while i < len(left_blocks) or j < len(right_blocks):
+        left_env = left_blocks[i][0] if i < len(left_blocks) else None
+        right_env = right_blocks[j][0] if j < len(right_blocks) else None
+        env = min(e for e in (left_env, right_env) if e is not None)
+        if left_env == env:
+            _env, lo, hi = left_blocks[i]
+            out.run(left, lo, hi, env * right_width)
+            i += 1
+        if right_env == env:
+            _env, lo, hi = right_blocks[j]
+            out.run(right, lo, hi, env * left_width + left_width)
+            j += 1
+    return out.finish()
+
+
+def xnode(label: str, content: IntervalColumns, content_width: int,
+          index: Sequence[int]) -> tuple[IntervalColumns, int]:
+    """Wrap each environment's content under a new root node."""
+    width = content_width + 2
+    max_env = max(index, default=0)
+    if not content.is_array or (max_env + 1) * width > INT64_MAX:
+        from repro.engine import operators as list_ops
+
+        rel, width = list_ops._list_xnode(label, content.tuples(),
+                                          content_width, index)
+        return IntervalColumns.from_tuples(rel), width
+    if _vectorized(content) and content_width and len(index) \
+            and len(content):
+        envs = _np.asarray(index, dtype=_np.int64)
+        if len(envs) == 1 or bool(_np.all(_np.diff(envs) > 0)):
+            # Vectorized: keep content rows whose env is in ``index``
+            # (one searchsorted membership test), shift them by
+            # 2·env + 1, and scatter roots/content into one output via
+            # computed merge positions.
+            cl, cr = _view(content.l), _view(content.r)
+            env_of = cl // content_width
+            slot = _np.searchsorted(envs, env_of)
+            slot_clipped = _np.minimum(slot, len(envs) - 1)
+            member = envs[slot_clipped] == env_of
+            kept = _np.flatnonzero(member)
+            kept_env = env_of[kept]
+            kept_rank = slot[kept]
+            total = len(envs) + len(kept)
+            dest_root = _np.arange(len(envs), dtype=_np.int64) \
+                + _np.searchsorted(kept_env, envs)
+            dest_content = _np.arange(len(kept), dtype=_np.int64) \
+                + kept_rank + 1
+            out_l = _np.empty(total, dtype=_np.int64)
+            out_r = _np.empty(total, dtype=_np.int64)
+            out_l[dest_root] = envs * width
+            out_r[dest_root] = envs * width + width - 1
+            shift = 2 * kept_env + 1
+            out_l[dest_content] = cl[kept] + shift
+            out_r[dest_content] = cr[kept] + shift
+            labels = _np.empty(total, dtype=object)
+            labels[dest_root] = label
+            s = content.s
+            labels[dest_content] = s if len(kept) == len(content) \
+                else _np.asarray(s, dtype=object)[kept]
+            return (IntervalColumns(labels.tolist(), _col(out_l),
+                                    _col(out_r)), width)
+    blocks: list[tuple[int, int]] = []
+    total = len(index)
+    for env in index:
+        lo, hi = (content.env_bounds(content_width, env)
+                  if content_width else (0, 0))
+        blocks.append((lo, hi))
+        total += hi - lo
+    out = _Emitter(total, content.is_array)
+    for env, (lo, hi) in zip(index, blocks):
+        base = env * width
+        out.tuple(label, base, base + width - 1)
+        if lo < hi:
+            out.run(content, lo, hi, base + 1 - env * content_width)
+    return out.finish(), width
+
+
+def filter_by_index(cols: IntervalColumns, width: int,
+                    index: Sequence[int]) -> IntervalColumns:
+    """Keep tuples whose env is in the sorted ``index`` — per-block runs."""
+    runs: list[tuple[int, int, int]] = []
+    total = 0
+    if _vectorized(cols) and index:
+        l = _view(cols.l)
+        targets = _np.asarray(index, dtype=_np.int64)
+        starts = _np.searchsorted(l, targets * width)
+        ends = _np.searchsorted(l, (targets + 1) * width)
+        for a, b in zip(starts.tolist(), ends.tolist()):
+            if a < b:
+                runs.append((a, b, 0))
+                total += b - a
+    else:
+        for env in index:
+            lo, hi = cols.env_bounds(width, env)
+            if lo < hi:
+                runs.append((lo, hi, 0))
+                total += hi - lo
+    return _shift_runs(cols, runs, total)
+
+
+def expand_variable(cols: IntervalColumns, width: int,
+                    root_lefts: Sequence[int]) -> IntervalColumns:
+    """Fused select→shift: re-block every tree into its per-root env.
+
+    ``root_lefts`` are the left endpoints of the relation's roots in
+    order; tree ``k`` shifts so its block index becomes ``root_lefts[k]``
+    (one bulk run per tree, not a per-tuple root lookup).
+    """
+    if len(cols) == 0:
+        return cols
+    if not cols.is_array or root_lefts and \
+            (root_lefts[-1] + 1) * width > INT64_MAX:
+        return _reference("expand_variable", cols, width, root_lefts)
+    l = cols.l
+    runs: list[tuple[int, int, int]] = []
+    position = 0
+    size = len(cols)
+    for root_left in root_lefts:
+        end = bisect_left(l, cols.r[position], lo=position + 1, hi=size)
+        env = root_left // width
+        runs.append((position, end, root_left * width - env * width))
+        position = end
+    return _shift_runs(cols, runs, len(cols))
+
+
+def gather_blocks(cols: IntervalColumns, width: int,
+                  moves: Sequence[tuple[int, int]]) -> IntervalColumns:
+    """Fused slice→concat: copy env blocks to target envs in one pass.
+
+    ``moves`` is ``(origin_env, target_env)`` in ascending target order —
+    the copy plan behind nested-loop iteration (`_copy_per_root`) and join
+    pair construction (`_copy_pairs`).  One output buffer, one shifted
+    slice per move; the per-tuple append loop this replaces was the
+    engine's single hottest path.
+    """
+    if not moves or len(cols) == 0:
+        return IntervalColumns.empty()
+    max_target = moves[-1][1]
+    if not cols.is_array or (max_target + 1) * width > INT64_MAX:
+        return _reference("gather_blocks", cols, width, moves)
+    runs: list[tuple[int, int, int]] = []
+    total = 0
+    if _vectorized(cols):
+        l = _view(cols.l)
+        origins = _np.asarray([origin for origin, _ in moves],
+                              dtype=_np.int64)
+        starts = _np.searchsorted(l, origins * width)
+        ends = _np.searchsorted(l, (origins + 1) * width)
+        for (origin, target), a, b in zip(moves, starts.tolist(),
+                                          ends.tolist()):
+            if a < b:
+                runs.append((a, b, (target - origin) * width))
+                total += b - a
+    else:
+        for origin, target in moves:
+            lo, hi = cols.env_bounds(width, origin)
+            if lo < hi:
+                runs.append((lo, hi, (target - origin) * width))
+                total += hi - lo
+    return _shift_runs(cols, runs, total)
+
+
+# -- constructors ------------------------------------------------------------------
+
+
+def text_const(value: str, index: Sequence[int]) -> tuple[IntervalColumns, int]:
+    """A single text node per environment; width 2."""
+    return IntervalColumns(
+        [value] * len(index),
+        make_int_column(2 * env for env in index),
+        make_int_column(2 * env + 1 for env in index),
+    ), 2
+
+
+def count_roots(cols: IntervalColumns, width: int,
+                index: Sequence[int]) -> tuple[IntervalColumns, int]:
+    """Per-environment root count as a text node; width 2."""
+    counts = dict.fromkeys(index, 0)
+    if _vectorized(cols):
+        l = _view(cols.l)
+        root_envs = l[_roots_mask(l, _view(cols.r))] // width
+        envs, tallies = _np.unique(root_envs, return_counts=True)
+        for env, tally in zip(envs.tolist(), tallies.tolist()):
+            if env in counts:
+                counts[env] = tally
+    else:
+        position = 0
+        size = len(cols)
+        while position < size:
+            env = cols.l[position] // width
+            if env in counts:
+                counts[env] += 1
+            position = bisect_left(cols.l, cols.r[position], lo=position + 1)
+    return IntervalColumns(
+        [str(counts[env]) for env in index],
+        make_int_column(2 * env for env in index),
+        make_int_column(2 * env + 1 for env in index),
+    ), 2
+
+
+def string_fn(cols: IntervalColumns, width: int,
+              index: Sequence[int]) -> tuple[IntervalColumns, int]:
+    """``string()``: per-env concatenation of text labels; width 2."""
+    parts: dict[int, list[str]] = {env: [] for env in index}
+    s = cols.s
+    l = cols.l
+    for position in range(len(cols)):
+        label = s[position]
+        if is_text_label(label):
+            env = l[position] // width
+            bucket = parts.get(env)
+            if bucket is not None:
+                bucket.append(label)
+    return IntervalColumns(
+        ["".join(parts[env]) for env in index],
+        make_int_column(2 * env for env in index),
+        make_int_column(2 * env + 1 for env in index),
+    ), 2
+
+
+# -- structural-key kernels ---------------------------------------------------------
+
+
+def _tree_bounds(cols: IntervalColumns, lo: int, hi: int) -> list[tuple[int, int]]:
+    """Top-level tree slices of the block ``[lo, hi)`` (bisect per tree)."""
+    bounds: list[tuple[int, int]] = []
+    position = lo
+    l = cols.l
+    r = cols.r
+    while position < hi:
+        end = bisect_left(l, r[position], lo=position + 1, hi=hi)
+        bounds.append((position, end))
+        position = end
+    return bounds
+
+
+def block_keys(cols: IntervalColumns, width: int):
+    """Canonical structural key per environment — one global depth pass.
+
+    Returns ``{env: key}`` with keys identical to
+    :func:`repro.engine.structural.canonical_key` on the block.
+    """
+    depth = depths(cols)
+    if _np is not None and isinstance(depth, _np.ndarray):
+        depth = depth.tolist()
+    s = cols.s
+    return {env: tuple(zip(depth[lo:hi], s[lo:hi]))
+            for env, lo, hi in cols.iter_env_bounds(width)}
+
+
+def block_tree_key_sets(cols: IntervalColumns, width: int):
+    """Per-environment *sets* of per-tree structural keys (SomeEqual joins).
+
+    Keys are ``(depth-tuple, label-tuple)`` pairs — equal exactly when the
+    canonical keys are equal, but built as two flat C-level tuple copies
+    per tree instead of one interleaved pair-tuple per node.  Joins only
+    need equality plus *some* total order, and every relation in a run
+    uses this same kernel, so the cheaper shape is safe.
+    """
+    result: dict[int, set] = {}
+    if len(cols) == 0:
+        return result
+    depth = depths(cols)
+    s = cols.s
+    if _vectorized(cols):
+        # Tree bounds for the whole relation at once: depth-0 positions
+        # are the tree starts; extents come from one searchsorted.
+        dlist = depth.tolist()
+        l = _view(cols.l)
+        starts = _np.flatnonzero(depth == 0)
+        ends = _np.searchsorted(l, _view(cols.r)[starts])
+        envs = (l[starts] // width).tolist()
+        for a, b, env in zip(starts.tolist(), ends.tolist(), envs):
+            bucket = result.get(env)
+            if bucket is None:
+                bucket = result[env] = set()
+            bucket.add((tuple(dlist[a:b]), tuple(s[a:b])))
+        return result
+    if _np is not None and isinstance(depth, _np.ndarray):
+        depth = depth.tolist()
+    for env, lo, hi in cols.iter_env_bounds(width):
+        result[env] = {(tuple(depth[a:b]), tuple(s[a:b]))
+                       for a, b in _tree_bounds(cols, lo, hi)}
+    return result
+
+
+def distinct(cols: IntervalColumns, width: int) -> IntervalColumns:
+    """Structurally distinct trees per env, first occurrence kept."""
+    if len(cols) == 0:
+        return cols
+    depth = depths(cols)
+    if _np is not None and isinstance(depth, _np.ndarray):
+        depth = depth.tolist()
+    s = cols.s
+    runs: list[tuple[int, int, int]] = []
+    total = 0
+    for _env, lo, hi in cols.iter_env_bounds(width):
+        seen: set = set()
+        for a, b in _tree_bounds(cols, lo, hi):
+            key = tuple(zip(depth[a:b], s[a:b]))
+            if key not in seen:
+                seen.add(key)
+                runs.append((a, b, 0))
+                total += b - a
+    return _shift_runs(cols, runs, total)
+
+
+def sort(cols: IntervalColumns, width: int) -> tuple[IntervalColumns, int]:
+    """Per-env stable sort by structural tree order; width squares."""
+    wout = width * width
+    if len(cols) == 0:
+        return cols, wout
+    if not cols.is_array or (_max_left(cols) // width + 1) * wout > INT64_MAX:
+        from repro.engine import operators as list_ops
+
+        rel, wout = list_ops._list_sort(cols.tuples(), width)
+        return IntervalColumns.from_tuples(rel), wout
+    depth = depths(cols)
+    if _np is not None and isinstance(depth, _np.ndarray):
+        depth = depth.tolist()
+    s = cols.s
+    l = cols.l
+    runs: list[tuple[int, int, int]] = []
+    for env, lo, hi in cols.iter_env_bounds(width):
+        trees = [(tuple(zip(depth[a:b], s[a:b])), a, b)
+                 for a, b in _tree_bounds(cols, lo, hi)]
+        trees.sort(key=lambda item: item[0])  # stable: doc order ties
+        base = env * wout
+        for rank, (_key, a, b) in enumerate(trees):
+            runs.append((a, b, base + rank * width - l[a]))
+    return _shift_runs(cols, runs, len(cols)), wout

@@ -3,8 +3,21 @@
 Each operator here is the DI-engine counterpart of one SQL template from
 :mod:`repro.sql.templates`: same input/output contract (relations sorted by
 left endpoint, environment = ``l // width``), but implemented as one or two
-linear passes instead of joins with order predicates.  ``roots`` is
-Algorithm 5.2 verbatim; the others follow the same streaming style.
+linear passes instead of joins with order predicates.
+
+Every public operator accepts **either** relation representation and
+answers in kind:
+
+* a plain ``list[(s, l, r)]`` runs the tuple-at-a-time reference
+  implementation (``_list_*`` below — ``roots`` is Algorithm 5.2
+  verbatim) and returns a list;
+* an :class:`~repro.engine.columns.IntervalColumns` dispatches to the
+  whole-column kernel of :mod:`repro.engine.kernels` and returns columns.
+
+The reference implementations are the semantic ground truth: the property
+suite (``tests/test_columnar_kernels.py``) asserts every kernel is
+pointwise-equal to them on randomized forests, and the bench trajectory
+(``BENCH_engine.json``) records the throughput of both paths.
 
 All operators are pure functions; none mutates its input.
 """
@@ -14,6 +27,8 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from repro.encoding.interval import IntervalTuple
+from repro.engine import kernels
+from repro.engine.columns import IntervalColumns
 from repro.engine.relation import Relation, group_by_env, tree_slices
 from repro.engine.structural import canonical_key
 from repro.xml.forest import is_element_label, is_text_label
@@ -21,7 +36,10 @@ from repro.xml.forest import is_element_label, is_text_label
 LabelPredicate = Callable[[str], bool]
 
 
-def roots(rel: Sequence[IntervalTuple]) -> Relation:
+# -- reference implementations (tuple-at-a-time, the paper's pseudo-code) ----------
+
+
+def _list_roots(rel: Sequence[IntervalTuple]) -> Relation:
     """Algorithm 5.2 — root tuples in one pass, O(1) extra space.
 
     Works across environment blocks without knowing the width: blocks are
@@ -36,7 +54,7 @@ def roots(rel: Sequence[IntervalTuple]) -> Relation:
     return result
 
 
-def children(rel: Sequence[IntervalTuple]) -> Relation:
+def _list_children(rel: Sequence[IntervalTuple]) -> Relation:
     """Non-root tuples (the CHILDREN template) in one pass."""
     result: Relation = []
     max_right = -1
@@ -48,8 +66,8 @@ def children(rel: Sequence[IntervalTuple]) -> Relation:
     return result
 
 
-def select_trees(rel: Sequence[IntervalTuple],
-                 predicate: LabelPredicate) -> Relation:
+def _list_select_trees(rel: Sequence[IntervalTuple],
+                       predicate: LabelPredicate) -> Relation:
     """Whole trees whose root label satisfies ``predicate`` — one pass."""
     result: Relation = []
     max_right = -1
@@ -64,22 +82,7 @@ def select_trees(rel: Sequence[IntervalTuple],
     return result
 
 
-def select_label(rel: Sequence[IntervalTuple], label: str) -> Relation:
-    """Trees rooted at the exact ``label``."""
-    return select_trees(rel, lambda s: s == label)
-
-
-def textnode_trees(rel: Sequence[IntervalTuple]) -> Relation:
-    """Trees rooted at text nodes (the ``text()`` node test)."""
-    return select_trees(rel, is_text_label)
-
-
-def elementnode_trees(rel: Sequence[IntervalTuple]) -> Relation:
-    """Trees rooted at elements (the ``*`` node test)."""
-    return select_trees(rel, is_element_label)
-
-
-def head(rel: Sequence[IntervalTuple], width: int) -> Relation:
+def _list_head(rel: Sequence[IntervalTuple], width: int) -> Relation:
     """The first tree of every environment — one pass."""
     result: Relation = []
     current_env = None
@@ -94,7 +97,7 @@ def head(rel: Sequence[IntervalTuple], width: int) -> Relation:
     return result
 
 
-def tail(rel: Sequence[IntervalTuple], width: int) -> Relation:
+def _list_tail(rel: Sequence[IntervalTuple], width: int) -> Relation:
     """Everything but the first tree of every environment — one pass."""
     result: Relation = []
     current_env = None
@@ -109,7 +112,7 @@ def tail(rel: Sequence[IntervalTuple], width: int) -> Relation:
     return result
 
 
-def reverse(rel: Sequence[IntervalTuple], width: int) -> Relation:
+def _list_reverse(rel: Sequence[IntervalTuple], width: int) -> Relation:
     """Top-level reversal within each environment block.
 
     A root with local extent ``[a, b]`` moves to ``[w-1-b, w-1-a]``; its
@@ -126,7 +129,7 @@ def reverse(rel: Sequence[IntervalTuple], width: int) -> Relation:
     return result
 
 
-def subtrees_dfs(rel: Sequence[IntervalTuple], width: int) -> Relation:
+def _list_subtrees_dfs(rel: Sequence[IntervalTuple], width: int) -> Relation:
     """All subtrees in DFS order; output width is ``width²``.
 
     The copy rooted at node ``v`` is placed at block offset
@@ -151,8 +154,8 @@ def subtrees_dfs(rel: Sequence[IntervalTuple], width: int) -> Relation:
     return result
 
 
-def concat(left: Sequence[IntervalTuple], left_width: int,
-           right: Sequence[IntervalTuple], right_width: int) -> Relation:
+def _list_concat(left: Sequence[IntervalTuple], left_width: int,
+                 right: Sequence[IntervalTuple], right_width: int) -> Relation:
     """Per-environment concatenation; output width is the sum of widths.
 
     A merge over the two env-grouped streams keeps the output sorted.
@@ -180,8 +183,9 @@ def concat(left: Sequence[IntervalTuple], left_width: int,
     return result
 
 
-def xnode(label: str, content: Sequence[IntervalTuple], content_width: int,
-          index: Sequence[int]) -> tuple[Relation, int]:
+def _list_xnode(label: str, content: Sequence[IntervalTuple],
+                content_width: int,
+                index: Sequence[int]) -> tuple[Relation, int]:
     """Wrap each environment's content under a new root node.
 
     Emits one root per index entry (environments with empty content still
@@ -201,13 +205,14 @@ def xnode(label: str, content: Sequence[IntervalTuple], content_width: int,
     return result, width
 
 
-def text_const(value: str, index: Sequence[int]) -> tuple[Relation, int]:
+def _list_text_const(value: str,
+                     index: Sequence[int]) -> tuple[Relation, int]:
     """A single text node per environment; width 2."""
     return [(value, env * 2, env * 2 + 1) for env in index], 2
 
 
-def count_roots(rel: Sequence[IntervalTuple], width: int,
-                index: Sequence[int]) -> tuple[Relation, int]:
+def _list_count_roots(rel: Sequence[IntervalTuple], width: int,
+                      index: Sequence[int]) -> tuple[Relation, int]:
     """Per-environment root count as a text node; width 2.
 
     Environments without tuples count zero — the index drives the output.
@@ -223,7 +228,7 @@ def count_roots(rel: Sequence[IntervalTuple], width: int,
     return [(str(counts[env]), env * 2, env * 2 + 1) for env in index], 2
 
 
-def data(rel: Sequence[IntervalTuple], width: int) -> Relation:
+def _list_data(rel: Sequence[IntervalTuple], width: int) -> Relation:
     """Atomization: text roots, and text children of non-text roots.
 
     Matches :func:`repro.xml.operations.data`: kept tuples decode to
@@ -251,8 +256,8 @@ def data(rel: Sequence[IntervalTuple], width: int) -> Relation:
     return result
 
 
-def string_fn(rel: Sequence[IntervalTuple], width: int,
-              index: Sequence[int]) -> tuple[Relation, int]:
+def _list_string_fn(rel: Sequence[IntervalTuple], width: int,
+                    index: Sequence[int]) -> tuple[Relation, int]:
     """``string()``: per-environment concatenation of text labels; width 2.
 
     One pass — text tuples arrive in document order, which is exactly
@@ -268,7 +273,7 @@ def string_fn(rel: Sequence[IntervalTuple], width: int,
             for env in index], 2
 
 
-def distinct(rel: Sequence[IntervalTuple], width: int) -> Relation:
+def _list_distinct(rel: Sequence[IntervalTuple], width: int) -> Relation:
     """Structurally distinct trees per environment, first occurrence kept.
 
     Hash-based on canonical structural keys: linear in total size.
@@ -284,7 +289,8 @@ def distinct(rel: Sequence[IntervalTuple], width: int) -> Relation:
     return result
 
 
-def sort(rel: Sequence[IntervalTuple], width: int) -> tuple[Relation, int]:
+def _list_sort(rel: Sequence[IntervalTuple],
+               width: int) -> tuple[Relation, int]:
     """Per-environment stable sort by structural tree order; width squares.
 
     Tree ranked ``k`` lands at block offset ``k·w`` inside the widened
@@ -303,3 +309,167 @@ def sort(rel: Sequence[IntervalTuple], width: int) -> tuple[Relation, int]:
                 for (s, l, r) in slice_
             )
     return result, wout
+
+
+def _list_expand_variable(rel: Sequence[IntervalTuple], width: int,
+                          root_lefts: Sequence[int]) -> Relation:
+    """Re-block each tree into the environment named by its root's left end."""
+    result: Relation = []
+    position = -1
+    boundary = -1  # right endpoint of the current tree's root
+    offset = 0
+    for s, l, r in rel:
+        if l > boundary:  # this tuple opens the next tree (and is its root)
+            position += 1
+            boundary = r
+            root_left = root_lefts[position]
+            env = root_left // width
+            offset = root_left * width - env * width
+        result.append((s, l + offset, r + offset))
+    return result
+
+
+def _list_gather_blocks(rel: Sequence[IntervalTuple], width: int,
+                        moves: Sequence[tuple[int, int]]) -> Relation:
+    """Copy the block of each origin env to its target env, in move order."""
+    from repro.engine.relation import env_blocks
+
+    blocks = env_blocks(rel, width)
+    result: Relation = []
+    for origin, target in moves:
+        block = blocks.get(origin)
+        if not block:
+            continue
+        offset = (target - origin) * width
+        result.extend((s, l + offset, r + offset) for (s, l, r) in block)
+    return result
+
+
+# -- public operators (representation-polymorphic) ----------------------------------
+
+
+def roots(rel: Sequence[IntervalTuple]) -> Relation:
+    """Root tuples (Algorithm 5.2): one pass / one vector expression."""
+    if isinstance(rel, IntervalColumns):
+        return kernels.roots(rel)
+    return _list_roots(rel)
+
+
+def children(rel: Sequence[IntervalTuple]) -> Relation:
+    """Non-root tuples (the CHILDREN template)."""
+    if isinstance(rel, IntervalColumns):
+        return kernels.children(rel)
+    return _list_children(rel)
+
+
+def select_trees(rel: Sequence[IntervalTuple],
+                 predicate: LabelPredicate) -> Relation:
+    """Whole trees whose root label satisfies ``predicate``."""
+    if isinstance(rel, IntervalColumns):
+        return kernels.select_trees(rel, predicate)
+    return _list_select_trees(rel, predicate)
+
+
+def select_label(rel: Sequence[IntervalTuple], label: str) -> Relation:
+    """Trees rooted at the exact ``label``."""
+    return select_trees(rel, lambda s: s == label)
+
+
+def textnode_trees(rel: Sequence[IntervalTuple]) -> Relation:
+    """Trees rooted at text nodes (the ``text()`` node test)."""
+    return select_trees(rel, is_text_label)
+
+
+def elementnode_trees(rel: Sequence[IntervalTuple]) -> Relation:
+    """Trees rooted at elements (the ``*`` node test)."""
+    return select_trees(rel, is_element_label)
+
+
+def head(rel: Sequence[IntervalTuple], width: int) -> Relation:
+    """The first tree of every environment."""
+    if isinstance(rel, IntervalColumns):
+        return kernels.head(rel, width)
+    return _list_head(rel, width)
+
+
+def tail(rel: Sequence[IntervalTuple], width: int) -> Relation:
+    """Everything but the first tree of every environment."""
+    if isinstance(rel, IntervalColumns):
+        return kernels.tail(rel, width)
+    return _list_tail(rel, width)
+
+
+def reverse(rel: Sequence[IntervalTuple], width: int) -> Relation:
+    """Top-level reversal within each environment block."""
+    if isinstance(rel, IntervalColumns):
+        return kernels.reverse(rel, width)
+    return _list_reverse(rel, width)
+
+
+def subtrees_dfs(rel: Sequence[IntervalTuple], width: int) -> Relation:
+    """All subtrees in DFS order; output width is ``width²``."""
+    if isinstance(rel, IntervalColumns):
+        return kernels.subtrees_dfs(rel, width)
+    return _list_subtrees_dfs(rel, width)
+
+
+def concat(left: Sequence[IntervalTuple], left_width: int,
+           right: Sequence[IntervalTuple], right_width: int) -> Relation:
+    """Per-environment concatenation; output width is the sum of widths."""
+    if isinstance(left, IntervalColumns) or isinstance(right, IntervalColumns):
+        return kernels.concat(IntervalColumns.from_tuples(left), left_width,
+                              IntervalColumns.from_tuples(right), right_width)
+    return _list_concat(left, left_width, right, right_width)
+
+
+def xnode(label: str, content: Sequence[IntervalTuple], content_width: int,
+          index: Sequence[int]) -> tuple[Relation, int]:
+    """Wrap each environment's content under a new root node."""
+    if isinstance(content, IntervalColumns):
+        return kernels.xnode(label, content, content_width, index)
+    return _list_xnode(label, content, content_width, index)
+
+
+def text_const(value: str, index: Sequence[int],
+               columnar: bool = False) -> tuple[Relation, int]:
+    """A single text node per environment; width 2."""
+    if columnar:
+        return kernels.text_const(value, index)
+    return _list_text_const(value, index)
+
+
+def count_roots(rel: Sequence[IntervalTuple], width: int,
+                index: Sequence[int]) -> tuple[Relation, int]:
+    """Per-environment root count as a text node; width 2."""
+    if isinstance(rel, IntervalColumns):
+        return kernels.count_roots(rel, width, index)
+    return _list_count_roots(rel, width, index)
+
+
+def data(rel: Sequence[IntervalTuple], width: int) -> Relation:
+    """Atomization: text roots, and text children of non-text roots."""
+    if isinstance(rel, IntervalColumns):
+        return kernels.data(rel, width)
+    return _list_data(rel, width)
+
+
+def string_fn(rel: Sequence[IntervalTuple], width: int,
+              index: Sequence[int]) -> tuple[Relation, int]:
+    """``string()``: per-environment concatenation of text labels; width 2."""
+    if isinstance(rel, IntervalColumns):
+        return kernels.string_fn(rel, width, index)
+    return _list_string_fn(rel, width, index)
+
+
+def distinct(rel: Sequence[IntervalTuple], width: int) -> Relation:
+    """Structurally distinct trees per environment, first occurrence kept."""
+    if isinstance(rel, IntervalColumns):
+        return kernels.distinct(rel, width)
+    return _list_distinct(rel, width)
+
+
+def sort(rel: Sequence[IntervalTuple], width: int) -> tuple[Relation, int]:
+    """Per-environment stable sort by structural tree order; width squares."""
+    if isinstance(rel, IntervalColumns):
+        return kernels.sort(rel, width)
+    return _list_sort(rel, width)

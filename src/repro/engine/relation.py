@@ -34,20 +34,34 @@ def env_of(left: int, width: int) -> int:
     return left // width
 
 
+def _left_of(row: IntervalTuple) -> int:
+    """Sort key for :func:`bisect_left` over tuple-form relations."""
+    return row[1]
+
+
 def group_by_env(rel: Sequence[IntervalTuple], width: int
-                 ) -> Iterator[tuple[int, list[IntervalTuple]]]:
-    """Yield ``(env, tuples)`` runs in ascending env order — one pass."""
+                 ) -> Iterator[tuple[int, Sequence[IntervalTuple]]]:
+    """Yield ``(env, block)`` runs in ascending env order.
+
+    Block boundaries are found with binary search on the sorted left
+    endpoints — O(b·log n) for b blocks instead of an O(n) tuple-by-tuple
+    rescan — and each block is a single slice of the input (columnar
+    inputs yield columnar slices), not a per-block ``list(...)`` re-copy.
+    """
     if width <= 0:
         return
+    lows = getattr(rel, "l", None)  # IntervalColumns exposes the raw column
     start = 0
     size = len(rel)
     while start < size:
-        env = rel[start][1] // width
-        end = start
+        left = lows[start] if lows is not None else rel[start][1]
+        env = left // width
         limit = (env + 1) * width
-        while end < size and rel[end][1] < limit:
-            end += 1
-        yield env, list(rel[start:end])
+        if lows is not None:
+            end = bisect_left(lows, limit, lo=start)
+        else:
+            end = bisect_left(rel, limit, lo=start, key=_left_of)
+        yield env, rel[start:end]
         start = end
 
 
@@ -58,12 +72,16 @@ def env_blocks(rel: Sequence[IntervalTuple], width: int
 
 
 def env_slice(rel: Sequence[IntervalTuple], width: int, env: int
-              ) -> list[IntervalTuple]:
+              ) -> Sequence[IntervalTuple]:
     """The block of environment ``env`` via binary search (no full scan)."""
-    lows = [row[1] for row in rel]
-    start = bisect_left(lows, env * width)
-    end = bisect_left(lows, (env + 1) * width)
-    return list(rel[start:end])
+    lows = getattr(rel, "l", None)
+    if lows is not None:
+        start = bisect_left(lows, env * width)
+        end = bisect_left(lows, (env + 1) * width, lo=start)
+    else:
+        start = bisect_left(rel, env * width, key=_left_of)
+        end = bisect_left(rel, (env + 1) * width, lo=start, key=_left_of)
+    return rel[start:end]
 
 
 def shift_block(block: Sequence[IntervalTuple], offset: int) -> Relation:
@@ -77,8 +95,15 @@ def localize(block: Sequence[IntervalTuple], width: int, env: int) -> Relation:
 
 
 def filter_by_index(rel: Sequence[IntervalTuple], width: int,
-                    index: Sequence[int]) -> Relation:
-    """Keep only tuples whose env belongs to the sorted ``index`` — one merge pass."""
+                    index: Sequence[int]) -> Sequence[IntervalTuple]:
+    """Keep only tuples whose env belongs to the sorted ``index``.
+
+    Tuple lists get the one-pass merge below; columnar relations get the
+    per-block run kernel (one bulk slice per surviving environment).
+    """
+    if hasattr(rel, "env_bounds"):  # IntervalColumns
+        from repro.engine import kernels
+        return kernels.filter_by_index(rel, width, index)
     result: Relation = []
     keep = iter(index)
     current = next(keep, None)
@@ -120,5 +145,7 @@ def subtree_range(rel: Sequence[IntervalTuple], position: int) -> int:
     whose left endpoints stay below the root's right endpoint.
     """
     root_right = rel[position][2]
-    lows = [row[1] for row in rel]
-    return bisect_right(lows, root_right, lo=position)
+    lows = getattr(rel, "l", None)
+    if lows is not None:
+        return bisect_right(lows, root_right, lo=position)
+    return bisect_right(rel, root_right, lo=position, key=_left_of)

@@ -153,6 +153,12 @@ class SQLiteDatabase:
         self.connection.execute("PRAGMA synchronous = OFF")
         self._documents: dict[str, tuple[str, int]] = {}
         self._doc_counter = 0
+        # Staged-execution schema cache: translation sql -> [(cte name,
+        # cte sql)] whose temp tables exist on this connection, plus the
+        # owner key of every live temp table (for cross-translation name
+        # collisions).  See _run_staged.
+        self._staged: dict[str, list[tuple[str, str]]] = {}
+        self._staged_owner: dict[str, str] = {}
 
     def close(self) -> None:
         self.connection.close()
@@ -173,6 +179,9 @@ class SQLiteDatabase:
         if isinstance(trees, Node):
             trees = (trees,)
         encoded = encode(trees)
+        # Cached staged temp tables materialize document contents; any
+        # (re)load makes them stale.
+        self._invalidate_staged()
         if name in self._documents:
             table, _ = self._documents[name]
             self.connection.execute(f"DELETE FROM {table}")
@@ -262,34 +271,90 @@ class SQLiteDatabase:
                     observer: _SQLObserver | None = None,
                     guard: "QueryGuard | None" = None,
                     ) -> list[tuple[str, int, int]]:
+        """Stage the translation's CTEs as temp tables, run the final SELECT.
+
+        The temp schema is created once per translation and *reused* across
+        runs on this connection: the first run issues ``CREATE TEMP TABLE``
+        plus the ``l`` index per CTE; subsequent runs of the same
+        translation refresh each table with ``DELETE FROM`` + ``INSERT``
+        in dependency order.  Re-running identical statement text also
+        lets the driver's per-connection statement cache reuse the
+        prepared statements instead of re-parsing the (large) CTE SQL.
+        The cache is dropped when a document is (re)loaded and when a
+        different translation claims the same temp table names.
+        """
         observer = observer or _SQLObserver(None, None, "sqlite")
         cursor = self.connection.cursor()
-        created: list[str] = []
+        key = translation.sql
+        plan = self._staged.get(key)
         statement = translation.final_select
         try:
-            for name, sql in translation.ctes:
-                if guard is not None:
-                    guard.check()  # statement boundary
-                statement = f"CREATE TEMP TABLE {name} AS {sql}"
-                with observer.statement(name):
-                    cursor.execute(statement)
-                created.append(name)
-                # Encoded relations carry an l column worth indexing; helper
-                # views (sequences, root ids) have other shapes — skip those.
-                columns = {row[1] for row in
-                           cursor.execute(f"PRAGMA table_info({name})")}
-                if "l" in columns:
-                    cursor.execute(
-                        f"CREATE INDEX IF NOT EXISTS temp.{name}_l ON {name} (l)"
-                    )
+            if plan is None:
+                plan = self._create_staged(translation, cursor, observer,
+                                           guard)
+            else:
+                for name, sql in plan:
+                    if guard is not None:
+                        guard.check()  # statement boundary
+                    statement = f"INSERT INTO {name} {sql}"
+                    with observer.statement(name):
+                        cursor.execute(f"DELETE FROM {name}")
+                        cursor.execute(statement)
             statement = translation.final_select
             with observer.statement("final_select"):
                 return cursor.execute(translation.final_select).fetchall()
         except sqlite3.Error as error:
+            # The temp tables may be mid-refresh: rebuild from scratch on
+            # the next run of this translation.
+            self._drop_staged(key)
             raise wrap_driver_error(error, statement, guard) from error
-        finally:
-            for name in created:
-                cursor.execute(f"DROP TABLE IF EXISTS temp.{name}")
+
+    def _create_staged(self, translation: TranslationResult,
+                       cursor: sqlite3.Cursor, observer: _SQLObserver,
+                       guard: "QueryGuard | None",
+                       ) -> list[tuple[str, str]]:
+        """First run of a translation: create + index its temp tables."""
+        key = translation.sql
+        # Another translation may already hold temp tables under the same
+        # generated names — evict those translations wholesale.
+        for name, _sql in translation.ctes:
+            owner = self._staged_owner.get(name)
+            if owner is not None and owner != key:
+                self._drop_staged(owner)
+        plan: list[tuple[str, str]] = []
+        for name, sql in translation.ctes:
+            if guard is not None:
+                guard.check()  # statement boundary
+            with observer.statement(name):
+                cursor.execute(f"CREATE TEMP TABLE {name} AS {sql}")
+            self._staged_owner[name] = key
+            # Encoded relations carry an l column worth indexing; helper
+            # views (sequences, root ids) have other shapes — skip those.
+            columns = {row[1] for row in
+                       cursor.execute(f"PRAGMA table_info({name})")}
+            if "l" in columns:
+                cursor.execute(
+                    f"CREATE INDEX temp.{name}_l ON {name} (l)"
+                )
+            plan.append((name, sql))
+        self._staged[key] = plan
+        return plan
+
+    def _drop_staged(self, key: str) -> None:
+        """Drop one translation's temp tables and forget its plan."""
+        names = [name for name, owner in self._staged_owner.items()
+                 if owner == key]
+        for name in names:
+            self.connection.execute(f"DROP TABLE IF EXISTS temp.{name}")
+            del self._staged_owner[name]
+        self._staged.pop(key, None)
+
+    def _invalidate_staged(self) -> None:
+        """Drop every cached staged schema (documents changed)."""
+        for name in list(self._staged_owner):
+            self.connection.execute(f"DROP TABLE IF EXISTS temp.{name}")
+        self._staged_owner.clear()
+        self._staged.clear()
 
     def explain(self, expr: CoreExpr) -> str:
         """SQLite's query plan for the translated statement (diagnostics)."""

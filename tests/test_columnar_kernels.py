@@ -1,0 +1,398 @@
+"""Property suite: every columnar kernel equals its list-based reference.
+
+For each operator the engine now has two implementations — the original
+tuple-at-a-time ``_list_*`` functions (the semantic ground truth, kept in
+:mod:`repro.engine.operators`) and the whole-column kernels of
+:mod:`repro.engine.kernels`.  These properties assert pointwise equality
+(same tuples, same order, same width) on randomized blocked relations,
+in both the NumPy-vectorized and the forced-scalar kernel paths, plus the
+edge cases: empty relations, minimal widths, and bignum (beyond-int64)
+coordinates where the endpoint columns fall back to plain lists.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding.interval import encode
+from repro.engine import kernels
+from repro.engine import operators as ops
+from repro.engine.columns import INT64_MAX, IntervalColumns
+from repro.engine.structural import canonical_key, tree_keys
+from repro.engine.relation import group_by_env, tree_slices
+
+from tests.strategies import forests
+
+#: Env shift that pushes every coordinate beyond int64 (bignum mode).
+BIG_ENV = 2 ** 64
+
+
+@contextmanager
+def scalar_mode():
+    """Force the kernels' pure-Python paths even with NumPy installed."""
+    previous = kernels._force_scalar
+    kernels._force_scalar = True
+    try:
+        yield
+    finally:
+        kernels._force_scalar = previous
+
+
+@st.composite
+def blocked(draw, max_envs: int = 4):
+    """A blocked relation: ``(rows, width, env_index)``.
+
+    Random environments (possibly none, possibly with gaps and empty
+    forests) at a random — sometimes tight, sometimes slack — width.
+    """
+    count = draw(st.integers(min_value=0, max_value=max_envs))
+    env_ids = sorted(draw(st.sets(st.integers(min_value=0, max_value=6),
+                                  min_size=count, max_size=count)))
+    encodings = [encode(draw(forests(max_trees=3, max_depth=3)))
+                 for _ in env_ids]
+    minimum = max((enc.width for enc in encodings), default=0)
+    # Width 1 is legal only for all-empty blocks — the smallest interval
+    # needs two endpoints — so the floor is max(minimum, 1).
+    width = max(minimum, 1) + draw(st.integers(min_value=0, max_value=5))
+    rows = []
+    index = []
+    for env, enc in zip(env_ids, encodings):
+        index.append(env)
+        rows.extend((s, l + env * width, r + env * width)
+                    for (s, l, r) in enc.tuples)
+    return rows, width, index
+
+
+def check(kernel, reference, rows, *args):
+    """Kernel(columns) must equal reference(rows) in both kernel modes."""
+    expected = reference(list(rows), *args)
+    cols = IntervalColumns.from_tuples(rows)
+    results = [kernel(cols, *args)]
+    with scalar_mode():
+        results.append(kernel(cols, *args))
+    for result in results:
+        if isinstance(expected, tuple):  # (relation, width) operators
+            assert isinstance(result, tuple)
+            assert result[1] == expected[1]
+            assert result[0].tuples() == expected[0]
+        else:
+            assert result.tuples() == expected
+    return results[0]
+
+
+class TestScanKernels:
+    @given(blocked())
+    def test_roots(self, data):
+        rows, _width, _index = data
+        check(kernels.roots, ops._list_roots, rows)
+
+    @given(blocked())
+    def test_children(self, data):
+        rows, _width, _index = data
+        check(kernels.children, ops._list_children, rows)
+
+    @given(blocked(), st.sampled_from(["<a>", "<b>", "x", "@id"]))
+    def test_select_trees(self, data, label):
+        rows, _width, _index = data
+        check(kernels.select_trees, ops._list_select_trees, rows,
+              lambda s: s == label)
+
+    @given(blocked(), st.sampled_from(["<a>", "<b>", "x", "@id"]))
+    def test_select_children_fusion(self, data, label):
+        """The fused path-step kernel equals select after children."""
+        rows, _width, _index = data
+        check(kernels.select_children,
+              lambda rel, lab: ops._list_select_trees(
+                  ops._list_children(rel), lambda s: s == lab),
+              rows, label)
+
+    @given(blocked())
+    def test_textnode_and_elementnode_trees(self, data):
+        rows, _width, _index = data
+        from repro.xml.forest import is_element_label, is_text_label
+        check(kernels.textnode_trees,
+              lambda rel: ops._list_select_trees(rel, is_text_label), rows)
+        check(kernels.elementnode_trees,
+              lambda rel: ops._list_select_trees(rel, is_element_label),
+              rows)
+
+    @given(blocked())
+    def test_head(self, data):
+        rows, width, _index = data
+        check(kernels.head, ops._list_head, rows, width)
+
+    @given(blocked())
+    def test_tail(self, data):
+        rows, width, _index = data
+        check(kernels.tail, ops._list_tail, rows, width)
+
+    @given(blocked())
+    def test_data(self, data):
+        rows, width, _index = data
+        check(kernels.data, ops._list_data, rows, width)
+
+
+class TestShiftKernels:
+    @given(blocked())
+    def test_reverse(self, data):
+        rows, width, _index = data
+        check(kernels.reverse, ops._list_reverse, rows, width)
+
+    @given(blocked(max_envs=3))
+    def test_subtrees_dfs(self, data):
+        rows, width, _index = data
+        check(kernels.subtrees_dfs, ops._list_subtrees_dfs, rows, width)
+
+    @given(blocked())
+    def test_distinct(self, data):
+        rows, width, _index = data
+        check(kernels.distinct, ops._list_distinct, rows, width)
+
+    @given(blocked())
+    def test_sort(self, data):
+        rows, width, _index = data
+        check(kernels.sort, ops._list_sort, rows, width)
+
+    @given(blocked(), st.lists(st.integers(min_value=0, max_value=8),
+                               unique=True).map(sorted))
+    def test_filter_by_index(self, data, index):
+        rows, width, _index = data
+        check(kernels.filter_by_index, _list_filter_reference, rows,
+              width, index)
+
+    @given(blocked())
+    def test_expand_variable(self, data):
+        rows, width, _index = data
+        root_lefts = [row[1] for row in ops._list_roots(rows)]
+        check(kernels.expand_variable, ops._list_expand_variable, rows,
+              width, root_lefts)
+
+    @given(blocked(), st.data())
+    def test_gather_blocks(self, data, drawn):
+        rows, width, index = data
+        origins = drawn.draw(st.lists(
+            st.sampled_from(index + [7, 8]), min_size=0, max_size=6)
+            if index else st.just([]))
+        targets = sorted(drawn.draw(st.sets(
+            st.integers(min_value=0, max_value=30),
+            min_size=len(origins), max_size=len(origins))))
+        moves = list(zip(origins, targets))
+        check(kernels.gather_blocks, ops._list_gather_blocks, rows,
+              width, moves)
+
+
+class TestConstructorKernels:
+    @given(blocked(), blocked())
+    def test_concat(self, left_data, right_data):
+        left_rows, left_width, _li = left_data
+        right_rows, right_width, _ri = right_data
+        expected = ops._list_concat(left_rows, left_width,
+                                    right_rows, right_width)
+        left_cols = IntervalColumns.from_tuples(left_rows)
+        right_cols = IntervalColumns.from_tuples(right_rows)
+        assert kernels.concat(left_cols, left_width, right_cols,
+                              right_width).tuples() == expected
+        with scalar_mode():
+            assert kernels.concat(left_cols, left_width, right_cols,
+                                  right_width).tuples() == expected
+
+    @given(blocked(), st.sampled_from(["<w>", "<a>"]))
+    def test_xnode(self, data, label):
+        rows, width, index = data
+        expected = ops._list_xnode(label, list(rows), width, index)
+        cols = IntervalColumns.from_tuples(rows)
+        for mode in (None, scalar_mode):
+            if mode is None:
+                result = kernels.xnode(label, cols, width, index)
+            else:
+                with mode():
+                    result = kernels.xnode(label, cols, width, index)
+            assert result[1] == expected[1]
+            assert result[0].tuples() == expected[0]
+
+    @given(st.lists(st.integers(min_value=0, max_value=40),
+                    unique=True).map(sorted),
+           st.sampled_from(["", "x", "some text"]))
+    def test_text_const(self, index, value):
+        expected = ops._list_text_const(value, index)
+        result = kernels.text_const(value, index)
+        assert result[1] == expected[1]
+        assert result[0].tuples() == expected[0]
+
+    @given(blocked())
+    def test_count_roots(self, data):
+        rows, width, index = data
+        check(kernels.count_roots, ops._list_count_roots, rows, width, index)
+
+    @given(blocked())
+    def test_string_fn(self, data):
+        rows, width, index = data
+        check(kernels.string_fn, ops._list_string_fn, rows, width, index)
+
+
+class TestStructuralKernels:
+    @given(blocked())
+    def test_depths_match_reference(self, data):
+        rows, _width, _index = data
+        cols = IntervalColumns.from_tuples(rows)
+        with scalar_mode():
+            expected = kernels.depths(cols)
+        vectorized = kernels.depths(cols)
+        assert list(vectorized) == list(expected)
+
+    @given(blocked())
+    def test_block_keys(self, data):
+        rows, width, _index = data
+        cols = IntervalColumns.from_tuples(rows)
+        expected = {env: canonical_key(list(block))
+                    for env, block in group_by_env(rows, width)}
+        assert kernels.block_keys(cols, width) == expected
+        with scalar_mode():
+            assert kernels.block_keys(cols, width) == expected
+
+    @given(blocked())
+    def test_block_tree_key_sets(self, data):
+        """The kernel's (depth-tuple, label-tuple) keys are the unzip of
+        the canonical keys — a bijection, so they induce exactly the
+        tree-equality classes the SomeEqual joins rely on."""
+        rows, width, _index = data
+        cols = IntervalColumns.from_tuples(rows)
+        expected = {
+            env: {(tuple(d for d, _ in key), tuple(s for _, s in key))
+                  for key in tree_keys(list(block))}
+            for env, block in group_by_env(rows, width)}
+        assert kernels.block_tree_key_sets(cols, width) == expected
+        with scalar_mode():
+            assert kernels.block_tree_key_sets(cols, width) == expected
+
+    @given(blocked())
+    def test_canonical_key_columnar_fast_path(self, data):
+        rows, width, _index = data
+        cols = IntervalColumns.from_tuples(rows)
+        for _env, block in group_by_env(cols, width):
+            assert canonical_key(block) == canonical_key(block.tuples())
+
+    @given(blocked())
+    def test_tree_slices_on_columns(self, data):
+        rows, width, _index = data
+        cols = IntervalColumns.from_tuples(rows)
+        for (_e, block), (_e2, ref) in zip(group_by_env(cols, width),
+                                           group_by_env(rows, width)):
+            got = [list(slice_) for slice_ in tree_slices(block)]
+            want = [list(slice_) for slice_ in tree_slices(list(ref))]
+            assert got == want
+
+
+class TestBignumFallback:
+    """Coordinates beyond int64: columns fall back to lists, kernels to
+    the reference paths, results stay exact (Python bignums)."""
+
+    @settings(max_examples=25)
+    @given(blocked())
+    def test_shifted_relation_roundtrip(self, data):
+        rows, width, _index = data
+        shifted = [(s, l + BIG_ENV * width, r + BIG_ENV * width)
+                   for (s, l, r) in rows]
+        cols = IntervalColumns.from_tuples(shifted)
+        if rows:
+            assert not cols.is_array  # bignum storage engaged
+        assert kernels.roots(cols).tuples() == ops._list_roots(shifted)
+        assert kernels.reverse(cols, width).tuples() == \
+            ops._list_reverse(shifted, width)
+        assert kernels.distinct(cols, width).tuples() == \
+            ops._list_distinct(shifted, width)
+
+    @settings(max_examples=25)
+    @given(blocked())
+    def test_gather_blocks_into_bignum_targets(self, data):
+        rows, width, index = data
+        moves = [(env, env + BIG_ENV) for env in index]
+        cols = IntervalColumns.from_tuples(rows)
+        expected = ops._list_gather_blocks(list(rows), width, moves)
+        result = kernels.gather_blocks(cols, width, moves)
+        assert result.tuples() == expected
+        if rows:
+            assert not result.is_array  # targets exceed int64
+
+    def test_overflow_bound_is_checked_not_wrapped(self):
+        # One block close to the int64 edge: widening must take the
+        # reference path, never silently wrap in vector arithmetic.
+        width = 2 ** 32
+        rows = [("<a>", 0, 1), ("<a>", width * (2 ** 30), width * (2 ** 30) + 1)]
+        cols = IntervalColumns.from_tuples(rows)
+        assert cols.is_array
+        assert (2 ** 30 + 1) * width * width > INT64_MAX
+        result = kernels.subtrees_dfs(cols, width)
+        assert result.tuples() == ops._list_subtrees_dfs(rows, width)
+        assert not result.is_array
+
+
+class TestEmptyAndEdgeCases:
+    def test_empty_relation_all_kernels(self):
+        empty = IntervalColumns.empty()
+        assert kernels.roots(empty).tuples() == []
+        assert kernels.children(empty).tuples() == []
+        assert kernels.select_trees(empty, lambda s: True).tuples() == []
+        assert kernels.head(empty, 4).tuples() == []
+        assert kernels.tail(empty, 4).tuples() == []
+        assert kernels.reverse(empty, 4).tuples() == []
+        assert kernels.subtrees_dfs(empty, 4).tuples() == []
+        assert kernels.data(empty, 4).tuples() == []
+        assert kernels.distinct(empty, 4).tuples() == []
+        rel, width = kernels.sort(empty, 4)
+        assert rel.tuples() == [] and width == 16
+        assert kernels.concat(empty, 2, empty, 3).tuples() == []
+        assert kernels.filter_by_index(empty, 4, [0, 1]).tuples() == []
+        assert kernels.expand_variable(empty, 4, []).tuples() == []
+        assert kernels.gather_blocks(empty, 4, [(0, 1)]).tuples() == []
+        assert kernels.block_keys(empty, 4) == {}
+        assert kernels.block_tree_key_sets(empty, 4) == {}
+
+    def test_width_one_empty_blocks(self):
+        # Width 1 holds only empty forests; constructors must still emit
+        # per-environment output driven by the index.
+        rel, width = kernels.count_roots(IntervalColumns.empty(), 1, [0, 2])
+        assert width == 2
+        assert rel.tuples() == [("0", 0, 1), ("0", 4, 5)]
+        rel, width = kernels.string_fn(IntervalColumns.empty(), 1, [1])
+        assert rel.tuples() == [("", 2, 3)]
+
+    def test_single_tuple_blocks(self):
+        # Width-2 blocks each holding exactly one node — the smallest
+        # non-empty block shape.
+        rows = [("x", 0, 1), ("y", 2, 3), ("z", 6, 7)]
+        cols = IntervalColumns.from_tuples(rows)
+        assert kernels.roots(cols).tuples() == rows
+        assert kernels.children(cols).tuples() == []
+        assert kernels.reverse(cols, 2).tuples() == \
+            ops._list_reverse(rows, 2)
+        assert kernels.sort(cols, 2)[0].tuples() == \
+            ops._list_sort(rows, 2)[0]
+
+    def test_operators_dispatch_on_representation(self):
+        # The public operators answer in kind: lists in, lists out;
+        # columns in, columns out.
+        rows = [("<a>", 0, 3), ("x", 1, 2)]
+        assert isinstance(ops.roots(rows), list)
+        result = ops.roots(IntervalColumns.from_tuples(rows))
+        assert isinstance(result, IntervalColumns)
+        assert result.tuples() == ops.roots(rows)
+
+
+def _list_filter_reference(rows, width, index):
+    """The original merge-pass filter (relation.py now dispatches)."""
+    result = []
+    keep = iter(index)
+    current = next(keep, None)
+    for row in rows:
+        env = row[1] // width
+        while current is not None and current < env:
+            current = next(keep, None)
+        if current is None:
+            break
+        if current == env:
+            result.append(row)
+    return result

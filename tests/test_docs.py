@@ -13,7 +13,7 @@ class TestDocFilesExist:
         "README.md", "DESIGN.md", "EXPERIMENTS.md",
         "docs/TRANSLATION.md", "docs/OPERATORS.md", "docs/API.md",
         "docs/OBSERVABILITY.md", "docs/ROBUSTNESS.md",
-        "docs/CONCURRENCY.md",
+        "docs/CONCURRENCY.md", "docs/PERFORMANCE.md",
     ])
     def test_exists_and_nonempty(self, name):
         path = ROOT / name

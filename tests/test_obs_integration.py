@@ -102,6 +102,24 @@ class TestTracedRuns:
         session.run(NAMES, backend="interpreter", tracer=tracer)
         assert [root.name for root in tracer.roots] == ["query", "query"]
 
+    def test_engine_kernel_spans_and_histogram(self, session):
+        """Traced runs expose per-kernel detail: ``engine.kernel.*``
+        spans (tagged with the kernel name, not a Figure 10 category) and
+        the ``repro_engine_kernel_seconds`` histogram."""
+        root = session.run(NAMES, backend="engine", trace=True).trace
+        kernel_spans = [span for span in root.walk()
+                        if span.name.startswith("engine.kernel.")]
+        assert kernel_spans
+        assert all("kernel" in span.attributes for span in kernel_spans)
+        assert all("category" not in span.attributes
+                   for span in kernel_spans)
+        names = {span.attributes["kernel"] for span in kernel_spans}
+        assert names & {"roots", "select", "select_children"}, names
+        histogram = session.metrics.get("repro_engine_kernel_seconds")
+        assert histogram is not None
+        assert sum(histogram.count(kernel=name) for name in names) \
+            >= len(kernel_spans)
+
     def test_engine_stats_from_trace(self, session):
         root = session.run(NAMES, backend="engine", trace=True).trace
         stats = EngineStats.from_trace(root)
@@ -177,7 +195,9 @@ class TestDisabledFastPath:
 
         The counting double is installed as the process default and
         (separately) given to the engine directly: neither path may call
-        span() even once per evaluated operator.
+        span() even once per evaluated operator — and in particular not
+        once per *kernel* invocation, which the columnar engine makes
+        for every operator, expand, gather, and filter step.
         """
         counting = CountingTracer()
         previous = set_tracer(counting)

@@ -68,14 +68,34 @@ class TestExecution:
             assert db.execute(expr, mode="staged") == db.execute(
                 expr, mode="single")
 
-    def test_temp_tables_cleaned_up(self):
+    def test_temp_tables_cached_across_runs(self):
+        # Staged temp tables persist after a run (the schema cache) and a
+        # repeat of the same translation reuses them instead of re-creating.
         with SQLiteDatabase() as db:
             db.load_document("x", f("<a/>"))
-            db.execute(FnApp("children", (Var("x"),)))
+            expr = FnApp("children", (Var("x"),))
+            first = db.execute(expr)
+            cached = db.connection.execute(
+                "SELECT name FROM sqlite_temp_master WHERE type='table'"
+            ).fetchall()
+            assert cached  # schema kept for reuse
+            assert db.execute(expr) == first
+            after = db.connection.execute(
+                "SELECT name FROM sqlite_temp_master WHERE type='table'"
+            ).fetchall()
+            assert after == cached  # reused, not re-created
+
+    def test_temp_tables_dropped_on_document_load(self):
+        with SQLiteDatabase() as db:
+            db.load_document("x", f("<a><b/></a>"))
+            expr = FnApp("children", (Var("x"),))
+            assert db.execute(expr) == f("<b/>")
+            db.load_document("x", f("<a><c/></a>"))
             leftovers = db.connection.execute(
                 "SELECT name FROM sqlite_temp_master WHERE type='table'"
             ).fetchall()
-            assert leftovers == []
+            assert leftovers == []  # cache invalidated with the document
+            assert db.execute(expr) == f("<c/>")
 
     def test_default_width_cap(self):
         with SQLiteDatabase() as db:
