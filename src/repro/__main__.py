@@ -62,7 +62,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--indent", type=int, default=None,
                         help="pretty-print the result")
     parser.add_argument("--explain", action="store_true",
-                        help="print the physical plan instead of running")
+                        help="print the physical plan instead of running; "
+                             "with --doc bindings the plan is annotated "
+                             "with estimated vs. observed cardinalities")
     parser.add_argument("--explain-verbose", action="store_true",
                         help="with --explain: include the compilation "
                              "pipeline trace (per-pass timings + snapshots)")
@@ -107,15 +109,26 @@ def main(argv: list[str] | None = None) -> int:
                     "--explain/--sql take exactly one query")
             compiled = compile_xquery(queries[0])
 
-            if args.explain or args.explain_verbose:
-                print(compiled.explain(args.strategy,
-                                       verbose=args.explain_verbose))
-                return 0
-
         documents: dict[str, str] = {}
         for uri, path in args.doc:
             with open(path) as handle:
                 documents[uri] = handle.read()
+
+        if args.explain or args.explain_verbose:
+            if documents:
+                # With real documents: run once on the engine backend so
+                # the plan carries estimated vs. *observed* cardinalities
+                # per node ("est N → obs M tuples").
+                with XQuerySession(strategy=args.strategy) as session:
+                    for uri, text in documents.items():
+                        session.add_document(uri, text)
+                    print(session.explain(queries[0],
+                                          verbose=args.explain_verbose,
+                                          analyze=True))
+            else:
+                print(compiled.explain(args.strategy,
+                                       verbose=args.explain_verbose))
+            return 0
 
         if args.sql:
             tables = {}

@@ -121,6 +121,28 @@ class CompiledQuery:
                           base_vars=self.documents.values(),
                           decorrelate=decorrelate, trace=trace)
 
+    def optimized(self, strategy: str | JoinStrategy = "msj",
+                  decorrelate: bool = True,
+                  stats_by_var: Mapping[str, object] | None = None,
+                  observed: Mapping[int, int] | None = None,
+                  trace: PipelineTrace | None = None):
+        """Cost-optimize the plan against per-document statistics.
+
+        ``stats_by_var`` maps document variable names to
+        :class:`~repro.encoding.stats.DocumentStats` (defaults apply for
+        missing variables); ``observed`` maps stable node fingerprints to
+        actual tuple counts from a previous traced run.  Returns an
+        :class:`~repro.compiler.planner.OptimizedPlan` whose ``explain()``
+        renders per-node cardinality annotations.
+        """
+        from repro.compiler.cost import CostModel
+        from repro.compiler.pipeline import optimize_stage
+
+        plan = self.plan(strategy, decorrelate, trace=trace)
+        model = CostModel(stats_by_var, observed)
+        return optimize_stage(plan, model,
+                              base_vars=self.documents.values(), trace=trace)
+
     def explain(self, strategy: str | JoinStrategy = "msj",
                 verbose: bool = False) -> str:
         """Human-readable physical plan.

@@ -6,8 +6,12 @@ from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.backends.base import Backend, BackendCapabilities, ExecutionOptions
 from repro.backends.registry import register_backend
-from repro.compiler.pipeline import plan_stage
+from repro.compiler.cache import CacheEntry, CacheKey, PlanCache
+from repro.compiler.cost import CostModel
+from repro.compiler.pipeline import optimize_stage, plan_stage
 from repro.compiler.plan import JoinStrategy, PlanNode
+from repro.compiler.planner import OptimizedPlan
+from repro.encoding.stats import DocumentStats, collect_stats, combine_digests
 from repro.engine.evaluator import DIEngine, Value
 from repro.xml.forest import Forest
 
@@ -19,9 +23,16 @@ if TYPE_CHECKING:  # pragma: no cover
 class EngineBackend(Backend):
     """Execute plans on :class:`~repro.engine.evaluator.DIEngine`.
 
-    Documents are interval-encoded once at :meth:`prepare` time and the
-    encodings are reused across queries; physical plans are cached per
-    ``(query source, strategy, decorrelate)``.
+    Documents are interval-encoded once at :meth:`prepare` time, and
+    per-document statistics (node counts per label, depth histogram,
+    child fan-out) are collected in the same pass.  Physical plans are
+    cost-optimized against those statistics and cached in a
+    :class:`~repro.compiler.cache.PlanCache` keyed on the query shape
+    *and* the combined stats digest — updating a document changes its
+    digest, so a stale plan can never be served for the new contents.
+    Traced runs feed observed per-node tuple counts back into the cache;
+    the next planning round for the same query shape starts from the
+    corrected cardinalities.
     """
 
     name = "engine"
@@ -36,50 +47,153 @@ class EngineBackend(Backend):
     def __init__(self) -> None:
         super().__init__()
         self._encoded: dict[str, Value] = {}
-        self._plans: dict[tuple[str, JoinStrategy, bool], PlanNode] = {}
+        self._stats: dict[str, DocumentStats] = {}
+        self._cache = PlanCache()
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The stats-keyed plan cache (introspection / tests)."""
+        return self._cache
+
+    def document_stats(self, name: str) -> DocumentStats | None:
+        """Collected statistics for a prepared document variable."""
+        with self._lock:
+            return self._stats.get(name)
 
     def _load(self, name: str, forest: Forest) -> None:
-        self._encoded[name] = DIEngine.prepare_document(forest)
+        value = DIEngine.prepare_document(forest)
+        self._encoded[name] = value
+        rel, width = value
+        self._stats[name] = collect_stats(rel, width)
 
     def _unload(self, name: str) -> None:
         self._encoded.pop(name, None)
-        # Plans do not depend on document *contents*, only on the query,
-        # so the plan cache survives document updates.
+        self._stats.pop(name, None)
+        # New contents mean new statistics: the digest half of every
+        # affected cache key moves (so a hit is impossible), and the old
+        # entries are dropped eagerly to bound memory.
+        self._cache.invalidate_document(name)
 
     def _close(self) -> None:
         self._encoded.clear()
-        self._plans.clear()
+        self._stats.clear()
+        self._cache.clear()
 
-    def plan_for(self, compiled: "CompiledQuery",
-                 options: ExecutionOptions) -> PlanNode:
-        """The (cached) physical plan for a compiled query.
+    # -- planning ---------------------------------------------------------------
+
+    def _cache_key(self, compiled: "CompiledQuery",
+                   options: ExecutionOptions) -> CacheKey:
+        doc_vars = tuple(compiled.documents.values())
+        with self._lock:
+            digest = combine_digests(self._stats, doc_vars)
+        return CacheKey(compiled.source, options.strategy.value,
+                        options.decorrelate, options.optimize, digest)
+
+    def optimized_for(self, compiled: "CompiledQuery",
+                      options: ExecutionOptions) -> OptimizedPlan:
+        """The (cached) cost-optimized plan for a compiled query.
 
         Planning happens under the backend lock so concurrent workers
         asking for the same key share one plan instead of racing to
         build duplicates (plans are immutable once built, so sharing
         the cached instance across threads is safe).
         """
-        key = (compiled.source, options.strategy, options.decorrelate)
-        plan = self._plans.get(key)
-        if plan is None:
+        key = self._cache_key(compiled, options)
+        entry = self._cache.get(key)
+        if entry is None:
             with self._lock:
-                plan = self._plans.get(key)
-                if plan is None:
-                    plan = plan_stage(
-                        compiled.core, options.strategy,
-                        base_vars=compiled.documents.values(),
-                        decorrelate=options.decorrelate,
-                        trace=compiled.trace,
-                    )
-                    self._plans[key] = plan
-        return plan
+                entry = self._cache.peek(key)
+                if entry is None:
+                    entry = self._build_entry(key, compiled, options)
+                    self._cache.put(key, entry)
+                    self._record_planner_metrics(options, entry.optimized,
+                                                 hit=False)
+                    return entry.optimized
+        self._record_planner_metrics(options, None, hit=True)
+        return entry.optimized
+
+    def _build_entry(self, key: CacheKey, compiled: "CompiledQuery",
+                     options: ExecutionOptions) -> CacheEntry:
+        doc_vars = tuple(compiled.documents.values())
+        plan = plan_stage(
+            compiled.core, options.strategy,
+            base_vars=doc_vars,
+            decorrelate=options.decorrelate,
+            trace=compiled.trace,
+        )
+        if options.optimize:
+            model = CostModel(
+                {var: self._stats[var] for var in doc_vars
+                 if var in self._stats},
+                observed=self._cache.observations(key),
+            )
+            optimized = optimize_stage(plan, model, base_vars=doc_vars,
+                                       trace=compiled.trace)
+        else:
+            # The faithful planning-off baseline: the syntactic plan,
+            # unannotated, still cached under its own key half.
+            optimized = OptimizedPlan(plan=plan)
+        return CacheEntry(optimized, frozenset(doc_vars),
+                          dict(optimized.estimates_by_fp),
+                          optimized.observed_based)
+
+    def plan_for(self, compiled: "CompiledQuery",
+                 options: ExecutionOptions) -> PlanNode:
+        """The (cached) physical plan for a compiled query."""
+        return self.optimized_for(compiled, options).plan
+
+    def analyze_for(self, compiled: "CompiledQuery",
+                    options: ExecutionOptions) -> OptimizedPlan:
+        """A freshly optimized plan folding in every recorded observation.
+
+        Diagnostics path (``EXPLAIN ANALYZE``): unlike
+        :meth:`optimized_for` this always replans, so annotations show
+        estimated *versus* observed cardinalities even when the cached
+        entry predates the observations.  The fresh plan replaces the
+        cached entry — later runs benefit from the corrected numbers.
+        """
+        key = self._cache_key(compiled, options)
+        with self._lock:
+            entry = self._build_entry(key, compiled, options)
+            self._cache.put(key, entry)
+        return entry.optimized
+
+    def _record_planner_metrics(self, options: ExecutionOptions,
+                                optimized: OptimizedPlan | None,
+                                hit: bool) -> None:
+        metrics = options.metrics
+        if metrics is None:
+            return
+        if hit:
+            metrics.counter("repro_planner_cache_hits_total",
+                            "plans served from the stats-keyed cache").inc()
+            return
+        metrics.counter("repro_planner_cache_misses_total",
+                        "plans built after a cache miss").inc()
+        if optimized is not None:
+            reorders = optimized.reorders + optimized.isolations \
+                + optimized.pushdowns
+            if reorders:
+                metrics.counter(
+                    "repro_planner_reorders_total",
+                    "cost-based plan rewrites applied "
+                    "(isolation, pushdown, conjunct/join reorder)",
+                ).inc(reorders)
+
+    # -- execution --------------------------------------------------------------
 
     def _runner(self, compiled: "CompiledQuery",
                 options: ExecutionOptions) -> Callable[[], Forest]:
-        plan = self.plan_for(compiled, options)
+        optimized = self.optimized_for(compiled, options)
+        plan = optimized.plan
         values = self._values(compiled)
-        engine = DIEngine(stats=options.stats, tracer=self._tracer,
-                          metrics=options.metrics, guard=options.guard)
+        tracer = self._tracer
+        feedback: dict[int, int] | None = None
+        if tracer is not None and options.optimize and optimized.fingerprints:
+            feedback = {}
+        engine = DIEngine(stats=options.stats, tracer=tracer,
+                          metrics=options.metrics, guard=options.guard,
+                          observed=feedback)
 
         def run() -> Forest:
             # Cached encodings are immutable IntervalColumns: every kernel
@@ -88,9 +202,24 @@ class EngineBackend(Backend):
             from repro.encoding.interval import decode
 
             rel, _width = engine.run_plan_values(plan, dict(values))
+            if feedback is not None:
+                self._feed_observations(compiled, options, optimized,
+                                        feedback)
             return decode(rel)
 
         return run
+
+    def _feed_observations(self, compiled: "CompiledQuery",
+                           options: ExecutionOptions,
+                           optimized: OptimizedPlan,
+                           feedback: Mapping[int, int]) -> None:
+        """Fold a traced run's actual tuple counts back into the cache."""
+        observed = {optimized.fingerprints[node_id]: count
+                    for node_id, count in feedback.items()
+                    if node_id in optimized.fingerprints}
+        if observed:
+            key = self._cache_key(compiled, options)
+            self._cache.record_observation(key, observed)
 
     def _values(self, compiled: "CompiledQuery") -> Mapping[str, Value]:
         with self._lock:

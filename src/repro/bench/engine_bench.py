@@ -6,10 +6,14 @@ document,
 * **operators** — ops/sec for every columnar kernel against its
   list-based reference implementation (the pre-columnar operator
   algebra, kept in :mod:`repro.engine.operators` as ``_list_*``), and
-* **queries** — the Figure 8 (Q13) and Figure 9 (Q8) paper queries run
-  through :class:`~repro.engine.evaluator.DIEngine`, serially and as a
-  concurrent ``run_many``-style batch, for both relation
-  representations.
+* **queries** — the Figure 8 (Q13) and Figure 9 (Q8/Q9) paper queries
+  run through :class:`~repro.engine.evaluator.DIEngine`, serially and as
+  a concurrent ``run_many``-style batch, for both relation
+  representations, and
+* **planner** — the multi-join Q9 executed on the planning-off
+  syntactic plan versus the cost-optimized plan (estimated-cost and
+  observed-cost variants), plus cold/warm plan times through the
+  stats-keyed plan cache.
 
 The recorded ``speedup`` fields are host-independent ratios (both sides
 measured back-to-back on the same machine), which is what the CI smoke
@@ -48,7 +52,11 @@ from repro.xml.forest import is_text_label
 from repro.xquery.lowering import document_forest
 
 #: Paper figure → query mapping (Section 6.1 / 6.2).
-FIGURE_QUERIES = {"fig8_q13": "Q13", "fig9_q8": "Q8"}
+FIGURE_QUERIES = {"fig8_q13": "Q13", "fig9_q8": "Q8", "fig9_q9": "Q9"}
+
+#: Join queries the cost-based planner section measures (Section 6.3's
+#: multi-join Q9 is where plan choice matters most).
+PLANNER_QUERIES = {"fig9_q9": "Q9"}
 
 #: Default scale — the largest seed document the suite benches against.
 FULL_SCALE = 0.2
@@ -250,6 +258,95 @@ def bench_queries(scale: float, repeats: int, workers: int,
     return results
 
 
+def bench_planner(scale: float, repeats: int) -> dict[str, Any]:
+    """Cost-based planning: execution gain and plan-cache amortization.
+
+    For each join query, times the same engine on three physical plans —
+    the faithful syntactic plan (planning off), the plan optimized from
+    encode-time statistics alone, and the plan re-optimized after one
+    traced run fed observed cardinalities back — plus the cold (miss)
+    versus warm (hit) cost of obtaining a plan through the stats-keyed
+    cache.  Speedups are ratios against the planning-off baseline.
+    """
+    from repro.backends import create_backend
+    from repro.backends.base import ExecutionOptions
+    from repro.compiler.cost import CostModel
+    from repro.compiler.pipeline import optimize_stage
+    from repro.encoding.stats import collect_stats
+
+    document = cached_document(scale, seed=SEED)
+    results: dict[str, Any] = {}
+    for bench_name, query_name in PLANNER_QUERIES.items():
+        compiled = compile_xquery(QUERIES[query_name])
+        doc_vars = tuple(compiled.documents.values())
+        bindings = {var: document_forest((document,)) for var in doc_vars}
+        values = {var: DIEngine.prepare_document(forest)
+                  for var, forest in bindings.items()}
+        stats = {var: collect_stats(rel, width)
+                 for var, (rel, width) in values.items()}
+        plan = compile_plan(compiled.core, JoinStrategy.MSJ,
+                            base_vars=doc_vars)
+        estimated = optimize_stage(plan, CostModel(stats),
+                                   base_vars=doc_vars)
+
+        # One traced run records actual per-node tuple counts; replanning
+        # from them is the observed-cost variant.
+        feedback: dict[int, int] = {}
+        DIEngine(observed=feedback).run_plan_values(estimated.plan,
+                                                    dict(values))
+        observed = {estimated.fingerprints[node_id]: count
+                    for node_id, count in feedback.items()
+                    if node_id in estimated.fingerprints}
+        replanned = optimize_stage(plan, CostModel(stats, observed=observed),
+                                   base_vars=doc_vars)
+
+        def runner(physical):
+            engine = DIEngine()
+            return lambda: engine.run_plan_values(physical, dict(values))
+
+        off = _best_seconds(runner(plan), repeats)
+        est = _best_seconds(runner(estimated.plan), repeats)
+        obs = _best_seconds(runner(replanned.plan), repeats)
+
+        backend = create_backend("engine")
+        try:
+            backend.prepare(bindings)
+            options = ExecutionOptions()
+            cold = _best_seconds(
+                lambda: (backend.plan_cache.clear(),
+                         backend.optimized_for(compiled, options)),
+                max(2, repeats // 2))
+            backend.optimized_for(compiled, options)  # ensure one entry
+            warm = _best_seconds(
+                lambda: backend.optimized_for(compiled, options),
+                max(repeats, 5))
+        finally:
+            backend.close()
+
+        results[bench_name] = {
+            "query": query_name,
+            "strategy": "msj",
+            "execution": {
+                "off_ops_per_sec": round(1.0 / off, 2),
+                "estimated_ops_per_sec": round(1.0 / est, 2),
+                "observed_ops_per_sec": round(1.0 / obs, 2),
+                "estimated_speedup": round(off / est, 3),
+                "observed_speedup": round(off / obs, 3),
+            },
+            "rewrites": {
+                "isolations": estimated.isolations,
+                "pushdowns": estimated.pushdowns,
+                "reorders": estimated.reorders,
+            },
+            "plan_cache": {
+                "cold_plan_ms": round(cold * 1e3, 3),
+                "warm_plan_ms": round(warm * 1e3, 4),
+                "warm_speedup": round(cold / warm, 1),
+            },
+        }
+    return results
+
+
 def run_bench(scale: float, repeats: int, workers: int = 4,
               batch: int = 8) -> dict[str, Any]:
     document = cached_document(scale, seed=SEED)
@@ -265,6 +362,7 @@ def run_bench(scale: float, repeats: int, workers: int = 4,
         },
         "operators": bench_operators(scale, repeats),
         "queries": bench_queries(scale, repeats, workers, batch),
+        "planner": bench_planner(scale, repeats),
     }
 
 
@@ -300,6 +398,13 @@ def check_regressions(current: dict[str, Any], baseline: dict[str, Any],
             if mode in entry and mode in now:
                 compare("query", f"{name}/{mode}",
                         now[mode]["speedup"], entry[mode]["speedup"])
+    for name, entry in baseline.get("planner", {}).items():
+        now = current.get("planner", {}).get(name)
+        if now is None:
+            continue
+        for field in ("estimated_speedup", "observed_speedup"):
+            compare("planner", f"{name}/{field}",
+                    now["execution"][field], entry["execution"][field])
     return failures
 
 
@@ -333,6 +438,13 @@ def main(argv: list[str] | None = None) -> int:
     for name, entry in result["queries"].items():
         print(f"  {name}: serial {entry['serial']['speedup']:.2f}x, "
               f"run_many {entry['run_many']['speedup']:.2f}x columnar speedup")
+    for name, entry in result["planner"].items():
+        execution = entry["execution"]
+        cache = entry["plan_cache"]
+        print(f"  {name}: planner {execution['estimated_speedup']:.2f}x "
+              f"estimated / {execution['observed_speedup']:.2f}x observed; "
+              f"plan {cache['cold_plan_ms']:.1f}ms cold → "
+              f"{cache['warm_plan_ms']:.2f}ms warm")
 
     if args.check:
         with open(args.check, encoding="utf-8") as handle:

@@ -1,0 +1,172 @@
+"""A stats-keyed plan cache with observed-cardinality feedback.
+
+Plans are cached per (query shape, planning knobs, document statistics):
+the *shape* half fingerprints the normalized core expression, the
+*stats* half digests the statistics of every document the query reads.
+Updating a document changes its stats digest, so a stale plan can never
+be served for the new contents — the key itself moves.
+
+Observed cardinalities live one level up, keyed by shape alone: traced
+runs report actual per-node tuple counts, and those survive document
+updates (a new digest means a new planning round, which *should* start
+from everything the cache has learned about this query so far).  When an
+observation contradicts an entry's estimate badly enough, the entry is
+dropped so the next lookup replans against the corrected numbers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compiler.planner import OptimizedPlan
+
+#: An observation must disagree with the estimate by at least this factor
+#: (in either direction) before it evicts the plan that produced it.
+DEVIATION_FACTOR = 8.0
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Identity of one cached plan."""
+
+    shape: str            #: fingerprint of the normalized core expression
+    strategy: str         #: join strategy name
+    decorrelate: bool
+    optimize: bool
+    stats_digest: str     #: combined digest of every document read
+
+    def shape_key(self) -> tuple[str, str, bool, bool]:
+        """The document-independent half — observations key on this."""
+        return (self.shape, self.strategy, self.decorrelate, self.optimize)
+
+
+@dataclass
+class CacheEntry:
+    """One cached optimized plan plus the estimates it was built from."""
+
+    optimized: "OptimizedPlan"
+    #: Document variables the plan reads (invalidation fan-out).
+    doc_vars: frozenset[str]
+    #: Estimated tuples per stable node fingerprint, for deviation checks.
+    estimates: dict[int, float] = field(default_factory=dict)
+    #: Fingerprints whose estimate already came from an observation —
+    #: disagreement there means the data moved, not that the model erred.
+    observed_based: frozenset[int] = frozenset()
+
+
+class PlanCache:
+    """Thread-safe LRU cache of optimized plans with feedback storage."""
+
+    def __init__(self, maxsize: int = 64):
+        self._maxsize = maxsize
+        self._lock = threading.RLock()
+        self._entries: OrderedDict[CacheKey, CacheEntry] = OrderedDict()
+        self._observed: dict[tuple, dict[int, int]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def peek(self, key: CacheKey) -> CacheEntry | None:
+        """Like :meth:`get` but touching neither counters nor LRU order
+        (for the second look of double-checked locking)."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def get(self, key: CacheKey) -> CacheEntry | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: CacheKey, entry: CacheEntry) -> None:
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate_document(self, var: str) -> int:
+        """Drop every entry whose plan reads document variable ``var``.
+
+        The digest change alone already prevents stale hits; dropping the
+        entries bounds memory and keeps the hit counters honest.
+        """
+        with self._lock:
+            stale = [key for key, entry in self._entries.items()
+                     if var in entry.doc_vars]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._observed.clear()
+
+    # -- observed-cardinality feedback ------------------------------------------------
+
+    def observations(self, key: CacheKey) -> dict[int, int]:
+        """Observed tuples per node fingerprint for this query shape."""
+        with self._lock:
+            return dict(self._observed.get(key.shape_key(), {}))
+
+    def record_observation(self, key: CacheKey,
+                           observed: Mapping[int, int]) -> bool:
+        """Fold a traced run's actual tuple counts into the feedback store.
+
+        Returns ``True`` when the observation deviated far enough from the
+        cached entry's estimates that the entry was dropped (the next
+        lookup replans with the corrected cardinalities).
+        """
+        if not observed:
+            return False
+        with self._lock:
+            store = self._observed.setdefault(key.shape_key(), {})
+            store.update(observed)
+            entry = self._entries.get(key)
+            if entry is None:
+                return False
+            for fingerprint, actual in observed.items():
+                if fingerprint in entry.observed_based:
+                    continue
+                estimate = entry.estimates.get(fingerprint)
+                if estimate is None:
+                    continue
+                ratio = max((actual + 1.0) / (estimate + 1.0),
+                            (estimate + 1.0) / (actual + 1.0))
+                if ratio >= DEVIATION_FACTOR:
+                    del self._entries[key]
+                    self.invalidations += 1
+                    return True
+            return False
+
+    # -- introspection ----------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "invalidations": self.invalidations,
+                "evictions": self.evictions,
+            }
+
+    def keys(self) -> Iterable[CacheKey]:
+        with self._lock:
+            return list(self._entries)

@@ -195,6 +195,12 @@ register_pass(CompilerPass(
     "Section 5 rewrite: independent nested loops → structural joins"))
 register_pass(CompilerPass(
     "plan", "plan", "core language → DI physical plan"))
+register_pass(CompilerPass(
+    "joingraph", "plan",
+    "join-graph analysis: isolable bodies, residual partitions"))
+register_pass(CompilerPass(
+    "cost", "plan",
+    "cost-based physical optimization over document statistics"))
 
 
 def _register_simplify() -> None:
@@ -285,3 +291,32 @@ def plan_stage(core: CoreExpr, strategy: JoinStrategy,
     record.seconds -= matcher_seconds if decorrelate else 0.0
     record.after = explain_plan(plan)
     return plan
+
+
+def optimize_stage(plan: PlanNode, model=None, base_vars: Iterable[str] = (),
+                   trace: PipelineTrace | None = None):
+    """Run the ``joingraph`` and ``cost`` passes over a compiled plan.
+
+    Returns the :class:`~repro.compiler.planner.OptimizedPlan`.  The
+    ``joingraph`` record summarizes what the analysis found (how many
+    joins, how many with isolable bodies); the ``cost`` record carries
+    the rewrites the optimizer actually made.
+    """
+    from repro.compiler import joingraph
+    from repro.compiler.planner import optimize_plan
+
+    if trace is None:
+        return optimize_plan(plan, model, base_vars=base_vars)
+
+    with trace.measure("joingraph") as record:
+        analyses = joingraph.join_graph(plan)
+        isolable = sum(1 for analysis in analyses if analysis.isolable)
+        record.detail = f"{len(analyses)} join(s), {isolable} isolable"
+
+    with trace.measure("cost") as record:
+        optimized = optimize_plan(plan, model, base_vars=base_vars)
+        record.detail = (f"{optimized.isolations} isolated, "
+                         f"{optimized.pushdowns} pushed, "
+                         f"{optimized.reorders} reordered")
+    record.after = optimized.explain()
+    return optimized

@@ -1,0 +1,153 @@
+"""Per-document statistics collected once at encode time.
+
+The cost-based planner (:mod:`repro.compiler.cost`) needs a summary of
+each document it plans against: how many nodes there are, how they are
+labelled, how deep the tree is, and how wide the fan-out runs.  All of
+that is derivable from the interval encoding alone — the ``(s, l, r)``
+triples carry the full tree shape — so :func:`collect_stats` runs one
+linear pass over the encoded relation, at the same point where the
+backend shreds the document, and the result rides along on the backend's
+shared document state.
+
+Every :class:`DocumentStats` carries a stable :attr:`~DocumentStats.digest`
+of its contents.  The digest is the document half of a plan-cache key:
+two documents with identical statistics plan identically, and any update
+that changes the statistics changes the digest — which is what lets
+``session.apply_update`` invalidate exactly the plans that were optimized
+for the old contents.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.xml.forest import is_element_label
+
+#: Depth histogram entries beyond this depth are folded into the last
+#: bucket; real documents rarely nest deeper, and a bounded histogram
+#: keeps digests and estimates O(1) in document depth.
+MAX_DEPTH_BUCKETS = 64
+
+
+@dataclass(frozen=True)
+class DocumentStats:
+    """Shape statistics of one interval-encoded document.
+
+    ``label_counts`` maps node labels (``"<person>"``, ``"@id"``, text
+    values) to occurrence counts; ``depth_histogram[d]`` counts nodes at
+    depth ``d`` (roots are depth 0).  ``fanout`` is the mean child count
+    per element node.  ``avg_subtree`` is the mean subtree size over all
+    nodes — exactly ``Σ(depth+1)/nodes``, since each node contributes one
+    tuple to every ancestor-or-self subtree.
+    """
+
+    nodes: int
+    width: int
+    roots: int
+    label_counts: Mapping[str, int] = field(default_factory=dict)
+    depth_histogram: tuple[int, ...] = ()
+    fanout: float = 0.0
+    digest: str = ""
+
+    @property
+    def max_depth(self) -> int:
+        return max(len(self.depth_histogram) - 1, 0)
+
+    @property
+    def avg_subtree(self) -> float:
+        """Mean subtree size (tuples per selected root), ≥ 1."""
+        if not self.nodes:
+            return 1.0
+        weighted = sum((depth + 1) * count
+                       for depth, count in enumerate(self.depth_histogram))
+        return max(weighted / self.nodes, 1.0)
+
+    def label_fraction(self, label: str) -> float:
+        """The fraction of nodes carrying ``label`` (0 when absent)."""
+        if not self.nodes:
+            return 0.0
+        return self.label_counts.get(label, 0) / self.nodes
+
+
+def collect_stats(rel, width: int) -> DocumentStats:
+    """One-pass statistics over an encoded relation in document order.
+
+    ``rel`` is either representation — :class:`IntervalColumns` or a list
+    of ``(s, l, r)`` tuples — holding a single environment block.
+    """
+    labels = getattr(rel, "s", None)
+    if labels is not None:
+        lefts, rights = rel.l, rel.r
+    else:
+        labels = [row[0] for row in rel]
+        lefts = [row[1] for row in rel]
+        rights = [row[2] for row in rel]
+
+    nodes = len(labels)
+    label_counts = dict(Counter(labels))
+    histogram = [0] * min(MAX_DEPTH_BUCKETS, max(nodes, 1))
+    roots = 0
+    elements = 0
+    children_total = 0
+    # Document order means a node's ancestors are exactly the still-open
+    # intervals: maintain a stack of right endpoints.
+    open_rights: list[int] = []
+    for position in range(nodes):
+        left = lefts[position]
+        while open_rights and open_rights[-1] < left:
+            open_rights.pop()
+        depth = len(open_rights)
+        histogram[min(depth, len(histogram) - 1)] += 1
+        if depth == 0:
+            roots += 1
+        else:
+            children_total += 1
+        if is_element_label(labels[position]):
+            elements += 1
+        open_rights.append(rights[position])
+    while histogram and histogram[-1] == 0:
+        histogram.pop()
+
+    fanout = children_total / elements if elements else 0.0
+    stats = DocumentStats(
+        nodes=nodes,
+        width=int(width),
+        roots=roots,
+        label_counts=label_counts,
+        depth_histogram=tuple(histogram),
+        fanout=fanout,
+    )
+    return DocumentStats(
+        nodes=stats.nodes, width=stats.width, roots=stats.roots,
+        label_counts=stats.label_counts,
+        depth_histogram=stats.depth_histogram,
+        fanout=stats.fanout, digest=_digest(stats),
+    )
+
+
+def _digest(stats: DocumentStats) -> str:
+    """A stable content digest of the statistics (hex, 16 chars)."""
+    hasher = hashlib.sha256()
+    hasher.update(f"{stats.nodes}|{stats.width}|{stats.roots}|".encode())
+    hasher.update(",".join(str(c) for c in stats.depth_histogram).encode())
+    for label in sorted(stats.label_counts):
+        hasher.update(f"|{label}={stats.label_counts[label]}".encode())
+    return hasher.hexdigest()[:16]
+
+
+def combine_digests(stats_by_var: Mapping[str, DocumentStats],
+                    variables: Iterable[str]) -> str:
+    """The combined stats digest over the document variables a plan reads.
+
+    Variables without collected statistics contribute a fixed marker, so
+    a plan built before its documents were prepared never shares a cache
+    key with one built after.
+    """
+    hasher = hashlib.sha256()
+    for var in sorted(set(variables)):
+        stats = stats_by_var.get(var)
+        hasher.update(f"{var}={stats.digest if stats else '?'};".encode())
+    return hasher.hexdigest()[:16]

@@ -35,6 +35,7 @@ from repro.compiler.plan import (
     VarNode,
     WhereNode,
 )
+from repro.compiler.planner import cond_free
 from repro.encoding.interval import decode, encode_columns
 from repro.engine import kernels
 from repro.engine import operators as ops
@@ -108,9 +109,15 @@ class DIEngine:
                  validate: bool = False,
                  tracer: Tracer | None = None,
                  metrics: MetricsRegistry | None = None,
-                 guard: "QueryGuard | None" = None):
+                 guard: "QueryGuard | None" = None,
+                 observed: "dict[int, int] | None" = None):
         self.stats = stats
         self._validate = validate
+        #: When a dict is supplied, every evaluated plan node records its
+        #: actual output tuple count under ``id(node)`` — the feedback the
+        #: cost-based planner folds into its next round (see
+        #: :mod:`repro.compiler.cache`).
+        self._observed = observed
         self._base: EnvSeq | None = None
         if tracer is not None and not tracer.enabled:
             tracer = None
@@ -190,7 +197,7 @@ class DIEngine:
         if self._tick is not None:
             self._tick()
         if self._tracer is None and self._metrics is None \
-                and self._guard is None:
+                and self._guard is None and self._observed is None:
             return self._dispatch(node, seq)  # the no-observability fast path
         return self._evaluate_observed(node, seq)
 
@@ -205,6 +212,8 @@ class DIEngine:
                 result = self._dispatch(node, seq)
                 span.set(tuples=len(result[0]), width=result[1],
                          envs=len(seq.index))
+        if self._observed is not None:
+            self._observed[id(node)] = len(result[0])
         if self._guard is not None:
             self._guard.account(tuples=len(result[0]), width=result[1],
                                 envs=len(seq.index))
@@ -440,8 +449,13 @@ class DIEngine:
         if isinstance(condition, NotCond):
             return set(seq.index) - self._eval_condition(condition.condition, seq)
         if isinstance(condition, AndCond):
-            return (self._eval_condition(condition.left, seq)
-                    & self._eval_condition(condition.right, seq))
+            # Short-circuit: an empty left set makes the intersection
+            # empty, and the planner orders conjuncts cheapest-first to
+            # maximize how often this skips the expensive side.
+            left = self._eval_condition(condition.left, seq)
+            if not left:
+                return left
+            return left & self._eval_condition(condition.right, seq)
         if isinstance(condition, OrCond):
             return (self._eval_condition(condition.left, seq)
                     | self._eval_condition(condition.right, seq))
@@ -537,6 +551,16 @@ class DIEngine:
         inner_index = _root_lefts(roots)
         bound = self._expand_variable(source_rel, source_width, inner_index)
         inner_seq = EnvSeq(inner_index, {node.var: (bound, source_width)})
+        if node.inner_filter is not None:
+            # Select pushdown: filter the inner expansion before any key
+            # is computed or pair materialized — dropped environments
+            # simply never match (deep-Equal padding sees the filtered
+            # index, so they cannot sneak back in as empty-key matches).
+            satisfied = self._eval_condition(node.inner_filter, inner_seq)
+            inner_index = [i for i in inner_index if i in satisfied]
+            bound = self._kernel("filter_by_index", filter_by_index,
+                                 bound, source_width, inner_index)
+            inner_seq = EnvSeq(inner_index, {node.var: (bound, source_width)})
         inner_rel, inner_width = self.evaluate(node.key_inner, inner_seq)
         outer_rel, outer_width = self.evaluate(node.key_outer, seq)
 
@@ -552,11 +576,16 @@ class DIEngine:
                 strategy=node.strategy,
             )
             pair_index = [ix * source_width + iy for ix, iy in pairs]
-            pair_vars: dict[str, Value] = {
-                node.var: self._copy_pairs(
+            # Under isolation the body never reads the pair sequence, so
+            # the join variable is only copied if the residual needs it.
+            need_var = not node.isolate or (
+                node.residual is not None
+                and node.var in cond_free(node.residual))
+            pair_vars: dict[str, Value] = {}
+            if need_var:
+                pair_vars[node.var] = self._copy_pairs(
                     (bound, source_width), pairs, pair_index, side="inner"
                 )
-            }
             for name in sorted(node.required_outer):
                 value = seq.vars.get(name)
                 if value is None:
@@ -573,6 +602,21 @@ class DIEngine:
                 for name, (rel, width) in pair_vars.items()
             }
             pair_seq = EnvSeq(surviving, filtered_vars)
+        if node.isolate:
+            # Join-graph isolation: the body depends on the join variable
+            # alone, so evaluate it once per *inner* environment — the
+            # small index space — then gather the finished blocks into
+            # the surviving pairs.  Duplicate origins are fine (one inner
+            # environment may match many outer environments).
+            body_rel, body_width = self.evaluate(node.body, inner_seq)
+            if body_width == 0:
+                return [], 0
+            surviving_set = set(pair_seq.index)
+            moves = [(iy, target)
+                     for (_ix, iy), target in zip(pairs, pair_index)
+                     if target in surviving_set]
+            return (self._gather(body_rel, body_width, moves),
+                    source_width * body_width)
         body_rel, body_width = self.evaluate(node.body, pair_seq)
         return body_rel, source_width * body_width
 

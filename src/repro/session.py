@@ -513,9 +513,29 @@ class XQuerySession:
 
     def explain(self, query: str,
                 strategy: str | JoinStrategy | None = None,
-                verbose: bool = False) -> str:
+                verbose: bool = False, analyze: bool = False) -> str:
+        """The physical plan, annotated when the engine backend has data.
+
+        ``analyze=True`` runs the query once (traced) on the engine
+        backend so observed per-node tuple counts flow into the plan
+        cache, then replans with the observations folded in — the
+        rendered plan shows ``est N → obs M tuples`` per node wherever
+        the estimate was corrected.
+        """
         compiled = self.prepare(query)
-        return compiled.explain(self._strategy(strategy), verbose=verbose)
+        if not analyze:
+            return compiled.explain(self._strategy(strategy), verbose=verbose)
+        self.run(query, backend="engine", strategy=strategy, trace=True)
+        target = self.backend_instance("engine")
+        options = ExecutionOptions(strategy=self._strategy(strategy))
+        with self._state_lock.read_locked():
+            target.prepare(self._bindings(compiled))
+            optimized = target.analyze_for(compiled, options)
+        rendered = optimized.explain()
+        if not verbose:
+            return rendered
+        return (f"{compiled.trace.render(verbose=True)}\n\n"
+                f"physical plan:\n{rendered}")
 
     def profile(self, query: str,
                 strategy: str | JoinStrategy | None = None):

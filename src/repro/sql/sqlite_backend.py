@@ -19,12 +19,13 @@ from contextlib import contextmanager
 from typing import TYPE_CHECKING, Mapping
 
 from repro.encoding.interval import decode, encode
+from repro.encoding.stats import collect_stats
 from repro.errors import ExecutionError, TransientBackendError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
 from repro.xml.forest import Forest, Node
 from repro.xquery.ast import CoreExpr
-from repro.sql.translator import TranslationResult, translate_query
+from repro.sql.translator import TranslationResult, translate_query_with_stats
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.resilience.guard import QueryGuard
@@ -152,6 +153,9 @@ class SQLiteDatabase:
         self.connection.execute("PRAGMA journal_mode = OFF")
         self.connection.execute("PRAGMA synchronous = OFF")
         self._documents: dict[str, tuple[str, int]] = {}
+        #: name → DocumentStats collected at shred time; the translator
+        #: ranks ``where`` conjunctions on them (cheapest emitted first).
+        self._stats: dict[str, object] = {}
         self._doc_counter = 0
         # Staged-execution schema cache: translation sql -> [(cte name,
         # cte sql)] whose temp tables exist on this connection, plus the
@@ -202,6 +206,8 @@ class SQLiteDatabase:
         except sqlite3.Error as error:
             raise wrap_driver_error(error, insert) from error
         self._documents[name] = (table, encoded.width)
+        self._stats[name] = collect_stats(list(encoded.tuples),
+                                          max(encoded.width, 1))
         return self._documents[name]
 
     @property
@@ -209,12 +215,23 @@ class SQLiteDatabase:
         """Mapping of loaded variable names to ``(table, width)``."""
         return dict(self._documents)
 
+    @property
+    def stats(self) -> dict[str, object]:
+        """Per-document statistics collected at shred time."""
+        return dict(self._stats)
+
     # -- execution ---------------------------------------------------------------
 
     def translate(self, expr: CoreExpr,
                   max_width: int | None = SQLITE_MAX_WIDTH) -> TranslationResult:
-        """Translate ``expr`` against the loaded documents."""
-        return translate_query(expr, self._documents, max_width=max_width)
+        """Translate ``expr`` against the loaded documents.
+
+        Shred-time statistics feed the translator's conjunct ordering, so
+        cheap selective predicates short-circuit expensive structural ones
+        in the emitted ``WHERE`` clauses.
+        """
+        return translate_query_with_stats(expr, self._documents, self._stats,
+                                          max_width=max_width)
 
     def execute(self, expr: CoreExpr, mode: str = "staged") -> Forest:
         """Translate, run, and decode ``expr`` into an XF forest.

@@ -78,7 +78,9 @@ class TestQuerying:
         session.run(NAMES, strategy="msj")
         session.run(NAMES, strategy="nlj")
         engine = session.backend_instance("engine")
-        assert len(engine._plans) == 2
+        assert len(engine.plan_cache) == 2
+        strategies = {key.strategy for key in engine.plan_cache.keys()}
+        assert strategies == {"msj", "nlj"}
 
     def test_backend_instance_reused(self, session):
         session.run(NAMES)
