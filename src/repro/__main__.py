@@ -11,12 +11,16 @@ Examples::
     python -m repro @query.xq --doc a.xml=./auction.xml \
         --trace trace.json --metrics --verbose
     python -m repro @q1.xq @q2.xq @q3.xq --doc a.xml=./auction.xml --jobs 4
+    python -m repro @query.xq --doc a.xml=./auction.xml \
+        --serve-telemetry 9464 --serve-linger 60
+    python -m repro top 127.0.0.1:9464
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.api import compile_xquery
 from repro.backends.registry import registered_backends
@@ -44,7 +48,32 @@ def _parse_doc_argument(argument: str) -> tuple[str, str]:
     return uri, path
 
 
+def _main_top(argv: list[str]) -> int:
+    """``python -m repro top URL`` — one-shot console telemetry summary."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro top",
+        description="Render a running telemetry server's percentile table "
+                    "(see --serve-telemetry and docs/OBSERVABILITY.md).",
+    )
+    parser.add_argument("url",
+                        help="telemetry server address: HOST:PORT, a base "
+                             "URL, or the full /debug/queries endpoint")
+    args = parser.parse_args(argv)
+    from repro.obs.serve import run_top
+
+    try:
+        print(run_top(args.url))
+        return 0
+    except OSError as error:
+        print(f"error: cannot reach telemetry server at {args.url}: "
+              f"{error}", file=sys.stderr)
+        return 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "top":
+        return _main_top(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run XQuery over XML documents via dynamic intervals.",
@@ -95,6 +124,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="run the queries concurrently on N worker "
                              "threads (results print in input order; see "
                              "docs/CONCURRENCY.md)")
+    parser.add_argument("--serve-telemetry", type=int, default=None,
+                        metavar="PORT",
+                        help="serve /metrics + /healthz + /debug/queries on "
+                             "this port while the queries run (0 picks a "
+                             "free port; the URL prints to stderr)")
+    parser.add_argument("--serve-linger", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="with --serve-telemetry: keep the process (and "
+                             "the endpoint) alive this long after the "
+                             "queries finish, for scrapers and `repro top`")
     args = parser.parse_args(argv)
 
     if args.verbose:
@@ -144,6 +183,10 @@ def main(argv: list[str] | None = None) -> int:
                            strategy=args.strategy) as session:
             for uri, text in documents.items():
                 session.add_document(uri, text)
+            server = None
+            if args.serve_telemetry is not None:
+                server = session.serve_telemetry(port=args.serve_telemetry)
+                print(f"telemetry serving on {server.url}", file=sys.stderr)
             traced = bool(args.trace) or args.metrics
             if len(queries) > 1 or args.jobs > 1:
                 results = session.run_many(
@@ -170,6 +213,10 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"trace written to {args.trace}", file=sys.stderr)
             if args.metrics:
                 print(render_prometheus(session.metrics), file=sys.stderr)
+            if server is not None and args.serve_linger > 0:
+                print(f"telemetry lingering {args.serve_linger:g}s on "
+                      f"{server.url}", file=sys.stderr)
+                time.sleep(args.serve_linger)
         return 0
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)

@@ -6,7 +6,12 @@ from typing import TYPE_CHECKING, Callable, Mapping
 
 from repro.backends.base import Backend, BackendCapabilities, ExecutionOptions
 from repro.backends.registry import register_backend
-from repro.compiler.cache import CacheEntry, CacheKey, PlanCache
+from repro.compiler.cache import (
+    CacheEntry,
+    CacheKey,
+    PlanCache,
+    worst_deviation,
+)
 from repro.compiler.cost import CostModel
 from repro.compiler.pipeline import optimize_stage, plan_stage
 from repro.compiler.plan import JoinStrategy, PlanNode
@@ -99,18 +104,35 @@ class EngineBackend(Backend):
         the cached instance across threads is safe).
         """
         key = self._cache_key(compiled, options)
+        hit = True
         entry = self._cache.get(key)
         if entry is None:
             with self._lock:
                 entry = self._cache.peek(key)
                 if entry is None:
+                    hit = False
                     entry = self._build_entry(key, compiled, options)
                     self._cache.put(key, entry)
-                    self._record_planner_metrics(options, entry.optimized,
-                                                 hit=False)
-                    return entry.optimized
-        self._record_planner_metrics(options, None, hit=True)
+        self._record_planner_metrics(options, None if hit else entry.optimized,
+                                     hit=hit)
+        self._report_plan(key, entry, options, hit)
         return entry.optimized
+
+    def _report_plan(self, key: CacheKey, entry: CacheEntry,
+                     options: ExecutionOptions, hit: bool) -> None:
+        """Surface plan-cache facts on the per-run report channel.
+
+        ``options.extra`` is per-run (built fresh by the session), so
+        whatever lands here reaches exactly the flight-recorder record of
+        the run that planned.
+        """
+        extra = options.extra
+        extra["plan_cache"] = "hit" if hit else "miss"
+        extra["plan_fingerprint"] = key.fingerprint()
+        deviation = worst_deviation(entry.estimates,
+                                    self._cache.observations(key))
+        if deviation is not None:
+            extra["card_deviation"] = deviation
 
     def _build_entry(self, key: CacheKey, compiled: "CompiledQuery",
                      options: ExecutionOptions) -> CacheEntry:
@@ -219,7 +241,12 @@ class EngineBackend(Backend):
                     if node_id in optimized.fingerprints}
         if observed:
             key = self._cache_key(compiled, options)
-            self._cache.record_observation(key, observed)
+            if self._cache.record_observation(key, observed):
+                options.extra["plan_evicted"] = True
+            deviation = worst_deviation(dict(optimized.estimates_by_fp),
+                                        observed)
+            if deviation is not None:
+                options.extra["card_deviation"] = deviation
 
     def _values(self, compiled: "CompiledQuery") -> Mapping[str, Value]:
         with self._lock:

@@ -13,7 +13,12 @@ document,
 * **planner** — the multi-join Q9 executed on the planning-off
   syntactic plan versus the cost-optimized plan (estimated-cost and
   observed-cost variants), plus cold/warm plan times through the
-  stats-keyed plan cache.
+  stats-keyed plan cache, and
+* **telemetry** — the always-on flight recorder's cost: warm
+  ``session.run`` ops/sec with the recorder on versus a ``record=False``
+  session, plus the recorder's own p50/p99 for each figure query (the
+  < 5% overhead budget from docs/OBSERVABILITY.md, measured not
+  asserted — the CI gate diffs the ratio against the baseline).
 
 The recorded ``speedup`` fields are host-independent ratios (both sides
 measured back-to-back on the same machine), which is what the CI smoke
@@ -347,6 +352,59 @@ def bench_planner(scale: float, repeats: int) -> dict[str, Any]:
     return results
 
 
+def bench_telemetry(scale: float, repeats: int) -> dict[str, Any]:
+    """What the always-on flight recorder costs on warm sessions.
+
+    Two sessions over one shared XMark document — recorder on (the
+    default) and ``record=False`` — each warmed with one run per query so
+    documents are encoded and plans cached; the measured loop is then
+    pure ``session.run``.  ``overhead_ratio`` is warm recorder-on time
+    over recorder-off time (1.0 = free; the design budget is < 1.05).
+    The recorder-on session also reports its own histogram-estimated
+    p50/p99 per query, exactly what ``/debug/queries`` and ``repro top``
+    serve in production.
+    """
+    from repro.obs.flight import query_fingerprint
+    from repro.session import XQuerySession
+
+    document = cached_document(scale, seed=SEED)
+    results: dict[str, Any] = {}
+    sessions = {"on": XQuerySession(), "off": XQuerySession(record=False)}
+    try:
+        for bench_name, query_name in FIGURE_QUERIES.items():
+            query = QUERIES[query_name]
+            compiled = compile_xquery(query)
+            timings: dict[str, float] = {}
+            for label, session in sessions.items():
+                for uri in compiled.documents:
+                    if uri not in session.documents:
+                        session.add_document(uri, (document,))
+                session.run(query)  # warm: encodings + plan cache primed
+                timings[label] = _best_seconds(
+                    lambda: session.run(query), repeats)
+            entry: dict[str, Any] = {
+                "query": query_name,
+                "recorder_on_ops_per_sec": round(1.0 / timings["on"], 2),
+                "recorder_off_ops_per_sec": round(1.0 / timings["off"], 2),
+                "overhead_ratio": round(timings["on"] / timings["off"], 4),
+            }
+            recorder = sessions["on"].recorder
+            assert recorder is not None
+            fingerprint = query_fingerprint(query)
+            for row in recorder.percentiles():
+                if row["fingerprint"] == fingerprint \
+                        and row["backend"] == "engine":
+                    entry["count"] = row["count"]
+                    entry["p50_ms"] = row["p50_ms"]
+                    entry["p99_ms"] = row["p99_ms"]
+                    break
+            results[bench_name] = entry
+    finally:
+        for session in sessions.values():
+            session.close()
+    return results
+
+
 def run_bench(scale: float, repeats: int, workers: int = 4,
               batch: int = 8) -> dict[str, Any]:
     document = cached_document(scale, seed=SEED)
@@ -363,6 +421,7 @@ def run_bench(scale: float, repeats: int, workers: int = 4,
         "operators": bench_operators(scale, repeats),
         "queries": bench_queries(scale, repeats, workers, batch),
         "planner": bench_planner(scale, repeats),
+        "telemetry": bench_telemetry(scale, repeats),
     }
 
 
@@ -405,6 +464,15 @@ def check_regressions(current: dict[str, Any], baseline: dict[str, Any],
         for field in ("estimated_speedup", "observed_speedup"):
             compare("planner", f"{name}/{field}",
                     now["execution"][field], entry["execution"][field])
+    for name, entry in baseline.get("telemetry", {}).items():
+        now = current.get("telemetry", {}).get(name)
+        if now is not None and now.get("overhead_ratio") \
+                and entry.get("overhead_ratio"):
+            # Inverted so "bigger = better" matches the speedup framing:
+            # a growing overhead ratio shows up as a dropping efficiency.
+            compare("telemetry", f"{name}/recorder_efficiency",
+                    1.0 / now["overhead_ratio"],
+                    1.0 / entry["overhead_ratio"])
     return failures
 
 
@@ -445,6 +513,13 @@ def main(argv: list[str] | None = None) -> int:
               f"estimated / {execution['observed_speedup']:.2f}x observed; "
               f"plan {cache['cold_plan_ms']:.1f}ms cold → "
               f"{cache['warm_plan_ms']:.2f}ms warm")
+    for name, entry in result["telemetry"].items():
+        overhead = (entry["overhead_ratio"] - 1.0) * 100.0
+        print(f"  {name}: recorder overhead {overhead:+.1f}% "
+              f"({entry['recorder_on_ops_per_sec']:.1f} vs "
+              f"{entry['recorder_off_ops_per_sec']:.1f} ops/s), "
+              f"p50 {entry.get('p50_ms', '-')}ms / "
+              f"p99 {entry.get('p99_ms', '-')}ms")
 
     if args.check:
         with open(args.check, encoding="utf-8") as handle:

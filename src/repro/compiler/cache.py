@@ -16,6 +16,7 @@ dropped so the next lookup replans against the corrected numbers.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -42,6 +43,36 @@ class CacheKey:
     def shape_key(self) -> tuple[str, str, bool, bool]:
         """The document-independent half — observations key on this."""
         return (self.shape, self.strategy, self.decorrelate, self.optimize)
+
+    def fingerprint(self) -> str:
+        """A short stable hex id of the full key — the *plan fingerprint*
+        surfaced on flight-recorder records and in the slow-query log."""
+        payload = "|".join((self.shape, self.strategy,
+                            str(self.decorrelate), str(self.optimize),
+                            self.stats_digest))
+        return hashlib.blake2b(payload.encode("utf-8"),
+                               digest_size=6).hexdigest()
+
+
+def worst_deviation(estimates: Mapping[int, float],
+                    observed: Mapping[int, int]) -> float | None:
+    """The worst est-vs-observed cardinality ratio across plan nodes.
+
+    Symmetric (an 8x under-estimate and an 8x over-estimate both score
+    8.0) and add-one smoothed, matching the eviction test in
+    :meth:`PlanCache.record_observation`.  ``None`` when the estimate and
+    observation sets share no fingerprint.
+    """
+    worst: float | None = None
+    for fingerprint, actual in observed.items():
+        estimate = estimates.get(fingerprint)
+        if estimate is None:
+            continue
+        ratio = max((actual + 1.0) / (estimate + 1.0),
+                    (estimate + 1.0) / (actual + 1.0))
+        if worst is None or ratio > worst:
+            worst = ratio
+    return worst
 
 
 @dataclass

@@ -12,12 +12,22 @@ serialize lifecycle uniformly across every registered backend:
   ``chrome://tracing``), Prometheus text format (with a validating
   parser), and a human-readable tree renderer;
 * :mod:`repro.obs.logs` — console wiring for the ``repro`` stdlib
-  logger hierarchy (the CLI's ``--verbose``).
+  logger hierarchy (the CLI's ``--verbose``) and the structured
+  slow-query log on ``repro.slowlog``;
+* :mod:`repro.obs.flight` — the always-on :class:`FlightRecorder` ring
+  buffer every ``session.run`` reports into, with tail-based trace
+  sampling, per-(fingerprint, backend) latency percentiles, and
+  :class:`SLO` burn-rate gauges;
+* :mod:`repro.obs.serve` — the ``/metrics`` + ``/healthz`` +
+  ``/debug/queries`` introspection HTTP server (imported lazily by
+  ``session.serve_telemetry`` so plain library use never touches
+  ``http.server``).
 
 Entry points: ``XQuerySession.run(query, trace=True)`` returns a
 :class:`~repro.api.QueryResult` whose ``trace`` is the root span;
 ``python -m repro … --trace out.json --metrics`` does the same from the
-command line.  See ``docs/OBSERVABILITY.md``.
+command line, and ``python -m repro top URL`` renders a live recorder's
+percentile table.  See ``docs/OBSERVABILITY.md``.
 """
 
 from repro.obs.export import (
@@ -28,7 +38,22 @@ from repro.obs.export import (
     render_span_tree,
     write_chrome_trace,
 )
-from repro.obs.logs import setup_console_logging
+from repro.obs.flight import (
+    DEFAULT_SLOS,
+    LATENCY_BUCKETS,
+    SLO,
+    AttemptRecord,
+    FlightRecorder,
+    QueryRecord,
+    estimate_quantile,
+    query_fingerprint,
+    render_percentile_table,
+)
+from repro.obs.logs import (
+    format_slow_query,
+    log_slow_query,
+    setup_console_logging,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -48,19 +73,30 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AttemptRecord",
     "Counter",
+    "DEFAULT_SLOS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
+    "LATENCY_BUCKETS",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
     "PrometheusFormatError",
+    "QueryRecord",
+    "SLO",
     "Span",
     "Tracer",
     "chrome_trace",
+    "estimate_quantile",
+    "format_slow_query",
     "get_metrics",
     "get_tracer",
+    "log_slow_query",
     "parse_prometheus",
+    "query_fingerprint",
+    "render_percentile_table",
     "render_prometheus",
     "render_span_tree",
     "set_metrics",

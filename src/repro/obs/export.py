@@ -156,9 +156,11 @@ def parse_prometheus(text: str) -> dict[str, float]:
 
     Returns ``{"name{label=\"v\",…}": value}``.  Raises
     :class:`PrometheusFormatError` on any malformed line, on samples whose
-    metric family lacks a ``# TYPE`` declaration, and on histograms whose
-    cumulative buckets decrease or disagree with ``_count`` — the checks
-    the CI round-trip step relies on.
+    metric family lacks a ``# TYPE`` declaration, and on histogram series
+    that emit bucket bounds out of ascending ``le`` order, repeat a bound,
+    decrease cumulatively, omit the ``+Inf`` bucket or the ``_sum`` /
+    ``_count`` samples, or whose ``+Inf`` count disagrees with ``_count``
+    — the checks the CI round-trip step relies on.
     """
     samples: dict[str, float] = {}
     types: dict[str, str] = {}
@@ -249,18 +251,31 @@ def _validate_histograms(samples: Mapping[str, float],
                          buckets: Mapping[str, list[tuple[float, float]]],
                          ) -> None:
     for series, pairs in buckets.items():
-        ordered = sorted(pairs)
-        counts = [count for _bound, count in ordered]
+        bounds = [bound for bound, _count in pairs]
+        if len(set(bounds)) != len(bounds):
+            raise PrometheusFormatError(
+                f"histogram {series!r}: duplicate bucket bound")
+        if bounds != sorted(bounds):
+            raise PrometheusFormatError(
+                f"histogram {series!r}: bucket bounds are not emitted "
+                f"in ascending le order")
+        counts = [count for _bound, count in pairs]
         if counts != sorted(counts):
             raise PrometheusFormatError(
                 f"histogram {series!r}: bucket counts are not cumulative")
-        if not ordered or not math.isinf(ordered[-1][0]):
+        if not math.isinf(bounds[-1]):
             raise PrometheusFormatError(
                 f"histogram {series!r}: missing +Inf bucket")
         family, _brace, label_text = series.partition("{")
-        count_key = f"{family}_count" + (
-            "{" + label_text if label_text else "")
-        if count_key in samples and samples[count_key] != ordered[-1][1]:
+        suffix = "{" + label_text if label_text else ""
+        count_key = f"{family}_count" + suffix
+        if count_key not in samples:
             raise PrometheusFormatError(
-                f"histogram {series!r}: +Inf bucket ({ordered[-1][1]}) "
+                f"histogram {series!r}: missing _count sample")
+        if samples[count_key] != pairs[-1][1]:
+            raise PrometheusFormatError(
+                f"histogram {series!r}: +Inf bucket ({pairs[-1][1]}) "
                 f"disagrees with _count ({samples[count_key]})")
+        if f"{family}_sum" + suffix not in samples:
+            raise PrometheusFormatError(
+                f"histogram {series!r}: missing _sum sample")

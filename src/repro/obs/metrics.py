@@ -15,6 +15,7 @@ Export to Prometheus text format lives in :mod:`repro.obs.export`.
 
 from __future__ import annotations
 
+import math
 import re
 import threading
 from typing import Iterator, Mapping
@@ -141,7 +142,10 @@ class Histogram(Metric):
     """Observation counts over fixed buckets, plus sum and count.
 
     Buckets are upper bounds (``le``); an implicit ``+Inf`` bucket always
-    exists, so any observation is representable.
+    exists, so any observation is representable.  Declared bounds are
+    deduplicated, sorted ascending, and stripped of non-finite values
+    (``inf``/``nan`` would shadow the implicit ``+Inf`` bucket and break
+    the exporter's cumulative-count invariant).
     """
 
     kind = "histogram"
@@ -150,9 +154,11 @@ class Histogram(Metric):
                  label_names: tuple[str, ...] = (),
                  buckets: tuple[float, ...] = DEFAULT_BUCKETS):
         super().__init__(name, description, label_names)
-        self.buckets = tuple(sorted(set(buckets)))
+        self.buckets = tuple(sorted({float(bound) for bound in buckets
+                                     if math.isfinite(bound)}))
         if not self.buckets:
-            raise ReproError(f"histogram {self.name!r} needs ≥1 bucket")
+            raise ReproError(
+                f"histogram {self.name!r} needs ≥1 finite bucket")
         # label key → [per-bucket counts..., +Inf count, sum, count]
         self._states: dict[tuple[str, ...], list[float]] = {}
 

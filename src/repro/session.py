@@ -23,6 +23,7 @@ from __future__ import annotations
 import logging
 import os
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Mapping
@@ -40,6 +41,7 @@ from repro.errors import (
     QueryTimeoutError,
     ResourceBudgetError,
 )
+from repro.obs.flight import SLO, AttemptRecord, FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer, get_tracer
 from repro.resilience.breaker import STATE_VALUES
@@ -69,6 +71,16 @@ class XQuerySession:
     invalidations; traced runs additionally feed engine/SQL instruments
     into it.  Export with :func:`repro.obs.render_prometheus`.
 
+    **Always-on telemetry.**  Unless constructed with ``record=False``
+    the session also owns a :class:`~repro.obs.flight.FlightRecorder`
+    (:attr:`recorder`): every :meth:`run` / :meth:`run_many` call —
+    no flags required — lands in its ring buffer with wall/phase
+    timings, outcome, plan-cache facts, and per-attempt latencies;
+    anomalous runs (slow, errored, degraded, plan-evicting) keep their
+    full span tree and emit one structured slow-query log line.
+    :meth:`serve_telemetry` exposes ``/metrics`` + ``/healthz`` +
+    ``/debug/queries`` over HTTP.  See ``docs/OBSERVABILITY.md``.
+
     **Thread safety.**  One session serves many threads: any number of
     :meth:`run` calls proceed concurrently (they share the read side of a
     readers–writer lock), while :meth:`add_document`,
@@ -82,7 +94,11 @@ class XQuerySession:
 
     def __init__(self, backend: str = "engine",
                  strategy: str | JoinStrategy = JoinStrategy.MSJ,
-                 simplify: bool = False):
+                 simplify: bool = False,
+                 record: bool = True,
+                 recorder: FlightRecorder | None = None,
+                 slow_seconds: float | None = None,
+                 slos: "Iterable[SLO] | None" = None):
         self.backend = backend
         self.strategy = coerce_strategy(strategy)
         self.simplify = simplify
@@ -129,6 +145,21 @@ class XQuerySession:
         self._g_pool_queued = self.metrics.gauge(
             "repro_session_pool_queued",
             "batch queries submitted but not yet started")
+        #: The always-on flight recorder (``record=False`` opts out; pass
+        #: ``recorder`` to share one across sessions).  Every ``run`` /
+        #: ``run_many`` call reports into it — see ``docs/OBSERVABILITY.md``.
+        if recorder is not None:
+            self.recorder: FlightRecorder | None = recorder
+        elif record:
+            kwargs: dict = {"metrics": self.metrics, "slos": slos}
+            if slow_seconds is not None:
+                kwargs["slow_seconds"] = slow_seconds
+            self.recorder = FlightRecorder(**kwargs)
+        else:
+            self.recorder = None
+        self._telemetry_lock = threading.Lock()
+        self._telemetry: "object | None" = None
+        self._phase_tls = threading.local()
 
     # -- document management ---------------------------------------------------
 
@@ -236,15 +267,27 @@ class XQuerySession:
         """
         name = backend or self.backend
         active = self._effective_tracer(trace, tracer)
+        #: ``full`` = the caller asked for tracing; the recorder's private
+        #: phase-level tracer below never instruments backends, never fills
+        #: engine/SQL metrics, and never surfaces on ``QueryResult.trace``.
+        full = active is not None
         if guard is None and (deadline is not None or budget is not None):
             guard = QueryGuard(deadline=deadline, budget=budget)
         if guard is not None and not guard.enabled:
             guard = None
         self._m_queries.inc(backend=name)
+        recorder = self.recorder
+        if recorder is not None and active is None:
+            active = self._phase_tracer()
         with self._state_lock.read_locked():
+            if recorder is not None:
+                return self._run_recorded(query, name, strategy, stats,
+                                          active, full, guard, fallback,
+                                          retry, recorder)
             if guard is not None or fallback or retry is not None:
                 return self._run_resilient(query, name, strategy, stats,
-                                           active, guard, fallback, retry)
+                                           active, guard, fallback, retry,
+                                           full=full)
             if active is None:
                 compiled = self.prepare(query)
                 target = self.backend_instance(name)
@@ -345,40 +388,108 @@ class XQuerySession:
                 self._g_pool_workers.set(workers)
             return self._executor
 
+    def _run_recorded(self, query: str, name: str,
+                      strategy: str | JoinStrategy | None,
+                      stats: EngineStats | None,
+                      active: Tracer, full: bool,
+                      guard: QueryGuard | None,
+                      fallback: "tuple[str, ...] | list[str]",
+                      retry: RetryPolicy | None,
+                      recorder: FlightRecorder) -> QueryResult:
+        """Run through the phase-traced paths and report to the recorder.
+
+        The record is written in a ``finally`` — success, degradation, and
+        raised errors all land in the ring buffer.  ``extra`` doubles as
+        the :class:`ExecutionOptions` report channel (the engine backend
+        puts plan-cache facts there) and as the hand-off slot for the root
+        span, so concurrent ``run_many`` workers never read each other's
+        trees off a shared tracer.
+        """
+        attempts: list[AttemptRecord] = []
+        extra: dict[str, object] = {}
+        result: QueryResult | None = None
+        error: BaseException | None = None
+        start = time.perf_counter()
+        try:
+            if guard is not None or fallback or retry is not None:
+                result = self._run_resilient(query, name, strategy, stats,
+                                             active, guard, fallback, retry,
+                                             full=full, extra=extra,
+                                             attempts=attempts)
+            else:
+                result = self._run_traced(query, name, strategy, stats,
+                                          active, full=full, extra=extra)
+            return result
+        except BaseException as raised:
+            error = raised
+            raise
+        finally:
+            wall = time.perf_counter() - start
+            root = extra.pop("root", None)
+            try:
+                recorder.record_run(query=query, backend=name, result=result,
+                                    error=error, wall_seconds=wall,
+                                    root=root, attempts=tuple(attempts),
+                                    guard=guard, extra=extra)
+            except Exception:  # never let telemetry sink a query result
+                logger.exception("flight recorder failed for %.60s", query)
+
     def _run_traced(self, query: str, name: str,
                     strategy: str | JoinStrategy | None,
                     stats: EngineStats | None,
-                    active: Tracer) -> QueryResult:
-        logger.debug("traced run on backend %r: %.60s", name, query)
+                    active: Tracer, full: bool = True,
+                    extra: "dict[str, object] | None" = None) -> QueryResult:
+        """One traced run.
+
+        ``full=False`` is the flight recorder's always-on mode: the span
+        tree stays phase-level (no backend instrumentation, no engine/SQL
+        metrics) and the result looks exactly like an untraced one —
+        ``QueryResult.trace`` stays ``None``.
+        """
+        if full:
+            logger.debug("traced run on backend %r: %.60s", name, query)
         options = ExecutionOptions(strategy=self._strategy(strategy),
-                                   stats=stats, metrics=self.metrics)
+                                   stats=stats,
+                                   metrics=self.metrics if full else None,
+                                   extra=extra if extra is not None else {})
         with active.span("query", backend=name) as root:
+            if extra is not None:
+                extra["root"] = root  # visible to the recorder on error too
             with active.span("compile") as compile_span:
                 compiled = self.prepare(query)
             target = self.backend_instance(name)
             with active.span("prepare") as prepare_span:
                 target.prepare(self._bindings(compiled))
                 prepare_span.set(documents=len(compiled.documents))
-            target.instrument(active)
+            if full:
+                target.instrument(active)
             try:
                 with active.span("execute") as execute_span:
                     forest = target.execute(compiled, options)
                     execute_span.set(trees=len(forest))
             finally:
-                target.instrument(None)
+                if full:
+                    target.instrument(None)
             # Compilation passes run (and are cached) outside this trace —
             # the parse/lower records from the first compile, the plan
             # records from whichever execute first planned.  Graft them
             # all under the compile span so every traced run carries the
-            # complete pipeline, cached or not.
-            for record in compiled.trace.records:
-                span = active.record_span(f"pass.{record.name}",
-                                          record.seconds,
-                                          parent=compile_span,
-                                          compiler_pass=record.name)
-                if record.detail:
-                    span.set(detail=record.detail)
-        return QueryResult(forest, trace=root, tracer=active, backend=name)
+            # complete pipeline, cached or not.  The recorder's
+            # phase-level mode skips the grafting: its records only need
+            # the top-level phases, and the per-pass spans are the most
+            # expensive allocations on this path.
+            if full:
+                for record in compiled.trace.records:
+                    span = active.record_span(f"pass.{record.name}",
+                                              record.seconds,
+                                              parent=compile_span,
+                                              compiler_pass=record.name)
+                    if record.detail:
+                        span.set(detail=record.detail)
+        return QueryResult(forest,
+                           trace=root if full else None,
+                           tracer=active if full else None,
+                           backend=name)
 
     def _run_resilient(self, query: str, name: str,
                        strategy: str | JoinStrategy | None,
@@ -386,20 +497,35 @@ class XQuerySession:
                        active: Tracer | None,
                        guard: QueryGuard | None,
                        fallback: "tuple[str, ...] | list[str]",
-                       retry: RetryPolicy | None) -> QueryResult:
-        """Execute with guard enforcement, retries, and fallback chain."""
-        tracing = active is not None
+                       retry: RetryPolicy | None,
+                       full: bool = True,
+                       extra: "dict[str, object] | None" = None,
+                       attempts: "list[AttemptRecord] | None" = None,
+                       ) -> QueryResult:
+        """Execute with guard enforcement, retries, and fallback chain.
+
+        ``full=False`` (the recorder's always-on mode) keeps the span tree
+        phase-level and leaves ``QueryResult.trace`` unset, exactly like
+        :meth:`_run_traced`.  ``attempts``, when given, accumulates one
+        :class:`AttemptRecord` per backend attempt — failures included —
+        so the recorder's histograms price the whole fallback chain, not
+        just the winner.
+        """
+        tracing = full and active is not None
         tr = active if active is not None else NULL_TRACER
         policy = retry if retry is not None else NO_RETRY
         chain = build_chain(name, tuple(fallback))
         options = ExecutionOptions(
             strategy=self._strategy(strategy), stats=stats,
-            metrics=self.metrics if tracing else None, guard=guard)
+            metrics=self.metrics if tracing else None, guard=guard,
+            extra=extra if extra is not None else {})
         degradations: list[Degradation] = []
         last_error: BaseException | None = None
         winner: str | None = None
         forest: Forest = ()
         with tr.span("query", backend=name, resilient=True) as root:
+            if extra is not None:
+                extra["root"] = root
             with tr.span("compile") as compile_span:
                 compiled = self.prepare(query)
             for target_name in chain:
@@ -420,7 +546,8 @@ class XQuerySession:
                     continue
                 try:
                     forest = self._attempt(compiled, target_name, options,
-                                           active, breaker, policy, guard)
+                                           active, breaker, policy, guard,
+                                           full=full, attempts=attempts)
                 except (QueryTimeoutError, ResourceBudgetError) as error:
                     if isinstance(error, QueryTimeoutError):
                         self._m_timeouts.inc(backend=target_name)
@@ -447,44 +574,61 @@ class XQuerySession:
             if degradations:
                 self._m_fallbacks.inc(source=name, target=winner)
             root.set(backend=winner, degraded=bool(degradations))
-            for record in compiled.trace.records:
-                span = tr.record_span(f"pass.{record.name}", record.seconds,
-                                      parent=compile_span,
-                                      compiler_pass=record.name)
-                if record.detail:
-                    span.set(detail=record.detail)
+            if full:
+                for record in compiled.trace.records:
+                    span = tr.record_span(f"pass.{record.name}",
+                                          record.seconds,
+                                          parent=compile_span,
+                                          compiler_pass=record.name)
+                    if record.detail:
+                        span.set(detail=record.detail)
         return QueryResult(forest,
                            trace=root if tracing else None,
-                           tracer=active, backend=winner,
+                           tracer=active if tracing else None,
+                           backend=winner,
                            degradations=tuple(degradations))
 
     def _attempt(self, compiled: CompiledQuery, name: str,
                  options: ExecutionOptions, active: Tracer | None,
                  breaker: "CircuitBreaker", policy: RetryPolicy,
-                 guard: QueryGuard | None) -> Forest:
+                 guard: QueryGuard | None, full: bool = True,
+                 attempts: "list[AttemptRecord] | None" = None) -> Forest:
         """One backend's (possibly retried) prepare + execute."""
         target = self.backend_instance(name)
+        instrument = full and active is not None
         tr = active if active is not None else NULL_TRACER
 
         def once() -> Forest:
-            with tr.span("attempt", backend=name):
-                try:
-                    with tr.span("prepare") as prepare_span:
-                        target.prepare(self._bindings(compiled))
-                        prepare_span.set(documents=len(compiled.documents))
-                    if active is not None:
-                        target.instrument(active)
+            begin = time.perf_counter()
+            try:
+                with tr.span("attempt", backend=name):
                     try:
-                        with tr.span("execute") as execute_span:
-                            result = target.execute(compiled, options)
-                            execute_span.set(trees=len(result))
-                    finally:
-                        if active is not None:
-                            target.instrument(None)
-                except Exception as error:
-                    if counts_against_breaker(error):
-                        breaker.record_failure()
-                    raise
+                        with tr.span("prepare") as prepare_span:
+                            target.prepare(self._bindings(compiled))
+                            prepare_span.set(
+                                documents=len(compiled.documents))
+                        if instrument:
+                            target.instrument(active)
+                        try:
+                            with tr.span("execute") as execute_span:
+                                result = target.execute(compiled, options)
+                                execute_span.set(trees=len(result))
+                        finally:
+                            if instrument:
+                                target.instrument(None)
+                    except Exception as error:
+                        if counts_against_breaker(error):
+                            breaker.record_failure()
+                        raise
+            except BaseException as error:
+                if attempts is not None:
+                    attempts.append(AttemptRecord(
+                        name, time.perf_counter() - begin,
+                        type(error).__name__))
+                raise
+            if attempts is not None:
+                attempts.append(AttemptRecord(
+                    name, time.perf_counter() - begin))
             return result
 
         def on_retry(attempt: int, delay: float, error: BaseException) -> None:
@@ -501,6 +645,25 @@ class XQuerySession:
     def _record_breaker(self, name: str, breaker: "CircuitBreaker") -> None:
         self._g_breaker.set(STATE_VALUES[breaker.state], backend=name)
 
+    def _phase_tracer(self) -> Tracer:
+        """The calling thread's reusable phase-level tracer.
+
+        Untraced recorded runs need a real tracer for the handful of
+        phase spans the flight recorder reads, but allocating a
+        :class:`Tracer` (and its ``threading.local``) per run is
+        measurable on sub-millisecond queries.  One tracer per thread,
+        roots cleared per run, keeps the hot path allocation-light;
+        retained (tail-sampled) span trees stay valid because clearing
+        ``roots`` never mutates the spans themselves.
+        """
+        tracer = getattr(self._phase_tls, "tracer", None)
+        if tracer is None:
+            tracer = Tracer()
+            self._phase_tls.tracer = tracer
+        else:
+            tracer.roots.clear()
+        return tracer
+
     def _effective_tracer(self, trace: bool,
                           tracer: Tracer | None) -> Tracer | None:
         """The tracer a run should use, or None for the untraced path."""
@@ -510,6 +673,56 @@ class XQuerySession:
             return Tracer()
         ambient = get_tracer()
         return ambient if ambient.enabled else None
+
+    # -- telemetry -------------------------------------------------------------------
+
+    def serve_telemetry(self, port: int = 0, host: str = "127.0.0.1"):
+        """Start the introspection HTTP server for this session.
+
+        Exposes ``/metrics`` (Prometheus text), ``/healthz`` (breaker
+        states + pool gauges + recorder stats), and ``/debug/queries``
+        (the flight recorder's ring buffer as JSON, filterable with
+        ``?outcome=…&sampled=…&limit=…``).  ``port=0`` picks a free port;
+        read it back from the returned server's ``.port``.  Idempotent —
+        a second call returns the running server.  :meth:`close` shuts it
+        down.
+        """
+        from repro.obs.serve import TelemetryServer
+
+        with self._telemetry_lock:
+            if self._telemetry is None:
+                server = TelemetryServer(self, host=host, port=port)
+                server.start()
+                self._telemetry = server
+            return self._telemetry
+
+    def health(self) -> dict[str, object]:
+        """The liveness snapshot behind ``/healthz``.
+
+        ``status`` is ``"ok"`` unless some backend's circuit breaker is
+        open (``"degraded"``) — a load balancer can act on the top-level
+        field alone.
+        """
+        breakers = {name: backend_breaker(name).state
+                    for name in self.active_backends}
+        payload: dict[str, object] = {
+            "status": ("degraded" if any(state == "open"
+                                         for state in breakers.values())
+                       else "ok"),
+            "backend": self.backend,
+            "documents": self.documents,
+            "active_backends": self.active_backends,
+            "breakers": breakers,
+            "pool": {
+                "workers": int(self._g_pool_workers.value()),
+                "active": int(self._g_pool_active.value()),
+                "queued": int(self._g_pool_queued.value()),
+            },
+        }
+        if self.recorder is not None:
+            payload["flight"] = self.recorder.stats()
+            payload["slos"] = self.recorder.slo_status()
+        return payload
 
     def explain(self, query: str,
                 strategy: str | JoinStrategy | None = None,
@@ -579,6 +792,10 @@ class XQuerySession:
         the write lock would deadlock); backends are then closed with the
         session quiesced.
         """
+        with self._telemetry_lock:
+            server, self._telemetry = self._telemetry, None
+        if server is not None:
+            server.stop()
         with self._executor_lock:
             executor, self._executor = self._executor, None
             self._executor_workers = 0

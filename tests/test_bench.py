@@ -121,3 +121,28 @@ class TestReporting:
         series = format_series(small_sweep)
         assert set(series) == {"naive", "di-msj"}
         assert len(series["di-msj"]) == 1
+
+
+class TestEngineBenchTelemetry:
+    def test_telemetry_section_measures_recorder_cost(self):
+        from repro.bench.engine_bench import FIGURE_QUERIES, bench_telemetry
+
+        section = bench_telemetry(scale=0.002, repeats=1)
+        assert set(section) == set(FIGURE_QUERIES)
+        for entry in section.values():
+            assert entry["recorder_on_ops_per_sec"] > 0
+            assert entry["recorder_off_ops_per_sec"] > 0
+            assert entry["overhead_ratio"] > 0
+            # The recorder-on session reports its own histogram estimates
+            # (warm-up run + measured runs all recorded).
+            assert entry["count"] >= 2
+            assert entry["p50_ms"] > 0 and entry["p99_ms"] > 0
+
+    def test_check_regressions_gates_recorder_efficiency(self):
+        from repro.bench.engine_bench import check_regressions
+
+        baseline = {"telemetry": {"fig8_q13": {"overhead_ratio": 1.0}}}
+        grown = {"telemetry": {"fig8_q13": {"overhead_ratio": 4.0}}}
+        failures = check_regressions(grown, baseline)
+        assert any("recorder_efficiency" in failure for failure in failures)
+        assert check_regressions(baseline, baseline) == []

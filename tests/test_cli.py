@@ -102,6 +102,40 @@ class TestObservability:
         assert code == 0
         assert "Jaak TempestiCong Rosca" in capsys.readouterr().out
 
+    def test_serve_telemetry_announces_url(self, sample_file, capsys):
+        code = main([QUERY, "--doc", f"a.xml={sample_file}",
+                     "--serve-telemetry", "0"])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "telemetry serving on http://127.0.0.1:" in captured.err
+        assert "Jaak Tempesti" in captured.out
+
+    def test_serve_telemetry_endpoint_answers_during_linger(
+            self, sample_file, capsys, monkeypatch):
+        """While the CLI lingers, /debug/queries shows the batch it ran."""
+        import re
+        import time as time_module
+        from repro.obs.serve import fetch_json
+
+        seen: dict[str, object] = {}
+
+        def scrape_instead_of_sleeping(seconds: float) -> None:
+            url = re.search(r"telemetry serving on (\S+)",
+                            capsys.readouterr().err).group(1)
+            seen.update(fetch_json(url + "/debug/queries?traces=false"))
+
+        monkeypatch.setattr(time_module, "sleep",
+                            scrape_instead_of_sleeping)
+        code = main([QUERY, QUERY, "--doc", f"a.xml={sample_file}",
+                     "--serve-telemetry", "0", "--serve-linger", "5"])
+        assert code == 0
+        assert seen["stats"]["recorded_total"] == 2
+
+    def test_top_without_server_exits_1(self, capsys):
+        code = main(["top", "127.0.0.1:9"])  # discard port: refused
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
 
 class TestErrors:
     def test_missing_document(self, capsys):

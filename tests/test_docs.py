@@ -30,6 +30,18 @@ class TestDocFilesExist:
         for figure in ("Figure 8", "Figure 9", "Figure 10", "Figure 11"):
             assert figure in text
 
+    def test_observability_covers_production_telemetry(self):
+        text = (ROOT / "docs/OBSERVABILITY.md").read_text()
+        assert "## Production telemetry" in text
+        for term in ("FlightRecorder", "/metrics", "/healthz",
+                     "/debug/queries", "repro_slo_burn_rate",
+                     "--serve-telemetry", "python -m repro top",
+                     "slow_seconds", "repro.slowlog"):
+            assert term in text, term
+        # README and the API reference both point at the section.
+        assert "Production telemetry" in (ROOT / "README.md").read_text()
+        assert "Production telemetry" in (ROOT / "docs/API.md").read_text()
+
     def test_design_per_experiment_index(self):
         text = (ROOT / "DESIGN.md").read_text()
         for experiment in ("fig8", "fig9", "fig10", "fig11",

@@ -189,6 +189,22 @@ class TestHistogram:
         assert histogram.count(op="join") == 1
         assert histogram.bucket_counts(op="join")[0] == (10, 0)
 
+    def test_unsorted_bounds_are_sorted_and_deduped(self):
+        histogram = Histogram("widths", buckets=(16, 1, 4, 4))
+        assert histogram.buckets == (1.0, 4.0, 16.0)
+        histogram.observe(2)
+        assert histogram.bucket_counts() == [
+            (1.0, 0), (4.0, 1), (16.0, 1), (float("inf"), 1)]
+
+    def test_non_finite_bounds_stripped(self):
+        histogram = Histogram("widths",
+                              buckets=(1, float("inf"), float("nan"), 4))
+        assert histogram.buckets == (1.0, 4.0)
+
+    def test_no_finite_bound_rejected(self):
+        with pytest.raises(ReproError, match="finite"):
+            Histogram("widths", buckets=(float("inf"),))
+
 
 class TestRegistry:
     def test_get_or_create_returns_same_instrument(self):
@@ -368,4 +384,27 @@ class TestPrometheus:
                 'h_bucket{le="+Inf"} 3\n'
                 "h_count 7\n")
         with pytest.raises(PrometheusFormatError, match="disagrees"):
+            parse_prometheus(text)
+
+    def test_unordered_bucket_bounds_rejected(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="0.5"} 1\n'
+                'h_bucket{le="0.1"} 1\n'
+                'h_bucket{le="+Inf"} 2\n'
+                "h_sum 1\nh_count 2\n")
+        with pytest.raises(PrometheusFormatError, match="ascending"):
+            parse_prometheus(text)
+
+    def test_missing_count_rejected(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 2\n'
+                "h_sum 1\n")
+        with pytest.raises(PrometheusFormatError, match="missing _count"):
+            parse_prometheus(text)
+
+    def test_missing_sum_rejected(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 2\n'
+                "h_count 2\n")
+        with pytest.raises(PrometheusFormatError, match="missing _sum"):
             parse_prometheus(text)

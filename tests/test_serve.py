@@ -1,0 +1,233 @@
+"""The live introspection endpoint: /metrics, /healthz, /debug/queries.
+
+A real :class:`ThreadingHTTPServer` on an ephemeral port, exercised
+with stdlib urllib — exactly how a scraper or ``repro top`` reaches a
+production session.  ``/metrics`` must round-trip through the strict
+Prometheus validator, and concurrent scrapes during a ``run_many``
+batch must never observe a torn record.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.export import parse_prometheus
+from repro.obs.flight import query_fingerprint
+from repro.obs.serve import (
+    ENDPOINTS,
+    PROMETHEUS_CONTENT_TYPE,
+    TelemetryServer,
+    fetch_json,
+    render_top,
+    run_top,
+)
+from repro.session import XQuerySession
+from repro.xmark.queries import FIGURE1_SAMPLE
+
+NAMES = 'document("a.xml")/site/people/person/name/text()'
+
+
+@pytest.fixture
+def session():
+    with XQuerySession(slow_seconds=0.0) as active:  # tail-sample all runs
+        active.add_document("a.xml", FIGURE1_SAMPLE)
+        yield active
+
+
+@pytest.fixture
+def server(session):
+    yield session.serve_telemetry(port=0)
+
+
+def get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, dict(response.headers), response.read()
+
+
+class TestServerLifecycle:
+    def test_ephemeral_port_and_url(self, server):
+        assert server.running
+        assert server.port > 0
+        assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_serve_telemetry_is_idempotent(self, session, server):
+        assert session.serve_telemetry() is server
+
+    def test_close_stops_the_server(self, session, server):
+        url = server.url
+        session.close()
+        assert not server.running
+        with pytest.raises(urllib.error.URLError):
+            get(url + "/healthz")
+
+    def test_stop_is_idempotent(self, server):
+        server.stop()
+        server.stop()
+        assert not server.running
+
+    def test_context_manager(self, session):
+        with TelemetryServer(session) as standalone:
+            status, _headers, _body = get(standalone.url + "/healthz")
+            assert status == 200
+        assert not standalone.running
+
+    def test_repr(self, server):
+        assert server.url in repr(server)
+        assert "stopped" in repr(TelemetryServer.__repr__(
+            TelemetryServer(None)))  # type: ignore[arg-type]
+
+
+class TestEndpoints:
+    def test_index_lists_endpoints(self, server):
+        status, _headers, body = get(server.url + "/")
+        assert status == 200
+        assert json.loads(body)["endpoints"] == list(ENDPOINTS)
+
+    def test_unknown_path_404s(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            get(server.url + "/nope")
+        with exc.value as error:  # HTTPError is the (open) response body
+            assert error.code == 404
+            assert "endpoints" in json.loads(error.read())
+
+    def test_healthz_always_200(self, session, server):
+        status, _headers, body = get(server.url + "/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["backend"] == "engine"
+        assert "flight" in payload and "slos" in payload
+
+    def test_metrics_round_trips_strict_validator(self, session, server):
+        session.run(NAMES)
+        status, headers, body = get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        samples = parse_prometheus(body.decode("utf-8"))
+        assert any(key.startswith("repro_query_latency_seconds_bucket")
+                   for key in samples)
+        assert samples['repro_flight_records_total{outcome="ok"}'] == 1
+        assert 'repro_slo_burn_rate{slo="default"}' in samples
+
+
+class TestDebugQueries:
+    def payload(self, server, suffix=""):
+        _status, _headers, body = get(server.url + "/debug/queries" + suffix)
+        return json.loads(body)
+
+    def test_every_run_appears(self, session, server):
+        session.run(NAMES)
+        session.run(NAMES)
+        payload = self.payload(server)
+        assert payload["stats"]["recorded_total"] == 2
+        assert [r["outcome"] for r in payload["records"]] == ["ok", "ok"]
+        assert payload["percentiles"][0]["fingerprint"] == \
+            query_fingerprint(NAMES)
+        assert payload["slos"][0]["name"] == "default"
+
+    def test_tail_sampled_record_serves_its_span_tree(self, session, server):
+        session.run(NAMES)  # slow_seconds=0.0 samples everything
+        (record,) = self.payload(server)["records"]
+        assert record["sampled"] is True
+        assert record["trace"]["name"] == "query"
+        children = [child["name"] for child in record["trace"]["children"]]
+        assert "execute" in children
+
+    def test_traces_false_drops_span_trees(self, session, server):
+        session.run(NAMES)
+        (record,) = self.payload(server, "?traces=false")["records"]
+        assert "trace" not in record
+
+    def test_outcome_filter(self, session, server):
+        session.run(NAMES)
+        with pytest.raises(Exception):
+            session.run("let $x := ")
+        records = self.payload(server, "?outcome=error")["records"]
+        assert [r["outcome"] for r in records] == ["error"]
+        assert self.payload(server, "?outcome=timeout")["records"] == []
+
+    def test_sampled_and_limit_filters(self, session, server):
+        for _ in range(3):
+            session.run(NAMES)
+        assert len(self.payload(server, "?sampled=true")["records"]) == 3
+        assert len(self.payload(server, "?sampled=no")["records"]) == 0
+        limited = self.payload(server, "?limit=2")["records"]
+        assert [r["seq"] for r in limited] == [1, 2]  # newest two
+
+    def test_bad_limit_400s(self, server):
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            get(server.url + "/debug/queries?limit=banana")
+        with exc.value as error:
+            assert error.code == 400
+
+    def test_recorder_disabled_404s(self):
+        with XQuerySession(record=False) as bare:
+            server = bare.serve_telemetry(port=0)
+            status, _headers, _body = get(server.url + "/healthz")
+            assert status == 200  # health still serves without a recorder
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                get(server.url + "/debug/queries")
+            with exc.value as error:
+                assert error.code == 404
+
+    def test_concurrent_scrapes_during_a_batch(self, session, server):
+        """HTTP readers hammer /debug/queries while run_many writes."""
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def scrape_loop():
+            try:
+                while not stop.is_set():
+                    payload = self.payload(server, "?traces=false")
+                    for record in payload["records"]:
+                        assert record["outcome"]
+                        assert record["wall_ms"] >= 0
+            except BaseException as error:
+                errors.append(error)
+
+        scrapers = [threading.Thread(target=scrape_loop) for _ in range(2)]
+        for scraper in scrapers:
+            scraper.start()
+        try:
+            session.run_many([NAMES] * 16, max_workers=4)
+        finally:
+            stop.set()
+            for scraper in scrapers:
+                scraper.join(timeout=10.0)
+        assert not errors
+        assert self.payload(server)["stats"]["recorded_total"] == 16
+
+
+class TestTop:
+    def test_fetch_json(self, server):
+        assert "endpoints" in fetch_json(server.url + "/")
+
+    def test_render_top_summarizes(self, session, server):
+        session.run(NAMES)
+        payload = fetch_json(server.url + "/debug/queries")
+        text = render_top(payload)
+        assert "flight recorder: 1 recorded" in text
+        assert "slo default" in text
+        assert query_fingerprint(NAMES) in text
+        assert "last tail-sampled queries" in text  # slow_seconds=0.0
+
+    def test_run_top_completes_bare_host_port(self, session, server):
+        session.run(NAMES)
+        text = run_top(f"127.0.0.1:{server.port}")
+        assert "flight recorder: 1 recorded" in text
+
+    def test_cli_top_command(self, session, server, capsys):
+        from repro.__main__ import main
+
+        session.run(NAMES)
+        assert main(["top", server.url]) == 0
+        assert "flight recorder: 1 recorded" in capsys.readouterr().out
+
+    def test_cli_top_unreachable_exits_1(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["top", "127.0.0.1:9"]) == 1  # discard port: refused
+        assert "cannot reach" in capsys.readouterr().err
