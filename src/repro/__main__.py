@@ -19,18 +19,30 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 
 from repro.api import compile_xquery
 from repro.backends.registry import registered_backends
 from repro.encoding.interval import encode
-from repro.errors import ReproError
+from repro.errors import OverloadError, QueryCancelledError, ReproError
 from repro.obs.export import render_prometheus, write_chrome_trace
 from repro.obs.logs import setup_console_logging
+from repro.resilience.admission import INTERACTIVE, PRIORITIES, AdmissionConfig
 from repro.session import XQuerySession
 from repro.xml.text_parser import parse_forest
 from repro.xquery.lowering import document_forest
+
+
+class _GracefulShutdown(Exception):
+    """Raised by the SIGTERM handler to unwind into a graceful drain.
+
+    Raising (rather than setting a flag) interrupts whatever the main
+    thread is blocked on — the ``--serve-linger`` sleep, a batch gather —
+    so shutdown starts immediately; the drain itself happens in the
+    ``finally`` that closes the session.
+    """
 
 
 def _load_query(argument: str) -> str:
@@ -133,7 +145,29 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="SECONDS",
                         help="with --serve-telemetry: keep the process (and "
                              "the endpoint) alive this long after the "
-                             "queries finish, for scrapers and `repro top`")
+                             "queries finish, for scrapers and `repro top`; "
+                             "SIGTERM ends the linger early with a graceful "
+                             "drain")
+    parser.add_argument("--priority", default=INTERACTIVE,
+                        choices=list(PRIORITIES),
+                        help="admission priority class for the queries "
+                             "(batch work admits behind interactive work)")
+    parser.add_argument("--admission-limit", type=int, default=None,
+                        metavar="N",
+                        help="cap concurrently executing queries at N "
+                             "(admission control; see docs/ROBUSTNESS.md)")
+    parser.add_argument("--admission-queue", type=int, default=None,
+                        metavar="N",
+                        help="bound the admission queue at N waiting "
+                             "queries; arrivals past it are shed with a "
+                             "retry-after hint")
+    parser.add_argument("--adaptive-admission", action="store_true",
+                        help="adapt the concurrency limit to the observed "
+                             "p99 (AIMD) instead of keeping it static")
+    parser.add_argument("--drain-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="on shutdown, give in-flight queries this long "
+                             "to finish before cancelling them")
     args = parser.parse_args(argv)
 
     if args.verbose:
@@ -179,8 +213,29 @@ def main(argv: list[str] | None = None) -> int:
             print(compiled.to_sql(tables).sql)
             return 0
 
-        with XQuerySession(backend=args.backend,
-                           strategy=args.strategy) as session:
+        admission = None
+        if (args.admission_limit is not None
+                or args.admission_queue is not None
+                or args.adaptive_admission):
+            knobs: dict = {}
+            if args.admission_limit is not None:
+                knobs["max_concurrency"] = args.admission_limit
+            if args.admission_queue is not None:
+                knobs["max_queue_depth"] = args.admission_queue
+            if args.adaptive_admission:
+                knobs["adaptive"] = True
+            admission = AdmissionConfig(**knobs)
+
+        restore_sigterm: "tuple | None" = None
+        session = XQuerySession(backend=args.backend, strategy=args.strategy,
+                                admission=admission)
+        try:
+            if args.serve_telemetry is not None:
+                def _on_sigterm(signum: int, frame: object) -> None:
+                    raise _GracefulShutdown()
+
+                restore_sigterm = (
+                    signal.signal(signal.SIGTERM, _on_sigterm),)
             for uri, text in documents.items():
                 session.add_document(uri, text)
             server = None
@@ -193,23 +248,42 @@ def main(argv: list[str] | None = None) -> int:
                     queries, max_workers=max(args.jobs, 1),
                     trace=traced,
                     deadline=args.timeout, budget=args.max_tuples,
-                    fallback=tuple(args.fallback))
+                    fallback=tuple(args.fallback),
+                    priority=args.priority,
+                    return_errors=True)
             else:
                 results = [session.run(queries[0], trace=traced,
                                        deadline=args.timeout,
                                        budget=args.max_tuples,
-                                       fallback=tuple(args.fallback))]
+                                       fallback=tuple(args.fallback),
+                                       priority=args.priority)]
+            first_error: BaseException | None = None
             for result in results:
+                if isinstance(result, (OverloadError, QueryCancelledError)):
+                    # Load shedding is the service protecting itself, not
+                    # a failed process: report it and keep exit status 0.
+                    kind = ("shed" if isinstance(result, OverloadError)
+                            else "cancelled")
+                    print(f"{kind}: {result}", file=sys.stderr)
+                    continue
+                if isinstance(result, BaseException):
+                    if first_error is None:
+                        first_error = result
+                    continue
                 if result.degraded:
                     for degradation in result.degradations:
                         print(f"degraded: {degradation}", file=sys.stderr)
                     print(f"answered by fallback backend {result.backend!r}",
                           file=sys.stderr)
                 print(result.to_xml(indent=args.indent))
+            if first_error is not None:
+                raise first_error
             # Export after to_xml so the serialize span is in the file.
             if args.trace:
-                write_chrome_trace([result.trace for result in results
-                                    if result.trace is not None], args.trace)
+                write_chrome_trace(
+                    [result.trace for result in results
+                     if not isinstance(result, BaseException)
+                     and result.trace is not None], args.trace)
                 print(f"trace written to {args.trace}", file=sys.stderr)
             if args.metrics:
                 print(render_prometheus(session.metrics), file=sys.stderr)
@@ -217,6 +291,12 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"telemetry lingering {args.serve_linger:g}s on "
                       f"{server.url}", file=sys.stderr)
                 time.sleep(args.serve_linger)
+        except _GracefulShutdown:
+            print("SIGTERM received: draining", file=sys.stderr)
+        finally:
+            session.close(drain_timeout=args.drain_timeout)
+            if restore_sigterm is not None:
+                signal.signal(signal.SIGTERM, restore_sigterm[0])
         return 0
     except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)

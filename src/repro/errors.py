@@ -171,6 +171,45 @@ class ResourceBudgetError(ExecutionError):
             f"query exceeded its {resource} budget: used {used}, limit {limit}")
 
 
+class QueryCancelledError(ExecutionError):
+    """Raised when a query's cancellation token was triggered.
+
+    Cancellation is cooperative: the token is observed at the same cheap
+    checkpoints as deadlines (engine tick strides, SQL progress
+    handlers, statement boundaries), so queued *and* running work stops
+    promptly without threads or signals.  Cancellation is caller- or
+    operator-initiated, so it never retries, never falls back, never
+    trips a circuit breaker, and never burns SLO error budget.
+    """
+
+    def __init__(self, reason: str = "cancelled"):
+        self.reason = reason
+        super().__init__(f"query cancelled: {reason}")
+
+
+class OverloadError(ExecutionError):
+    """Raised when admission control refuses a query instead of queueing it.
+
+    The session is protecting itself: the admission queue is at its
+    bound, the estimated queue wait would already blow the request's
+    deadline, the brownout controller is shedding this priority class,
+    or the session is draining for shutdown.  ``retry_after`` is the
+    load shedder's hint (seconds) for when capacity is expected back —
+    clients and load balancers should back off at least that long.
+    """
+
+    def __init__(self, reason: str, *, retry_after: float | None = None,
+                 queue_depth: int | None = None,
+                 priority: str | None = None):
+        self.reason = reason
+        self.retry_after = retry_after
+        self.queue_depth = queue_depth
+        self.priority = priority
+        hint = (f"; retry after {retry_after:.3f}s"
+                if retry_after is not None else "")
+        super().__init__(f"query shed by admission control: {reason}{hint}")
+
+
 class CircuitOpenError(ExecutionError):
     """Raised (or recorded as a degradation) when a backend's circuit is open.
 

@@ -30,10 +30,16 @@ from __future__ import annotations
 import hashlib
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Mapping
 
-from repro.errors import QueryTimeoutError, ResourceBudgetError
+from repro.errors import (
+    OverloadError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResourceBudgetError,
+)
 from repro.obs.logs import log_slow_query
 from repro.obs.metrics import Histogram, MetricsRegistry
 
@@ -60,6 +66,19 @@ DEFAULT_SLOW_SECONDS = 0.5
 #: Ring-buffer capacity (records, not bytes) unless configured.
 DEFAULT_CAPACITY = 512
 
+#: How many of the most recent records feed the *recent* burn rate that
+#: the brownout controller watches.  The cumulative burn gauge never
+#: recovers after an incident; a sliding window does.
+DEFAULT_RECENT_WINDOW = 64
+
+#: Operator events (brownout transitions, drains) kept for /debug.
+DEFAULT_EVENT_CAPACITY = 256
+
+#: Outcomes that never burn SLO error budget: shed queries were refused
+#: *by design* (counting them would lock the brownout ladder into a
+#: shed→burn→shed feedback loop), and cancellations are caller-initiated.
+SLO_EXEMPT_OUTCOMES = ("shed", "cancelled")
+
 #: Query text kept on a record for display (full text is recoverable
 #: from the session's compiled-query cache; the record is a black box).
 QUERY_SNIPPET_CHARS = 120
@@ -78,13 +97,17 @@ def query_fingerprint(query: str) -> str:
 
 def classify_outcome(error: BaseException | None,
                      degradations: tuple = ()) -> str:
-    """One of ``ok | degraded | timeout | budget | error``."""
+    """One of ``ok | degraded | timeout | budget | shed | cancelled | error``."""
     if error is None:
         return "degraded" if degradations else "ok"
     if isinstance(error, QueryTimeoutError):
         return "timeout"
     if isinstance(error, ResourceBudgetError):
         return "budget"
+    if isinstance(error, OverloadError):
+        return "shed"
+    if isinstance(error, QueryCancelledError):
+        return "cancelled"
     return "error"
 
 
@@ -215,6 +238,8 @@ class SLO:
 
     def violated_by(self, record: QueryRecord) -> bool:
         """Whether one record burns this SLO's budget."""
+        if record.outcome in SLO_EXEMPT_OUTCOMES:
+            return False
         return (record.outcome not in ("ok", "degraded")
                 or record.wall_seconds > self.target_seconds)
 
@@ -273,14 +298,19 @@ class FlightRecorder:
     def __init__(self, capacity: int = DEFAULT_CAPACITY,
                  slow_seconds: float = DEFAULT_SLOW_SECONDS,
                  metrics: MetricsRegistry | None = None,
-                 slos: Iterable[SLO] | None = None):
+                 slos: Iterable[SLO] | None = None,
+                 recent_window: int = DEFAULT_RECENT_WINDOW):
         if capacity < 1:
             raise ValueError(f"capacity must be ≥ 1, got {capacity}")
         if slow_seconds < 0:
             raise ValueError(
                 f"slow_seconds cannot be negative, got {slow_seconds}")
+        if recent_window < 1:
+            raise ValueError(
+                f"recent_window must be ≥ 1, got {recent_window}")
         self.capacity = capacity
         self.slow_seconds = slow_seconds
+        self.recent_window = recent_window
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.slos: tuple[SLO, ...] = tuple(
             slos if slos is not None else DEFAULT_SLOS)
@@ -289,10 +319,18 @@ class FlightRecorder:
         self._next_seq = 0
         self._total = 0
         self._sampled = 0
+        #: Brownout may flip this off to shed the tail-sampling cost.
+        self._sampling_enabled = True
+        self._events: deque[dict[str, object]] = deque(
+            maxlen=DEFAULT_EVENT_CAPACITY)
+        self._next_event_seq = 0
         self._outcomes: dict[str, int] = {}
         self._slo_totals: dict[str, int] = {name: 0 for name in
                                             (slo.name for slo in self.slos)}
         self._slo_violations: dict[str, int] = dict(self._slo_totals)
+        #: Sliding window of violation booleans per SLO (recent burn).
+        self._slo_recent: dict[str, deque[bool]] = {
+            slo.name: deque(maxlen=recent_window) for slo in self.slos}
         self._h_latency = self.metrics.histogram(
             "repro_query_latency_seconds",
             "per-attempt query latency (failed attempts included)",
@@ -384,12 +422,16 @@ class FlightRecorder:
             thread=threading.current_thread().name,
             unix_time=time.time(),
         )
-        reasons = self._sample_reasons(record)
+        reasons = (self._sample_reasons(record)
+                   if self._sampling_enabled else ())
         if reasons:
             record.sampled = True
             record.sample_reasons = reasons
             record.trace = root  # tail-sampled: the anomaly keeps its trace
-        self._observe_latency(record)
+        if record.outcome != "shed":
+            # A shed never ran: its near-zero wall time would poison the
+            # mean service time that admission's wait estimate is built on.
+            self._observe_latency(record)
         self.append(record)
         if record.sampled:
             for reason in reasons:
@@ -410,15 +452,20 @@ class FlightRecorder:
                 self._sampled += 1
             self._outcomes[record.outcome] = \
                 self._outcomes.get(record.outcome, 0) + 1
-            for slo in self.slos:
-                self._slo_totals[slo.name] += 1
-                if slo.violated_by(record):
-                    self._slo_violations[slo.name] += 1
-                    self._m_slo_violations.inc(slo=slo.name)
-                total = self._slo_totals[slo.name]
-                burn = (self._slo_violations[slo.name] / total) \
-                    / slo.error_budget
-                self._g_slo_burn.set(round(burn, 6), slo=slo.name)
+            # Shed/cancelled records carry no SLO signal either way: they
+            # would dilute the windows as false successes if counted.
+            if record.outcome not in SLO_EXEMPT_OUTCOMES:
+                for slo in self.slos:
+                    violated = slo.violated_by(record)
+                    self._slo_totals[slo.name] += 1
+                    self._slo_recent[slo.name].append(violated)
+                    if violated:
+                        self._slo_violations[slo.name] += 1
+                        self._m_slo_violations.inc(slo=slo.name)
+                    total = self._slo_totals[slo.name]
+                    burn = (self._slo_violations[slo.name] / total) \
+                        / slo.error_budget
+                    self._g_slo_burn.set(round(burn, 6), slo=slo.name)
         self._m_recorded.inc(outcome=record.outcome)
         return record
 
@@ -453,6 +500,45 @@ class FlightRecorder:
         self._h_latency.observe(record.wall_seconds,
                                 fingerprint=record.fingerprint,
                                 backend=backend)
+
+    # -- operator events ------------------------------------------------------
+
+    @property
+    def sampling_enabled(self) -> bool:
+        return self._sampling_enabled
+
+    def set_sampling(self, enabled: bool) -> None:
+        """Enable/disable tail sampling (brownout sheds it under load)."""
+        self._sampling_enabled = bool(enabled)
+
+    def note_event(self, kind: str, **fields: object) -> dict[str, object]:
+        """Append one operator event (brownout transition, drain, …).
+
+        Events live in their own small ring, separate from query records,
+        so a traffic flood cannot push the *explanation* of an incident
+        out of the buffer while the incident is happening.
+        """
+        with self._lock:
+            event: dict[str, object] = {
+                "seq": self._next_event_seq,
+                "kind": kind,
+                "unix_time": time.time(),
+                **fields,
+            }
+            self._next_event_seq += 1
+            self._events.append(event)
+            return event
+
+    def events(self, kind: str | None = None,
+               limit: int | None = None) -> list[dict[str, object]]:
+        """Buffered operator events, oldest first, optionally filtered."""
+        with self._lock:
+            selected = list(self._events)
+        if kind is not None:
+            selected = [e for e in selected if e["kind"] == kind]
+        if limit is not None and limit >= 0:
+            selected = selected[len(selected) - limit:] if limit else []
+        return selected
 
     # -- reading --------------------------------------------------------------
 
@@ -495,10 +581,12 @@ class FlightRecorder:
                 "tail_sampled_total": self._sampled,
                 "outcomes": dict(self._outcomes),
                 "slow_seconds": self.slow_seconds,
+                "sampling_enabled": self._sampling_enabled,
+                "events": len(self._events),
             }
 
     def slo_status(self) -> list[dict[str, object]]:
-        """Per-SLO totals, violations, and current burn rate."""
+        """Per-SLO totals, violations, and cumulative + recent burn."""
         status: list[dict[str, object]] = []
         with self._lock:
             for slo in self.slos:
@@ -508,9 +596,28 @@ class FlightRecorder:
                         if total else 0.0)
                 entry = slo.to_dict()
                 entry.update(queries=total, violations=violations,
-                             burn_rate=round(burn, 6))
+                             burn_rate=round(burn, 6),
+                             recent_burn_rate=round(
+                                 self._recent_burn(slo), 6))
                 status.append(entry)
         return status
+
+    def _recent_burn(self, slo: SLO) -> float:
+        """Burn over the sliding window (lock held; 0.0 without data)."""
+        window = self._slo_recent[slo.name]
+        if not window:
+            return 0.0
+        return (sum(window) / len(window)) / slo.error_budget
+
+    def recent_burn_rates(self) -> dict[str, float]:
+        """Per-SLO burn over the last ``recent_window`` counted queries.
+
+        This is what the brownout controller steers on: unlike the
+        cumulative ``repro_slo_burn_rate`` gauge, it falls back to zero
+        once recent traffic is healthy again, so degradation can recover.
+        """
+        with self._lock:
+            return {slo.name: self._recent_burn(slo) for slo in self.slos}
 
     def percentiles(self) -> list[dict[str, object]]:
         """The latency table: one row per (fingerprint, backend) series.
@@ -550,6 +657,50 @@ class FlightRecorder:
             row["query"] = snippets.get(row["fingerprint"], "")
         return rows
 
+    def latency_quantile(self, quantile: float,
+                         backend: str | None = None) -> float | None:
+        """An aggregate latency quantile across every recorded series.
+
+        The histograms share fixed bucket bounds, so per-series cumulative
+        counts sum exactly.  Restrict to one ``backend`` if given; returns
+        ``None`` without data.  This is the p99 the adaptive concurrency
+        limiter steers on and the service-time source for admission's
+        queue-wait estimate.
+        """
+        histogram = self._h_latency
+        totals: list[int] | None = None
+        bounds: list[float] = []
+        for key in histogram.label_sets():
+            labels = dict(zip(histogram.label_names, key))
+            if backend is not None and labels.get("backend") != backend:
+                continue
+            cumulative = histogram.bucket_counts(**labels)
+            if totals is None:
+                bounds = [bound for bound, _ in cumulative]
+                totals = [count for _, count in cumulative]
+            else:
+                for position, (_, count) in enumerate(cumulative):
+                    totals[position] += count
+        if totals is None:
+            return None
+        return estimate_quantile(list(zip(bounds, totals)), quantile)
+
+    def mean_latency_seconds(self, backend: str | None = None,
+                             ) -> float | None:
+        """Mean observed attempt latency (``None`` without data)."""
+        histogram = self._h_latency
+        total_sum = 0.0
+        total_count = 0
+        for key in histogram.label_sets():
+            labels = dict(zip(histogram.label_names, key))
+            if backend is not None and labels.get("backend") != backend:
+                continue
+            total_sum += histogram.sum(**labels)
+            total_count += histogram.count(**labels)
+        if total_count <= 0:
+            return None
+        return total_sum / total_count
+
     def reset(self) -> None:
         """Drop buffered records and aggregate counts (SLOs persist)."""
         with self._lock:
@@ -559,6 +710,7 @@ class FlightRecorder:
             for name in self._slo_totals:
                 self._slo_totals[name] = 0
                 self._slo_violations[name] = 0
+                self._slo_recent[name].clear()
         for slo in self.slos:
             self._g_slo_burn.set(0.0, slo=slo.name)
 

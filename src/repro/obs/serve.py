@@ -9,9 +9,11 @@ never imports :mod:`repro.session`) and serves:
   (:func:`repro.obs.export.render_prometheus`), flight-recorder latency
   histograms and SLO burn gauges included;
 * ``/healthz`` — :meth:`XQuerySession.health`: circuit-breaker states,
-  worker-pool gauges, documents, recorder counters.  Always HTTP 200
-  while the process serves; the ``status`` field says ``ok`` or
-  ``degraded``;
+  worker-pool gauges, admission-control snapshot, documents, recorder
+  counters.  HTTP 200 while the instance should keep taking traffic
+  (``status`` ``ok`` or ``degraded``), HTTP 503 when a load balancer
+  should rotate it out (``shedding`` — admission control refusing work —
+  or ``unavailable`` — every backend's breaker open);
 * ``/debug/queries`` — the flight recorder's ring buffer as JSON, plus
   the percentile table and SLO status.  Filters: ``?outcome=error``,
   ``?sampled=true``, ``?limit=50``, ``?traces=false`` (drop span trees
@@ -45,6 +47,9 @@ logger = logging.getLogger("repro.serve")
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 ENDPOINTS = ("/metrics", "/healthz", "/debug/queries")
+
+#: ``health()["status"]`` values that flip ``/healthz`` to HTTP 503.
+UNHEALTHY_STATUSES = ("shedding", "unavailable")
 
 
 @runtime_checkable
@@ -151,7 +156,10 @@ def _make_handler(session: TelemetrySource):
                 body = render_prometheus(session.metrics).encode("utf-8")
                 self._reply(200, body, PROMETHEUS_CONTENT_TYPE)
             elif route == "/healthz":
-                self._json(200, session.health())
+                health = session.health()
+                status = 503 if health.get("status") in UNHEALTHY_STATUSES \
+                    else 200
+                self._json(status, health)
             elif route == "/debug/queries":
                 self._debug_queries(parse_qs(parsed.query))
             elif route == "/":

@@ -17,8 +17,17 @@ complexity results in PAPERS.md explain why such plans are inevitable):
   closed/open/half-open health tracking, owned by the backend registry
   (:func:`repro.backends.registry.backend_breaker`);
 * :class:`FaultPlan` / :func:`inject_faults`
-  (:mod:`repro.resilience.faults`) — deterministic scripted faults that
-  exercise every path above.
+  (:mod:`repro.resilience.faults`) — deterministic scripted faults
+  (errors *and* latency injection) that exercise every path above;
+* :class:`AdmissionController` / :class:`BrownoutController`
+  (:mod:`repro.resilience.admission`) — bounded admission queue with
+  priority classes and deadline-aware shedding
+  (:class:`~repro.errors.OverloadError` with a retry-after hint), AIMD
+  adaptive concurrency, and SLO-burn-driven brownout degradation;
+* :class:`CancellationToken` (:mod:`repro.resilience.guard`) —
+  cooperative cancellation observed at every guard checkpoint, so a
+  caller abort stops queued *and* running work
+  (:class:`~repro.errors.QueryCancelledError`).
 
 Graceful degradation ties them together:
 ``session.run(query, deadline=…, budget=…, fallback=("engine",))``
@@ -30,9 +39,23 @@ every degradation recorded on the returned
 
 from repro.errors import (
     CircuitOpenError,
+    OverloadError,
+    QueryCancelledError,
     QueryTimeoutError,
     ResourceBudgetError,
     TransientBackendError,
+)
+from repro.resilience.admission import (
+    BATCH,
+    DEFAULT_BROWNOUT_LEVELS,
+    INTERACTIVE,
+    PRIORITIES,
+    AdaptiveLimiter,
+    AdmissionConfig,
+    AdmissionController,
+    BrownoutController,
+    BrownoutLevel,
+    Ticket,
 )
 from repro.resilience.breaker import (
     CLOSED,
@@ -48,25 +71,43 @@ from repro.resilience.fallback import (
     is_degradable,
 )
 from repro.resilience.faults import FaultPlan, FaultyBackend, inject_faults
-from repro.resilience.guard import QueryGuard, ResourceBudget, coerce_budget
+from repro.resilience.guard import (
+    CancellationToken,
+    QueryGuard,
+    ResourceBudget,
+    coerce_budget,
+)
 from repro.resilience.retry import NO_RETRY, RetryPolicy
 
 __all__ = [
+    "AdaptiveLimiter",
+    "AdmissionConfig",
+    "AdmissionController",
+    "BATCH",
+    "BrownoutController",
+    "BrownoutLevel",
     "CLOSED",
+    "CancellationToken",
     "CircuitBreaker",
     "CircuitOpenError",
+    "DEFAULT_BROWNOUT_LEVELS",
     "Degradation",
     "FaultPlan",
     "FaultyBackend",
     "HALF_OPEN",
+    "INTERACTIVE",
     "NO_RETRY",
     "OPEN",
+    "OverloadError",
+    "PRIORITIES",
+    "QueryCancelledError",
     "QueryGuard",
     "QueryTimeoutError",
     "ResourceBudget",
     "ResourceBudgetError",
     "RetryPolicy",
     "STATE_VALUES",
+    "Ticket",
     "TransientBackendError",
     "build_chain",
     "coerce_budget",

@@ -22,6 +22,8 @@ from dataclasses import dataclass
 from repro.errors import (
     CircuitOpenError,
     ExecutionError,
+    OverloadError,
+    QueryCancelledError,
     QueryTimeoutError,
     ResourceBudgetError,
     WidthOverflowError,
@@ -62,8 +64,9 @@ def build_chain(primary: str, fallback: "tuple[str, ...] | list[str]",
 
 def is_degradable(error: BaseException) -> bool:
     """Whether ``error`` warrants moving on to the next backend."""
-    if isinstance(error, (QueryTimeoutError, ResourceBudgetError)):
-        return False  # request-level: the query itself is over limit
+    if isinstance(error, (QueryTimeoutError, ResourceBudgetError,
+                          QueryCancelledError, OverloadError)):
+        return False  # request-level: no backend can change the verdict
     return isinstance(error, (ExecutionError, WidthOverflowError,
                               CircuitOpenError))
 
@@ -77,6 +80,7 @@ def counts_against_breaker(error: BaseException) -> bool:
     circuit toward open.
     """
     if isinstance(error, (QueryTimeoutError, ResourceBudgetError,
-                          CircuitOpenError)):
+                          CircuitOpenError, QueryCancelledError,
+                          OverloadError)):
         return False
     return isinstance(error, ExecutionError)

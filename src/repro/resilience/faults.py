@@ -10,6 +10,9 @@ breaker trip, half-open probe, fallback — can be exercised on demand.  A
 * delay the k-th call by a fixed amount through an injectable sleep
   (:meth:`FaultPlan.delay_on`) — tests pass a recorder, production
   chaos runs may pass ``time.sleep``;
+* slow *every* call of a method with a deterministic per-attempt delay
+  schedule (:meth:`FaultPlan.slow_on`) — the latency fault that makes
+  overload, shedding, and brownout paths testable without real load;
 * fail calls with a seeded probability (:meth:`FaultPlan.fail_randomly`)
   for soak-style runs that stay reproducible.
 
@@ -52,6 +55,10 @@ class _ScriptedFault:
     error: Callable[[], Exception] | None = None
     delay: float = 0.0
     probability: float = 0.0
+    #: Trigger on every call (latency faults), not just listed ones.
+    every: bool = False
+    #: Per-attempt delay schedule, indexed by call number (cycled).
+    schedule: tuple[float, ...] = ()
 
 
 @dataclass
@@ -113,6 +120,40 @@ class FaultPlan:
             _ScriptedFault(method, frozenset(calls), None, delay=seconds))
         return self
 
+    def slow_on(self, method: str,
+                seconds: "float | tuple[float, ...] | list[float]",
+                calls: "int | tuple[int, ...] | None" = None) -> "FaultPlan":
+        """Slow ``method`` down — the latency fault behind overload tests.
+
+        By default **every** call is delayed (``calls`` restricts to
+        specific 1-based call numbers).  ``seconds`` may be one float
+        (the same delay each attempt) or a sequence applied by call
+        number and cycled once exhausted, so a backend that degrades
+        ``0.1 → 0.5 → 2.0`` per attempt is scripted deterministically.
+        Delays go through the plan's injected ``sleep``: pass
+        ``time.sleep`` to really stall, or a fake clock's ``advance`` so
+        shed/brownout paths run without wall-clock waits.
+        """
+        if isinstance(seconds, (int, float)):
+            schedule: tuple[float, ...] = (float(seconds),)
+        else:
+            schedule = tuple(float(delay) for delay in seconds)
+        if not schedule or any(delay < 0 for delay in schedule):
+            raise ReproError(
+                f"slow_on needs non-negative delays, got {seconds!r}")
+        if calls is None:
+            numbers: frozenset[int] = frozenset()
+            every = True
+        else:
+            if isinstance(calls, int):
+                calls = (calls,)
+            numbers = frozenset(calls)
+            every = False
+        self.faults.append(
+            _ScriptedFault(method, numbers, None, every=every,
+                           schedule=schedule))
+        return self
+
     def fail_randomly(self, method: str, probability: float,
                       error: "Exception | Callable[[], Exception] | None" = None,
                       ) -> "FaultPlan":
@@ -151,15 +192,18 @@ class FaultPlan:
         for fault in self.faults:
             if fault.method != method:
                 continue
-            triggered = (count in fault.calls or
+            triggered = (fault.every or count in fault.calls or
                          (fault.probability > 0.0
                           and self._rng.random() < fault.probability))
             if not triggered:
                 continue
-            if fault.delay > 0.0:
-                self.delays.append((method, fault.delay))
+            delay = fault.delay
+            if fault.schedule:
+                delay = fault.schedule[(count - 1) % len(fault.schedule)]
+            if delay > 0.0:
+                self.delays.append((method, delay))
                 if self.sleep is not None:
-                    self.sleep(fault.delay)
+                    self.sleep(delay)
             if fault.error is not None:
                 error = fault.error()
                 self.raised.append((method, count, error))

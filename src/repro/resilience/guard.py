@@ -24,11 +24,17 @@ depth, so each gets its own cap (:class:`ResourceBudget`).
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.errors import ExecutionError, QueryTimeoutError, ResourceBudgetError
+from repro.errors import (
+    ExecutionError,
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResourceBudgetError,
+)
 
 #: How many engine ticks elapse between deadline clock reads.  Reading a
 #: monotonic clock per evaluated plan node would dominate tiny queries;
@@ -39,6 +45,63 @@ DEFAULT_CHECK_INTERVAL = 64
 #: SQLite VM opcodes between progress-handler invocations.  Low enough to
 #: interrupt a quadratic join promptly, high enough to stay off profiles.
 DEFAULT_PROGRESS_OPCODES = 4000
+
+
+class CancellationToken:
+    """A thread-safe, latch-style cancellation signal.
+
+    One token may govern many queries (a whole ``run_many`` batch): the
+    caller holds the token, every query's :class:`QueryGuard` observes
+    it at the guard's existing checkpoints, and :meth:`cancel` flips it
+    exactly once — later calls keep the first reason.  Linking
+    (``CancellationToken(parent=...)``) lets a batch token aggregate a
+    caller token, so cancelling either stops the work.
+    """
+
+    __slots__ = ("_event", "_reason", "_lock", "_parent")
+
+    def __init__(self, parent: "CancellationToken | None" = None):
+        self._event = threading.Event()
+        self._reason: str | None = None
+        self._lock = threading.Lock()
+        self._parent = parent
+
+    @property
+    def cancelled(self) -> bool:
+        if self._event.is_set():
+            return True
+        return self._parent is not None and self._parent.cancelled
+
+    @property
+    def reason(self) -> str:
+        """The first cancel reason (``""`` while not cancelled)."""
+        if self._reason is not None:
+            return self._reason
+        if self._parent is not None and self._parent.cancelled:
+            return self._parent.reason
+        return ""
+
+    def cancel(self, reason: str = "cancelled") -> bool:
+        """Trip the token; returns False if it was already cancelled."""
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._reason = reason
+            self._event.set()
+            return True
+
+    def raise_if_cancelled(self) -> None:
+        """Raise :class:`QueryCancelledError` when the token is tripped."""
+        if self.cancelled:
+            raise QueryCancelledError(self.reason or "cancelled")
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until cancelled (own event only) or ``timeout`` passes."""
+        return self._event.wait(timeout)
+
+    def __repr__(self) -> str:
+        state = f"cancelled: {self.reason!r}" if self.cancelled else "armed"
+        return f"<CancellationToken {state}>"
 
 
 @dataclass(frozen=True)
@@ -84,13 +147,14 @@ class QueryGuard:
     ``check_interval`` calls.
     """
 
-    __slots__ = ("deadline", "budget", "backend", "check_interval",
+    __slots__ = ("deadline", "budget", "backend", "check_interval", "token",
                  "_clock", "_expires_at", "_tuples", "_countdown", "_pending")
 
     def __init__(self, deadline: float | None = None,
                  budget: "int | ResourceBudget | None" = None,
                  clock: Callable[[], float] = time.monotonic,
-                 check_interval: int = DEFAULT_CHECK_INTERVAL):
+                 check_interval: int = DEFAULT_CHECK_INTERVAL,
+                 token: CancellationToken | None = None):
         if deadline is not None and deadline <= 0:
             raise ExecutionError(f"deadline must be positive, got {deadline}")
         if check_interval < 1:
@@ -98,6 +162,8 @@ class QueryGuard:
                 f"check_interval must be ≥ 1, got {check_interval}")
         self.deadline = deadline
         self.budget = coerce_budget(budget)
+        #: Cooperative cancellation signal, observed at every checkpoint.
+        self.token = token
         #: Backend name attached to timeout errors (set per attempt).
         self.backend: str | None = None
         self.check_interval = check_interval
@@ -112,7 +178,8 @@ class QueryGuard:
     @property
     def enabled(self) -> bool:
         """Whether this guard enforces anything at all."""
-        return self.deadline is not None or bool(self.budget)
+        return (self.deadline is not None or bool(self.budget)
+                or self.token is not None)
 
     def start(self) -> "QueryGuard":
         """Begin (or restart) the deadline window; idempotent per query."""
@@ -150,7 +217,9 @@ class QueryGuard:
             self.check_deadline()
 
     def check_deadline(self) -> None:
-        """Raise :class:`QueryTimeoutError` if the deadline has passed."""
+        """Raise on a tripped cancellation token or an expired deadline."""
+        if self.token is not None and self.token.cancelled:
+            raise QueryCancelledError(self.token.reason or "cancelled")
         if self.deadline is None:
             return
         if self._expires_at is None:
@@ -235,4 +304,6 @@ class QueryGuard:
             parts.append(f"max_envs={self.budget.max_envs}")
         if self.budget.max_width is not None:
             parts.append(f"max_width={self.budget.max_width}")
+        if self.token is not None:
+            parts.append("cancellable")
         return f"<QueryGuard {' '.join(parts) or 'unlimited'}>"

@@ -24,7 +24,8 @@ import logging
 import os
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Mapping
 
@@ -38,12 +39,21 @@ from repro.engine.stats import EngineStats
 from repro.errors import (
     CircuitOpenError,
     DocumentNotFoundError,
+    OverloadError,
+    QueryCancelledError,
     QueryTimeoutError,
     ResourceBudgetError,
 )
 from repro.obs.flight import SLO, AttemptRecord, FlightRecorder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NULL_TRACER, Tracer, get_tracer
+from repro.resilience.admission import (
+    BATCH,
+    INTERACTIVE,
+    AdmissionConfig,
+    AdmissionController,
+    scale_budget,
+)
 from repro.resilience.breaker import STATE_VALUES
 from repro.resilience.fallback import (
     Degradation,
@@ -51,7 +61,7 @@ from repro.resilience.fallback import (
     counts_against_breaker,
     is_degradable,
 )
-from repro.resilience.guard import QueryGuard, ResourceBudget
+from repro.resilience.guard import CancellationToken, QueryGuard, ResourceBudget
 from repro.resilience.retry import NO_RETRY, RetryPolicy
 from repro.xml.forest import Forest
 from repro.xquery.lowering import document_forest, document_variable
@@ -98,7 +108,8 @@ class XQuerySession:
                  record: bool = True,
                  recorder: FlightRecorder | None = None,
                  slow_seconds: float | None = None,
-                 slos: "Iterable[SLO] | None" = None):
+                 slos: "Iterable[SLO] | None" = None,
+                 admission: "AdmissionConfig | AdmissionController | bool | None" = None):
         self.backend = backend
         self.strategy = coerce_strategy(strategy)
         self.simplify = simplify
@@ -157,6 +168,19 @@ class XQuerySession:
             self.recorder = FlightRecorder(**kwargs)
         else:
             self.recorder = None
+        #: Admission control (see ``docs/ROBUSTNESS.md``): on by default
+        #: with generous limits, so an unloaded session behaves exactly
+        #: as before.  Pass an :class:`AdmissionConfig` to tune, a shared
+        #: :class:`AdmissionController` to reuse, or ``False`` to opt out.
+        if admission is False:
+            self.admission: AdmissionController | None = None
+        elif isinstance(admission, AdmissionController):
+            self.admission = admission
+        else:
+            config = admission if isinstance(admission, AdmissionConfig) \
+                else None
+            self.admission = AdmissionController(
+                config, metrics=self.metrics, recorder=self.recorder)
         self._telemetry_lock = threading.Lock()
         self._telemetry: "object | None" = None
         self._phase_tls = threading.local()
@@ -242,7 +266,9 @@ class XQuerySession:
             budget: "int | ResourceBudget | None" = None,
             guard: QueryGuard | None = None,
             fallback: "tuple[str, ...] | list[str]" = (),
-            retry: RetryPolicy | None = None) -> QueryResult:
+            retry: RetryPolicy | None = None,
+            priority: str = INTERACTIVE,
+            token: CancellationToken | None = None) -> QueryResult:
         """Run a query against the registered documents.
 
         ``trace=True`` collects the full lifecycle — compile passes,
@@ -264,39 +290,76 @@ class XQuerySession:
         failures per a :class:`~repro.resilience.RetryPolicy` before
         degrading.  Deadline and budget violations are request-level and
         never fall back.
+
+        Overload protection (on by default): the run first passes the
+        session's :class:`~repro.resilience.AdmissionController` —
+        ``priority`` (``"interactive"`` or ``"batch"``) orders admission
+        under contention, and a shed arrival raises
+        :class:`~repro.errors.OverloadError` with a retry-after hint
+        instead of queueing past the request's ``deadline``.  ``token``
+        is a :class:`~repro.resilience.CancellationToken` observed at
+        every guard checkpoint, so cancelling it stops this run whether
+        it is still queued or already executing.
         """
         name = backend or self.backend
+        admission = self.admission
+        if admission is not None:
+            level = admission.brownout.level
+            if level.force_backend is not None:
+                name = level.force_backend
+            if level.budget_scale < 1.0:
+                budget = scale_budget(budget, level.budget_scale)
         active = self._effective_tracer(trace, tracer)
         #: ``full`` = the caller asked for tracing; the recorder's private
         #: phase-level tracer below never instruments backends, never fills
         #: engine/SQL metrics, and never surfaces on ``QueryResult.trace``.
         full = active is not None
-        if guard is None and (deadline is not None or budget is not None):
-            guard = QueryGuard(deadline=deadline, budget=budget)
+        if guard is None and (deadline is not None or budget is not None
+                              or token is not None):
+            guard = QueryGuard(deadline=deadline, budget=budget, token=token)
+        elif guard is not None and token is not None and guard.token is None:
+            guard.token = token
         if guard is not None and not guard.enabled:
             guard = None
+        ticket = None
+        if admission is not None:
+            try:
+                # ``remaining`` on a not-yet-started guard is the full
+                # deadline, read without touching the guard's clock; the
+                # controller bounds queue wait on its *own* clock.
+                ticket = admission.try_acquire(
+                    priority,
+                    deadline=guard.remaining if guard is not None else None,
+                    token=token)
+            except (OverloadError, QueryCancelledError) as error:
+                self._record_rejected(query, name, error)
+                raise
         self._m_queries.inc(backend=name)
         recorder = self.recorder
         if recorder is not None and active is None:
             active = self._phase_tracer()
-        with self._state_lock.read_locked():
-            if recorder is not None:
-                return self._run_recorded(query, name, strategy, stats,
-                                          active, full, guard, fallback,
-                                          retry, recorder)
-            if guard is not None or fallback or retry is not None:
-                return self._run_resilient(query, name, strategy, stats,
-                                           active, guard, fallback, retry,
-                                           full=full)
-            if active is None:
-                compiled = self.prepare(query)
-                target = self.backend_instance(name)
-                target.prepare(self._bindings(compiled))
-                options = ExecutionOptions(strategy=self._strategy(strategy),
-                                           stats=stats)
-                return QueryResult(target.execute(compiled, options),
-                                   backend=name)
-            return self._run_traced(query, name, strategy, stats, active)
+        try:
+            with self._state_lock.read_locked():
+                if recorder is not None:
+                    return self._run_recorded(query, name, strategy, stats,
+                                              active, full, guard, fallback,
+                                              retry, recorder)
+                if guard is not None or fallback or retry is not None:
+                    return self._run_resilient(query, name, strategy, stats,
+                                               active, guard, fallback, retry,
+                                               full=full)
+                if active is None:
+                    compiled = self.prepare(query)
+                    target = self.backend_instance(name)
+                    target.prepare(self._bindings(compiled))
+                    options = ExecutionOptions(
+                        strategy=self._strategy(strategy), stats=stats)
+                    return QueryResult(target.execute(compiled, options),
+                                       backend=name)
+                return self._run_traced(query, name, strategy, stats, active)
+        finally:
+            if ticket is not None:
+                admission.release(ticket)
 
     def run_many(self, queries: "Iterable[str]", *,
                  max_workers: int | None = None,
@@ -309,6 +372,9 @@ class XQuerySession:
                  fallback: "tuple[str, ...] | list[str]" = (),
                  retry: RetryPolicy | None = None,
                  return_errors: bool = False,
+                 priority: str = BATCH,
+                 token: CancellationToken | None = None,
+                 batch_deadline: float | None = None,
                  ) -> "list[QueryResult | BaseException]":
         """Run a batch of queries concurrently on the session's worker pool.
 
@@ -333,10 +399,24 @@ class XQuerySession:
         failing query **by input order** is re-raised after every query
         has finished; with ``return_errors=True`` the exception object
         takes the failed query's slot in the returned list instead.
+
+        Batch queries admit at ``priority="batch"`` by default, so a
+        flood of background work never starves interactive callers.
+        ``token`` cancels the whole batch — queued queries shed at
+        admission, running ones stop at the next guard checkpoint — and
+        ``batch_deadline`` (seconds for the *whole batch*) trips an
+        internal token the same way once it expires; both surface as
+        :class:`~repro.errors.QueryCancelledError` in the results.
         """
         batch = list(queries)
         if not batch:
             return []
+        batch_token = token
+        if batch_deadline is not None:
+            # A private token (linked to the caller's, if any) that the
+            # gather loop below trips when the whole batch runs long.
+            batch_token = CancellationToken(parent=token) \
+                if token is not None else CancellationToken()
         workers = max_workers or min(len(batch), os.cpu_count() or 4)
         executor = self._ensure_executor(workers)
         active = self._effective_tracer(trace, tracer)
@@ -344,16 +424,21 @@ class XQuerySession:
         self._g_pool_queued.inc(len(batch))
 
         def work(index: int, query: str) -> QueryResult:
+            # Queued→active hand-off and the active decrement both live in
+            # ``finally`` blocks, so a raising worker can never strand a
+            # gauge; queries cancelled *before* a worker picks them up are
+            # settled by ``_settle_cancelled`` in the gather loop instead.
             self._g_pool_queued.dec()
-            self._g_pool_active.inc()
-            tr = active if active is not None else NULL_TRACER
             try:
+                self._g_pool_active.inc()
+                tr = active if active is not None else NULL_TRACER
                 with tr.span("batch.query", index=index,
                              worker=threading.current_thread().name):
                     return self.run(query, backend=backend, strategy=strategy,
                                     tracer=active, deadline=deadline,
                                     budget=budget, fallback=fallback,
-                                    retry=retry)
+                                    retry=retry, priority=priority,
+                                    token=batch_token)
             finally:
                 self._g_pool_active.dec()
 
@@ -361,18 +446,55 @@ class XQuerySession:
             executor.submit(work, index, query)
             for index, query in enumerate(batch)
         ]
+        deadline_at = (time.monotonic() + batch_deadline
+                       if batch_deadline is not None else None)
         results: "list[QueryResult | BaseException]" = []
         first_error: BaseException | None = None
+        expired = False
         for future in futures:
+            error: BaseException | None = None
             try:
-                results.append(future.result())
-            except BaseException as error:  # collected, re-raised below
-                results.append(error)
-                if first_error is None:
-                    first_error = error
+                if deadline_at is not None and not expired:
+                    remaining = deadline_at - time.monotonic()
+                    results.append(future.result(timeout=max(0.0, remaining)))
+                else:
+                    results.append(future.result())
+                continue
+            except FutureTimeoutError:
+                expired = True
+                assert batch_token is not None
+                batch_token.cancel("batch deadline")
+                self._settle_cancelled(futures)
+                try:
+                    results.append(future.result())
+                    continue
+                except CancelledError:
+                    error = QueryCancelledError("batch deadline")
+                except BaseException as raised:
+                    error = raised
+            except CancelledError:
+                reason = (batch_token.reason if batch_token is not None
+                          else "") or "cancelled"
+                error = QueryCancelledError(reason)
+            except BaseException as raised:  # collected, re-raised below
+                error = raised
+            results.append(error)
+            if first_error is None:
+                first_error = error
         if first_error is not None and not return_errors:
             raise first_error
         return results
+
+    def _settle_cancelled(self, futures: "list[Future[QueryResult]]") -> None:
+        """Cancel still-queued batch futures without leaking pool gauges.
+
+        A future cancelled before a worker picks it up never runs
+        ``work()``, so its queued-gauge decrement must happen here — this
+        is the leak the gauge regression test pins down.
+        """
+        for future in futures:
+            if future.cancel():
+                self._g_pool_queued.dec()
 
     def _ensure_executor(self, workers: int) -> ThreadPoolExecutor:
         """The persistent batch pool, (re)built for ``workers`` threads."""
@@ -548,7 +670,9 @@ class XQuerySession:
                     forest = self._attempt(compiled, target_name, options,
                                            active, breaker, policy, guard,
                                            full=full, attempts=attempts)
-                except (QueryTimeoutError, ResourceBudgetError) as error:
+                except (QueryTimeoutError, ResourceBudgetError,
+                        QueryCancelledError) as error:
+                    # Request-level verdicts: no other backend changes them.
                     if isinstance(error, QueryTimeoutError):
                         self._m_timeouts.inc(backend=target_name)
                     self._record_breaker(target_name, breaker)
@@ -645,6 +769,23 @@ class XQuerySession:
     def _record_breaker(self, name: str, breaker: "CircuitBreaker") -> None:
         self._g_breaker.set(STATE_VALUES[breaker.state], backend=name)
 
+    def _record_rejected(self, query: str, name: str,
+                         error: BaseException) -> None:
+        """Flight-record a query refused before execution (shed/cancelled).
+
+        The record carries a zero wall time; the recorder classifies the
+        outcome from the error type and keeps shed records out of the
+        latency histograms and SLO windows.
+        """
+        recorder = self.recorder
+        if recorder is None:
+            return
+        try:
+            recorder.record_run(query=query, backend=name, error=error,
+                                wall_seconds=0.0)
+        except Exception:  # never let telemetry mask the typed error
+            logger.exception("flight recorder failed for %.60s", query)
+
     def _phase_tracer(self) -> Tracer:
         """The calling thread's reusable phase-level tracer.
 
@@ -699,16 +840,27 @@ class XQuerySession:
     def health(self) -> dict[str, object]:
         """The liveness snapshot behind ``/healthz``.
 
-        ``status`` is ``"ok"`` unless some backend's circuit breaker is
-        open (``"degraded"``) — a load balancer can act on the top-level
-        field alone.
+        ``status`` is graded for load balancers: ``"ok"``; ``"degraded"``
+        when some backend's breaker is open; ``"shedding"`` while
+        admission control is refusing work (draining, queue at bound,
+        batch-shedding brownout, or within the post-shed hold window);
+        ``"unavailable"`` when *every* active backend's breaker is open.
+        The HTTP endpoint maps the last two to 503 so a browned-out
+        instance rotates out — see :mod:`repro.obs.serve`.
         """
         breakers = {name: backend_breaker(name).state
                     for name in self.active_backends}
+        open_states = [state == "open" for state in breakers.values()]
+        if open_states and all(open_states):
+            status = "unavailable"
+        elif self.admission is not None and self.admission.shedding:
+            status = "shedding"
+        elif any(open_states):
+            status = "degraded"
+        else:
+            status = "ok"
         payload: dict[str, object] = {
-            "status": ("degraded" if any(state == "open"
-                                         for state in breakers.values())
-                       else "ok"),
+            "status": status,
             "backend": self.backend,
             "documents": self.documents,
             "active_backends": self.active_backends,
@@ -719,6 +871,8 @@ class XQuerySession:
                 "queued": int(self._g_pool_queued.value()),
             },
         }
+        if self.admission is not None:
+            payload["admission"] = self.admission.snapshot()
         if self.recorder is not None:
             payload["flight"] = self.recorder.stats()
             payload["slos"] = self.recorder.slo_status()
@@ -784,18 +938,34 @@ class XQuerySession:
         """Names of backends this session has instantiated."""
         return sorted(self._backends)
 
-    def close(self) -> None:
+    def close(self, drain_timeout: float | None = None) -> None:
         """Close every live backend; the session can keep being used.
 
-        The worker pool is drained *before* the write lock is taken
-        (workers hold the read side while running, so shutting down under
-        the write lock would deadlock); backends are then closed with the
-        session quiesced.
+        Shutdown is a graceful drain: admission stops accepting (queued
+        waiters shed with :class:`~repro.errors.OverloadError`, new
+        arrivals refuse with reason ``draining``), in-flight queries get
+        ``drain_timeout`` seconds to finish (``None`` = wait for all of
+        them), and whatever is still running past the timeout has its
+        cancellation token tripped so it stops at the next guard
+        checkpoint.  The worker pool is drained *before* the write lock
+        is taken (workers hold the read side while running, so shutting
+        down under the write lock would deadlock); backends are then
+        closed with the session quiesced, and admission reopens at the
+        end — a closed session stays usable, exactly as before.
         """
         with self._telemetry_lock:
             server, self._telemetry = self._telemetry, None
         if server is not None:
             server.stop()
+        admission = self.admission
+        if admission is not None:
+            admission.begin_drain()
+            if not admission.wait_idle(drain_timeout):
+                cancelled = admission.cancel_in_flight("session close")
+                logger.warning(
+                    "drain timed out after %.3fs; cancelled %d in-flight "
+                    "quer%s", drain_timeout, cancelled,
+                    "y" if cancelled == 1 else "ies")
         with self._executor_lock:
             executor, self._executor = self._executor, None
             self._executor_workers = 0
@@ -808,6 +978,8 @@ class XQuerySession:
                 self._backends.clear()
             for target in backends:
                 target.close()
+        if admission is not None:
+            admission.end_drain()
 
     def __enter__(self) -> "XQuerySession":
         return self

@@ -1,0 +1,133 @@
+"""CLI overload smoke: flood a serving session, watch it protect itself.
+
+A real ``python -m repro`` subprocess serves telemetry while a burst of
+batch queries floods a deliberately tiny admission configuration
+(``--admission-limit 1 --admission-queue 0``).  The process must shed
+(exit status still 0 — load shedding is the service protecting itself,
+not a failure), ``/healthz`` must flip to 503 while the shedding episode
+is live, ``repro_admission_sheds_total`` must land in ``/metrics``, and
+SIGTERM during the linger must drain gracefully to exit 0.
+
+Every wait in this file carries its own deadline, so a wedged subprocess
+fails the test instead of hanging the suite (CI adds pytest-timeout on
+top as a second ceiling).
+"""
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.xmark.queries import FIGURE1_SAMPLE
+
+QUERY = 'document("a.xml")/site/people/person/name'
+
+#: Wall-clock ceiling for any single wait below.
+DEADLINE = 60.0
+
+
+@pytest.fixture
+def sample_file(tmp_path):
+    path = tmp_path / "a.xml"
+    path.write_text(FIGURE1_SAMPLE)
+    return str(path)
+
+
+def wait_for(predicate, what: str, deadline: float = DEADLINE):
+    """Poll ``predicate`` until truthy; fail loudly on timeout."""
+    expires = time.monotonic() + deadline
+    while time.monotonic() < expires:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(0.05)
+    pytest.fail(f"timed out after {deadline:g}s waiting for {what}")
+
+
+def get(url: str):
+    """GET ``url``; returns (status, body) without raising on 503."""
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as error:
+        with error:
+            return error.code, error.read()
+
+
+class TestOverloadSmoke:
+    def test_flood_sheds_healthz_503s_and_sigterm_drains(
+            self, sample_file, tmp_path):
+        stderr_path = tmp_path / "stderr.log"
+        argv = [sys.executable, "-m", "repro", *([QUERY] * 64),
+                "--doc", f"a.xml={sample_file}",
+                "--jobs", "8", "--priority", "batch",
+                "--admission-limit", "1", "--admission-queue", "0",
+                "--serve-telemetry", "0", "--serve-linger", str(DEADLINE),
+                "--drain-timeout", "5"]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")]))
+        with open(stderr_path, "wb") as stderr:
+            process = subprocess.Popen(
+                argv, cwd=os.path.dirname(os.path.dirname(__file__)),
+                stdout=subprocess.DEVNULL, stderr=stderr, env=env)
+        try:
+            # The linger line prints only after the whole burst ran, so
+            # everything below observes the finished flood, inside the
+            # admission controller's post-shed health hold window.
+            def lingering():
+                text = stderr_path.read_text(errors="replace")
+                return text if "telemetry lingering" in text else None
+
+            text = wait_for(lingering, "the burst to finish into linger")
+            match = re.search(r"telemetry serving on (http://\S+)", text)
+            assert match, text
+            url = match.group(1)
+            assert "shed:" in text, text  # rejects were reported, not fatal
+
+            status, body = get(url + "/healthz")
+            health = json.loads(body)
+            assert status == 503, health
+            assert health["status"] == "shedding", health
+            assert health["admission"]["sheds_total"] > 0, health
+
+            status, body = get(url + "/metrics")
+            assert status == 200
+            scrape = body.decode("utf-8")
+            sheds = re.findall(
+                r'^repro_admission_sheds_total\{[^}]*\} (\d+)',
+                scrape, re.MULTILINE)
+            assert sheds and sum(int(count) for count in sheds) > 0, scrape
+            assert "repro_admission_queue_depth 0" in scrape, scrape
+
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=DEADLINE) == 0
+            text = stderr_path.read_text(errors="replace")
+            assert "SIGTERM received: draining" in text, text
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+    def test_burst_without_serving_still_exits_zero(self, sample_file):
+        # Shed results are reported on stderr but never fail the run.
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, ["src", env.get("PYTHONPATH")]))
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", *([QUERY] * 32),
+             "--doc", f"a.xml={sample_file}",
+             "--jobs", "8", "--admission-limit", "1",
+             "--admission-queue", "0"],
+            cwd=os.path.dirname(os.path.dirname(__file__)),
+            capture_output=True, text=True, env=env, timeout=DEADLINE)
+        assert completed.returncode == 0, completed.stderr
+        assert "shed:" in completed.stderr, completed.stderr
+        assert "<name>" in completed.stdout  # admitted queries answered

@@ -10,6 +10,7 @@ file with ``PYTHONDEVMODE=1``; keep individual tests fast.
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -318,6 +319,38 @@ class TestRunMany:
             "repro_session_pool_active").value() == 0
         assert session.metrics.get(
             "repro_session_pool_workers").value() == 2
+
+    def test_pool_gauges_settle_when_workers_raise(self, session):
+        # Every query fails: the queued→active hand-off and the active
+        # decrement live in ``finally``, so raising workers must not
+        # strand either gauge.
+        batch = ['document("missing.xml")/x'] * 6
+        results = session.run_many(batch, max_workers=3, return_errors=True)
+        assert all(isinstance(result, DocumentNotFoundError)
+                   for result in results)
+        assert session.metrics.get(
+            "repro_session_pool_queued").value() == 0
+        assert session.metrics.get(
+            "repro_session_pool_active").value() == 0
+
+    def test_pool_gauges_settle_when_batch_cancelled(self, session):
+        # Regression: a future cancelled before a worker picks it up
+        # never runs ``work()``, so its queued-gauge decrement must
+        # happen in ``_settle_cancelled`` — this used to leak.
+        from repro.errors import QueryCancelledError
+        from repro.resilience import FaultPlan, inject_faults
+
+        plan = FaultPlan(sleep=time.sleep).slow_on("execute", 0.2)
+        with inject_faults("engine", plan):
+            results = session.run_many(list(QUERIES) * 4, max_workers=2,
+                                       batch_deadline=0.1,
+                                       return_errors=True)
+        assert any(isinstance(result, QueryCancelledError)
+                   for result in results)
+        assert session.metrics.get(
+            "repro_session_pool_queued").value() == 0
+        assert session.metrics.get(
+            "repro_session_pool_active").value() == 0
 
     def test_pool_persists_across_batches(self, session):
         session.run_many(QUERIES, max_workers=2)

@@ -42,6 +42,24 @@ class TestDocFilesExist:
         assert "Production telemetry" in (ROOT / "README.md").read_text()
         assert "Production telemetry" in (ROOT / "docs/API.md").read_text()
 
+    def test_robustness_covers_overload_protection(self):
+        text = (ROOT / "docs/ROBUSTNESS.md").read_text()
+        assert "## Overload protection" in text
+        for term in ("AdmissionConfig", "OverloadError", "retry_after",
+                     "CancellationToken", "QueryCancelledError",
+                     "drain_timeout", "BrownoutLevel",
+                     "repro_admission_sheds_total",
+                     "repro_admission_brownout_level",
+                     'priority="interactive"', "max_queue_depth",
+                     "adaptive"):
+            assert term in text, term
+        # README and the API reference both point at the section.
+        assert "Overload protection" in (ROOT / "README.md").read_text()
+        assert "Overload protection" in (ROOT / "docs/API.md").read_text()
+        # /healthz's 503 semantics are documented where scrapers look.
+        observability = (ROOT / "docs/OBSERVABILITY.md").read_text()
+        assert "503" in observability and "shedding" in observability
+
     def test_design_per_experiment_index(self):
         text = (ROOT / "DESIGN.md").read_text()
         for experiment in ("fig8", "fig9", "fig10", "fig11",

@@ -93,13 +93,49 @@ class TestEndpoints:
             assert error.code == 404
             assert "endpoints" in json.loads(error.read())
 
-    def test_healthz_always_200(self, session, server):
+    def test_healthz_200_while_healthy(self, session, server):
         status, _headers, body = get(server.url + "/healthz")
         payload = json.loads(body)
         assert status == 200
         assert payload["status"] == "ok"
         assert payload["backend"] == "engine"
         assert "flight" in payload and "slos" in payload
+        assert payload["admission"]["draining"] is False
+
+    def test_healthz_503_while_shedding(self, session, server):
+        # Draining is the simplest shedding state to enter on demand; a
+        # load balancer polling /healthz must rotate the instance out.
+        session.admission.begin_drain()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                get(server.url + "/healthz")
+            with exc.value as error:
+                assert error.code == 503
+                payload = json.loads(error.read())
+                assert payload["status"] == "shedding"
+                assert payload["admission"]["draining"] is True
+        finally:
+            session.admission.end_drain()
+        status, _headers, body = get(server.url + "/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+    def test_healthz_503_when_all_breakers_open(self, session, server):
+        from repro.backends.registry import backend_breaker, reset_breakers
+
+        session.run(NAMES)  # instantiate the engine backend
+        reset_breakers()
+        try:
+            breaker = backend_breaker("engine")
+            for _ in range(breaker.failure_threshold):
+                breaker.record_failure()
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                get(server.url + "/healthz")
+            with exc.value as error:
+                assert error.code == 503
+                assert json.loads(error.read())["status"] == "unavailable"
+        finally:
+            reset_breakers()
 
     def test_metrics_round_trips_strict_validator(self, session, server):
         session.run(NAMES)
