@@ -14,6 +14,8 @@ Examples::
     python -m repro @query.xq --doc a.xml=./auction.xml \
         --serve-telemetry 9464 --serve-linger 60
     python -m repro top 127.0.0.1:9464
+    python -m repro serve --doc a.xml=./auction.xml --port 8080 \
+        --backend procpool
 """
 
 from __future__ import annotations
@@ -82,10 +84,102 @@ def _main_top(argv: list[str]) -> int:
         return 1
 
 
+def _main_serve(argv: list[str]) -> int:
+    """``python -m repro serve`` — the asyncio HTTP query front-end.
+
+    One event loop holds every in-flight request
+    (:meth:`XQuerySession.run_async`); evaluation happens on the
+    session's worker pool, or in worker *processes* with
+    ``--backend procpool`` (shared-memory document encodings, one
+    attach per worker — docs/CONCURRENCY.md "Process-parallel
+    serving").  SIGTERM/SIGINT drain gracefully.
+    """
+    import asyncio
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Serve XQuery over HTTP: POST the query text to "
+                    "/query; GET /healthz for load-balancer health.",
+    )
+    parser.add_argument("--doc", action="append", default=[],
+                        type=_parse_doc_argument, metavar="URI=PATH",
+                        help="bind document(URI) to the XML file at PATH")
+    parser.add_argument("--xmark", action="append", default=[], nargs=2,
+                        metavar=("URI", "SCALE"),
+                        help="bind document(URI) to a generated XMark "
+                             "document at this scale factor")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="listen port (0 picks a free one)")
+    parser.add_argument("--backend", default=None,
+                        choices=list(registered_backends()),
+                        help="backend requests run on unless they name "
+                             "their own (procpool = process-parallel tier)")
+    parser.add_argument("--strategy", default="msj", choices=["msj", "nlj"])
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="default per-request deadline")
+    parser.add_argument("--warm", action="append", default=[],
+                        metavar="QUERY",
+                        help="query text (or @path) compiled on startup "
+                             "before traffic arrives (repeatable)")
+    parser.add_argument("--serve-telemetry", type=int, default=None,
+                        metavar="PORT",
+                        help="also serve /metrics + /debug/queries on this "
+                             "port")
+    parser.add_argument("--drain-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="on shutdown, give in-flight requests this "
+                             "long before cancelling them")
+    args = parser.parse_args(argv)
+
+    from repro.serving import QueryServer, serve_until_stopped
+
+    session = XQuerySession(backend=args.backend or "engine",
+                            strategy=args.strategy)
+    try:
+        for uri, path in args.doc:
+            session.add_document_file(uri, path)
+        for uri, scale in args.xmark:
+            session.add_xmark_document(uri, float(scale))
+        for warm in args.warm:
+            session.prepare(_load_query(warm))
+        if args.serve_telemetry is not None:
+            telemetry = session.serve_telemetry(port=args.serve_telemetry)
+            print(f"telemetry serving on {telemetry.url}", file=sys.stderr)
+        server = QueryServer(session, host=args.host, port=args.port,
+                             backend=args.backend,
+                             default_deadline=args.timeout)
+
+        async def run() -> None:
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-Unix event loops
+            await server.start()
+            print(f"query server listening on {server.url}",
+                  file=sys.stderr)
+            await serve_until_stopped(server, stop)
+            print("shutdown signal received: draining", file=sys.stderr)
+
+        asyncio.run(run())
+        return 0
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        session.close(drain_timeout=args.drain_timeout)
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "top":
         return _main_top(argv[1:])
+    if argv and argv[0] == "serve":
+        return _main_serve(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run XQuery over XML documents via dynamic intervals.",

@@ -14,7 +14,10 @@ import:
   oracle);
 * ``naive`` — the materializing nested-loop competitor baseline;
 * ``dbapi`` — the generic PEP 249 adapter bound to the stdlib ``sqlite3``
-  driver (the verbatim single-statement ``WITH`` path).
+  driver (the verbatim single-statement ``WITH`` path);
+* ``procpool`` — the process-parallel tier: a pool of engine workers
+  attached zero-copy to shared-memory columnar document encodings
+  (docs/CONCURRENCY.md "Process-parallel serving").
 
 :class:`~repro.backends.dbapi.DBAPIBackend` is the generic PEP 249
 adapter behind ``dbapi`` — instantiate it with any driver's ``connect``
@@ -44,6 +47,7 @@ from repro.backends.registry import (
 from repro.backends import engine as _engine  # noqa: F401  (registration)
 from repro.backends import interpreter as _interpreter  # noqa: F401
 from repro.backends import naive as _naive  # noqa: F401
+from repro.backends import procpool as _procpool  # noqa: F401
 from repro.backends import sqlite as _sqlite  # noqa: F401
 from repro.backends.dbapi import DBAPIBackend, SQLiteDBAPIBackend
 

@@ -71,6 +71,25 @@ class EngineBackend(Backend):
         rel, width = value
         self._stats[name] = collect_stats(rel, width)
 
+    def adopt_encoded(self, name: str, value: Value) -> None:
+        """Bind an already-encoded relation as a prepared document.
+
+        The cross-process path: pool workers receive the parent's
+        immutable columnar encoding (attached from shared memory or
+        unpickled) and adopt it directly instead of re-encoding a
+        forest.  Statistics are collected locally — they are cheap
+        relative to encoding and keep cost-based planning identical to
+        the in-process tier.
+        """
+        with self._lock:
+            self._check_open()
+            self._encoded[name] = value
+            rel, width = value
+            self._stats[name] = collect_stats(rel, width)
+            # No forest to remember: an empty tuple marks the variable
+            # prepared so _bindings() accepts it.
+            self._prepared[name] = ()
+
     def _unload(self, name: str) -> None:
         self._encoded.pop(name, None)
         self._stats.pop(name, None)

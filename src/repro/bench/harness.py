@@ -55,13 +55,35 @@ class CellResult:
         return self.status
 
 
+def _cell_context(start_method: str | None = None):
+    """The multiprocessing context for benchmark cells.
+
+    ``fork`` when the platform offers it (children inherit the memoized
+    document cache copy-on-write); ``spawn`` otherwise — macOS, Windows,
+    and the Python ≥ 3.14 default — where the parent ships the generated
+    document over the pipe instead (see :func:`run_cell`).
+    """
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else "spawn"
+    return multiprocessing.get_context(start_method)
+
+
 def _cell_worker(connection, system: str, query: str, scale: float,
                  seed: int, memory_budget: int | None,
-                 collect_breakdown: bool) -> None:
+                 collect_breakdown: bool, document=None) -> None:
     """Child-process entry point: run the cell, ship the outcome back."""
-    # Imports resolved in the child via fork; classify failures by name so
-    # the parent never needs to unpickle library exception types.
+    # Imports resolved in the child (inherited under fork, re-imported
+    # under spawn); classify failures by name so the parent never needs
+    # to unpickle library exception types.
     try:
+        if document is not None:
+            # Spawn mode: no inherited cache — seed it with the document
+            # the parent generated, so generation stays outside the
+            # child's timed budget exactly as under fork.
+            from repro.xmark.generator import seed_document_cache
+
+            seed_document_cache(scale, document, seed=seed)
         measurements = execute_cell(
             system, query, scale, seed=seed, memory_budget=memory_budget,
             collect_breakdown=collect_breakdown,
@@ -83,22 +105,27 @@ def _cell_worker(connection, system: str, query: str, scale: float,
 def run_cell(system: str, query: str, scale: float,
              timeout: float = 60.0, seed: int = 42,
              memory_budget: int | None = None,
-             collect_breakdown: bool = False) -> CellResult:
+             collect_breakdown: bool = False,
+             start_method: str | None = None) -> CellResult:
     """Run one cell under a wall-clock budget; classify the outcome.
 
-    The document is generated (memoized) in the parent *before* forking so
-    the child inherits it copy-on-write and the budget covers evaluation
-    only — matching the paper's exclusion of document load time.
+    The document is generated (memoized) in the parent *before* the
+    child starts, so the budget covers evaluation only — matching the
+    paper's exclusion of document load time.  Under ``fork`` the child
+    inherits the cache copy-on-write; under ``spawn`` (macOS/Windows,
+    or ``start_method="spawn"``) the document is pickled to the child
+    explicitly instead.
     """
     from repro.xmark.generator import cached_document
 
-    cached_document(scale, seed=seed)
-    context = multiprocessing.get_context("fork")
+    document = cached_document(scale, seed=seed)
+    context = _cell_context(start_method)
+    shipped = document if context.get_start_method() != "fork" else None
     parent_conn, child_conn = context.Pipe(duplex=False)
     process = context.Process(
         target=_cell_worker,
         args=(child_conn, system, query, scale, seed, memory_budget,
-              collect_breakdown),
+              collect_breakdown, shipped),
     )
     process.start()
     child_conn.close()

@@ -30,15 +30,30 @@ Tuple compatibility: an :class:`IntervalColumns` *is* a sequence of
 ``(s, l, r)`` tuples — iteration, indexing, slicing, and equality all
 behave like the old list representation, so ``decode``, ``check_sorted``,
 structural comparison, and the test suite consume either form unchanged.
+
+Cross-process serving (see :mod:`repro.concurrency.procpool`): an
+``array('q')``-backed relation can be placed in a
+``multiprocessing.shared_memory`` segment with :func:`export_columns`;
+workers attach the segment and get endpoint columns that are zero-copy
+``memoryview('q')`` slices of the shared buffer.  Kernels treat such
+views exactly like arrays (``is_array`` accepts both), and the pickling
+contract below guarantees that *any* relation — array-, view-, or
+list-backed — pickles into a self-contained copy, so query results and
+bignum-mode documents cross process boundaries by value.
 """
 
 from __future__ import annotations
 
+import os
 from array import array
 from bisect import bisect_left
-from typing import Iterable, Iterator, Sequence
+from itertools import count as _counter
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.encoding.interval import IntervalTuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from multiprocessing.shared_memory import SharedMemory
 
 #: Inclusive bounds of ``array('q')`` storage (two's-complement int64).
 INT64_MAX = 2 ** 63 - 1
@@ -57,6 +72,36 @@ def make_int_column(values: Iterable[int]) -> "array | list[int]":
         return array("q", values)
     except OverflowError:
         return values
+
+
+def is_word_column(column: object) -> bool:
+    """Whether ``column`` stores machine-word int64s (array or shm view)."""
+    if isinstance(column, array):
+        return column.typecode == "q"
+    return isinstance(column, memoryview) and column.format == "q"
+
+
+def _column_state(column: "array | list[int] | memoryview") \
+        -> tuple[str, object]:
+    """The picklable state of one endpoint column (always by value)."""
+    if is_word_column(column):
+        return "q", column.tobytes()
+    return "list", list(column)
+
+
+def _restore_column(state: tuple[str, object]) -> "array | list[int]":
+    kind, payload = state
+    if kind == "q":
+        column = array("q")
+        column.frombytes(payload)  # type: ignore[arg-type]
+        return column
+    return list(payload)  # type: ignore[arg-type]
+
+
+def _rebuild_columns(s: list[str], l_state: tuple[str, object],
+                     r_state: tuple[str, object]) -> "IntervalColumns":
+    return IntervalColumns(s, _restore_column(l_state),
+                           _restore_column(r_state))
 
 
 class IntervalColumns:
@@ -101,8 +146,23 @@ class IntervalColumns:
 
     @property
     def is_array(self) -> bool:
-        """True when both endpoint columns are machine-word arrays."""
-        return isinstance(self.l, array) and isinstance(self.r, array)
+        """True when both endpoint columns are machine-word storage.
+
+        ``array('q')`` and int64 ``memoryview``s (zero-copy slices of a
+        shared-memory segment, see :func:`export_columns`) both qualify:
+        kernels index, slice, bisect, and ``np.frombuffer`` them
+        identically.
+        """
+        return is_word_column(self.l) and is_word_column(self.r)
+
+    def __reduce__(self):
+        # The pickling contract: every relation pickles self-contained,
+        # by value — shm-view-backed columns rehydrate as array('q')
+        # copies (a memoryview is not otherwise picklable), bignum lists
+        # stay lists.  Cross-process results and serialized documents
+        # depend on this; see docs/CONCURRENCY.md.
+        return (_rebuild_columns, (list(self.s), _column_state(self.l),
+                                   _column_state(self.r)))
 
     # -- sequence protocol --------------------------------------------------------
 
@@ -194,6 +254,54 @@ class IntervalColumns:
             position = bisect_left(l, right, lo=position + 1)
         return best
 
+    def root_bounds(self) -> list[tuple[int, int]]:
+        """Index bounds ``[lo, hi)`` of each top-level tree, in order.
+
+        A root's descendants all have ``l`` strictly inside the root's
+        interval, so the next root is the first index with
+        ``l >= r[root]`` — one binary search per root, O(roots · log n).
+        """
+        bounds: list[tuple[int, int]] = []
+        l = self.l
+        r = self.r
+        position = 0
+        size = len(l)
+        while position < size:
+            end = bisect_left(l, r[position], lo=position + 1)
+            bounds.append((position, end))
+            position = end
+        return bounds
+
+    def shard(self, shards: int) -> list["IntervalColumns"]:
+        """Split into ≤ ``shards`` contiguous runs of complete root trees.
+
+        Shards are C-level slices in document order, balanced by tuple
+        count, and never cut through a tree — concatenating per-shard
+        results of a root-distributive plan in shard order reproduces the
+        whole-document result.  Interval coordinates are left untouched,
+        so every shard evaluates under the original document width.  A
+        relation with fewer roots than ``shards`` yields fewer pieces.
+        """
+        count = len(self)
+        if shards <= 1 or count == 0:
+            return [self]
+        roots = self.root_bounds()
+        shards = min(shards, len(roots))
+        if shards <= 1:
+            return [self]
+        target = count / shards
+        pieces: list[IntervalColumns] = []
+        start = 0
+        for _lo, hi in roots:
+            if len(pieces) == shards - 1:
+                break  # everything left is the final shard
+            if hi - start >= target:
+                pieces.append(self[start:hi])
+                start = hi
+        if start < count:
+            pieces.append(self[start:count])
+        return pieces
+
 
 #: Either relation representation, as accepted by the public operators.
 AnyRelation = Sequence[IntervalTuple]
@@ -204,3 +312,135 @@ def as_columns(rel: AnyRelation) -> IntervalColumns:
     if isinstance(rel, IntervalColumns):
         return rel
     return IntervalColumns.from_tuples(rel)
+
+
+# -- shared-memory export / attach ---------------------------------------------
+
+#: ``/dev/shm`` name prefix of every segment this package creates — the
+#: CI leak check greps for it after ``session.close()``.
+SHM_PREFIX = "repro_cols"
+
+_WORD = 8  # bytes per int64 endpoint
+
+#: Monotonic suffix for segment names created by this process.
+_segment_counter = _counter()
+
+
+class SharedColumns:
+    """A picklable descriptor of an :class:`IntervalColumns` in shared memory.
+
+    Built by :func:`export_columns`; ship it to a worker process and call
+    :meth:`attach` there.  The descriptor carries only the segment name
+    and layout — attaching maps the creator's bytes, it never copies the
+    endpoint columns.
+    """
+
+    __slots__ = ("name", "count", "label_bytes")
+
+    def __init__(self, name: str, count: int, label_bytes: int):
+        self.name = name
+        self.count = count
+        self.label_bytes = label_bytes
+
+    def __reduce__(self):
+        return (SharedColumns, (self.name, self.count, self.label_bytes))
+
+    def __repr__(self) -> str:
+        return (f"SharedColumns({self.name!r}, {self.count} tuples, "
+                f"{self.label_bytes} label bytes)")
+
+    def attach(self) -> "AttachedColumns":
+        """Map the segment and rebuild the relation (endpoints zero-copy).
+
+        The endpoint columns of the returned relation are ``memoryview``
+        slices of the shared buffer cast to int64 — no bytes move.  Labels
+        are decoded into a fresh list (Python strings cannot be shared).
+        Keep the returned handle alive as long as the relation is in use
+        and call :meth:`AttachedColumns.detach` when done; the segment is
+        unlinked only by its creator.
+        """
+        # CPython ≤3.12 registers a segment with the resource tracker on
+        # attach as well as on create.  Pool workers are always
+        # multiprocessing children of the exporting process, so they share
+        # its tracker and the extra registration is an idempotent set-add;
+        # the creator's eventual unlink() balances the books, and a
+        # crashed parent still gets tracker cleanup at shutdown.
+        from multiprocessing.shared_memory import SharedMemory
+
+        shm = SharedMemory(name=self.name)
+        words = self.count * _WORD
+        base = memoryview(shm.buf)
+        l = base[0:words].cast("q")
+        r = base[words:2 * words].cast("q")
+        blob = bytes(base[2 * words:2 * words + self.label_bytes])
+        s = blob.decode("utf-8").split("\x00") if self.count else []
+        columns = IntervalColumns(s, l, r)
+        return AttachedColumns(columns, shm, (l, r, base))
+
+
+class AttachedColumns:
+    """A worker-side attachment: the relation plus what must be released.
+
+    ``detach`` releases the int64 views before closing the mapping (an
+    mmap with exported buffers refuses to close), and never unlinks — the
+    exporting process owns the segment's lifetime.
+    """
+
+    __slots__ = ("columns", "_shm", "_views", "_closed")
+
+    def __init__(self, columns: IntervalColumns, shm: "SharedMemory",
+                 views: tuple[memoryview, ...]):
+        self.columns = columns
+        self._shm = shm
+        self._views = views
+        self._closed = False
+
+    def detach(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for view in self._views:
+            view.release()
+        self._shm.close()
+
+
+def export_columns(columns: IntervalColumns,
+                   name: str | None = None) -> "tuple[SharedColumns, SharedMemory]":
+    """Copy an array-backed relation into a new shared-memory segment.
+
+    Layout: ``count`` int64 ``l`` words, ``count`` int64 ``r`` words, then
+    the labels as one NUL-joined UTF-8 blob.  Returns the picklable
+    descriptor and the creator-side handle — the caller owns the segment
+    and must ``close()`` + ``unlink()`` it when the document is dropped
+    (:class:`repro.concurrency.procpool.ProcessQueryPool` does this on
+    ``unregister_document``/``close``).
+
+    Raises :class:`ValueError` for relations that cannot be shared
+    structurally — bignum (list-backed) endpoint columns, or a label
+    containing NUL — in which case the caller should pickle the relation
+    instead (the ``__reduce__`` contract above always works).
+    """
+    from multiprocessing.shared_memory import SharedMemory
+
+    if not columns.is_array:
+        raise ValueError(
+            "bignum-mode columns cannot be exported to shared memory; "
+            "serialize them instead (pickle round-trips any relation)")
+    for label in columns.s:
+        if "\x00" in label:
+            raise ValueError(
+                "labels containing NUL cannot be exported to shared memory; "
+                "serialize the relation instead")
+    l_bytes = columns.l.tobytes()
+    r_bytes = columns.r.tobytes()
+    blob = "\x00".join(columns.s).encode("utf-8")
+    words = len(l_bytes)
+    total = 2 * words + len(blob)
+    if name is None:
+        name = f"{SHM_PREFIX}_{os.getpid()}_{next(_segment_counter)}"
+    shm = SharedMemory(create=True, size=max(total, 1), name=name)
+    shm.buf[0:words] = l_bytes
+    shm.buf[words:2 * words] = r_bytes
+    if blob:
+        shm.buf[2 * words:2 * words + len(blob)] = blob
+    return SharedColumns(shm.name, len(columns), len(blob)), shm

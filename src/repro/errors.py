@@ -135,6 +135,21 @@ class TransientBackendError(ExecutionError):
     """
 
 
+class WorkerDiedError(TransientBackendError):
+    """Raised when a process-pool worker died while serving a request.
+
+    The pool respawns the worker immediately, so the failure is transient
+    by construction: :class:`repro.resilience.RetryPolicy` retries it by
+    default and repeated deaths trip the per-backend circuit breaker,
+    exactly like any other transient backend fault (see
+    :mod:`repro.concurrency.procpool`).
+    """
+
+    def __init__(self, worker: str, message: str = "worker process died"):
+        self.worker = worker
+        super().__init__(f"{message} [{worker}]")
+
+
 class QueryTimeoutError(ExecutionError):
     """Raised when a query runs past its configured deadline.
 

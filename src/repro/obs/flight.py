@@ -160,6 +160,9 @@ class QueryRecord:
     #: Full span tree, retained only for tail-sampled records.
     trace: "Span | None" = None
     thread: str = ""
+    #: Process-pool worker(s) that evaluated the query (``""`` for
+    #: in-process backends; ``"+"``-joined names for a sharded scatter).
+    worker: str = ""
     unix_time: float = 0.0
 
     def to_dict(self, include_trace: bool = True) -> dict[str, object]:
@@ -186,6 +189,7 @@ class QueryRecord:
             "sampled": self.sampled,
             "sample_reasons": list(self.sample_reasons),
             "thread": self.thread,
+            "worker": self.worker,
             "unix_time": self.unix_time,
         }
         if include_trace:
@@ -420,6 +424,7 @@ class FlightRecorder:
                                    if deviation is not None else None),
             plan_evicted=bool(extra.get("plan_evicted", False)),
             thread=threading.current_thread().name,
+            worker=str(extra.get("worker", "") or ""),
             unix_time=time.time(),
         )
         reasons = (self._sample_reasons(record)

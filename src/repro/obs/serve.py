@@ -13,7 +13,9 @@ never imports :mod:`repro.session`) and serves:
   counters.  HTTP 200 while the instance should keep taking traffic
   (``status`` ``ok`` or ``degraded``), HTTP 503 when a load balancer
   should rotate it out (``shedding`` — admission control refusing work —
-  or ``unavailable`` — every backend's breaker open);
+  or ``unavailable`` — every backend's breaker open).  503 responses
+  carry a ``Retry-After`` header derived from the admission
+  controller's ``retry_after`` hint (rounded up to whole seconds);
 * ``/debug/queries`` — the flight recorder's ring buffer as JSON, plus
   the percentile table and SLO status.  Filters: ``?outcome=error``,
   ``?sampled=true``, ``?limit=50``, ``?traces=false`` (drop span trees
@@ -32,6 +34,7 @@ from __future__ import annotations
 
 import json
 import logging
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Protocol, runtime_checkable
@@ -159,7 +162,12 @@ def _make_handler(session: TelemetrySource):
                 health = session.health()
                 status = 503 if health.get("status") in UNHEALTHY_STATUSES \
                     else 200
-                self._json(status, health)
+                headers = None
+                if status == 503:
+                    hint = _retry_after_header(health)
+                    if hint is not None:
+                        headers = {"Retry-After": hint}
+                self._json(status, health, headers=headers)
             elif route == "/debug/queries":
                 self._debug_queries(parse_qs(parsed.query))
             elif route == "/":
@@ -194,20 +202,39 @@ def _make_handler(session: TelemetrySource):
             }
             self._json(200, payload)
 
-        def _json(self, status: int, payload: object) -> None:
+        def _json(self, status: int, payload: object,
+                  headers: "dict[str, str] | None" = None) -> None:
             body = json.dumps(payload, indent=1, sort_keys=True,
                               default=str).encode("utf-8")
-            self._reply(status, body, "application/json; charset=utf-8")
+            self._reply(status, body, "application/json; charset=utf-8",
+                        headers=headers)
 
-        def _reply(self, status: int, body: bytes,
-                   content_type: str) -> None:
+        def _reply(self, status: int, body: bytes, content_type: str,
+                   headers: "dict[str, str] | None" = None) -> None:
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
     return Handler
+
+
+def _retry_after_header(health: dict[str, object]) -> str | None:
+    """The admission controller's retry hint as RFC 9110 delta-seconds.
+
+    ``Retry-After`` is integer seconds; sub-second hints round *up* so a
+    compliant client never retries before the hinted instant.
+    """
+    admission = health.get("admission")
+    if not isinstance(admission, dict):
+        return None
+    hint = admission.get("retry_after")
+    if not isinstance(hint, (int, float)) or hint <= 0:
+        return None
+    return str(max(1, math.ceil(hint)))
 
 
 def _first(query: dict[str, list[str]], key: str) -> str | None:

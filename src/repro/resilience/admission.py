@@ -495,6 +495,10 @@ class AdmissionController:
                 "shedding": self.shedding,
                 "brownout_level": self.brownout.index,
                 "brownout": self.brownout.level.name,
+                # The same hint a shed OverloadError would carry right
+                # now; /healthz surfaces it as a Retry-After header on
+                # 503 responses while shedding.
+                "retry_after": round(self._retry_after_hint(), 6),
             }
 
     # -- wait estimation ------------------------------------------------------

@@ -361,8 +361,14 @@ class XQuerySession:
             if ticket is not None:
                 admission.release(ticket)
 
+    #: Backends the process tier can substitute for: the ``procpool``
+    #: workers run the DI engine, so only engine-family primaries are
+    #: eligible for transparent promotion.
+    _PROCESS_CAPABLE = ("engine", "procpool")
+
     def run_many(self, queries: "Iterable[str]", *,
                  max_workers: int | None = None,
+                 tier: str = "auto",
                  backend: str | None = None,
                  strategy: str | JoinStrategy | None = None,
                  trace: bool = False,
@@ -387,8 +393,23 @@ class XQuerySession:
 
         The pool is persistent: repeated batches reuse the same worker
         threads, which keeps the relational backends' per-thread
-        connections warm.  Asking for a different ``max_workers`` tears
-        the pool down and rebuilds it (cold connections for one batch).
+        connections warm.  A ``max_workers`` *larger* than the current
+        pool grows it (one rebuild); a smaller request reuses the warm
+        pool unchanged.  ``max_workers`` must be a positive integer —
+        ``0`` or a negative value raises :class:`ValueError` instead of
+        silently falling back to the default size.
+
+        ``tier`` picks the execution substrate for engine-family
+        batches:  ``"thread"`` is the classic shared-memory pool above
+        (GIL-bound for pure-Python evaluation), ``"process"`` routes
+        every query to the ``procpool`` backend — a pool of worker
+        processes attached zero-copy to shared-memory document encodings
+        — and ``"auto"`` (default) promotes engine batches to the
+        process tier on multi-core hosts when the batch is big enough to
+        amortize the dispatch.  Non-engine backends always run on the
+        thread tier; ``tier="process"`` with an incompatible explicit
+        backend raises :class:`ValueError`.  See docs/CONCURRENCY.md
+        "Process-parallel serving".
 
         ``trace=True`` collects one span tree per query (rooted at
         ``batch.query``, tagged with the input index and worker thread)
@@ -409,15 +430,23 @@ class XQuerySession:
         :class:`~repro.errors.QueryCancelledError` in the results.
         """
         batch = list(queries)
+        if max_workers is not None and (
+                not isinstance(max_workers, int)
+                or isinstance(max_workers, bool)
+                or max_workers < 1):
+            raise ValueError(
+                f"max_workers must be a positive integer, got {max_workers!r}")
         if not batch:
             return []
+        backend = self._tier_backend(tier, backend, len(batch))
         batch_token = token
         if batch_deadline is not None:
             # A private token (linked to the caller's, if any) that the
             # gather loop below trips when the whole batch runs long.
             batch_token = CancellationToken(parent=token) \
                 if token is not None else CancellationToken()
-        workers = max_workers or min(len(batch), os.cpu_count() or 4)
+        workers = max_workers if max_workers is not None \
+            else max(1, min(len(batch), os.cpu_count() or 4))
         executor = self._ensure_executor(workers)
         active = self._effective_tracer(trace, tracer)
         self._m_batches.inc()
@@ -485,6 +514,104 @@ class XQuerySession:
             raise first_error
         return results
 
+    async def run_async(self, query: str, **kwargs) -> QueryResult:
+        """Run one query without blocking the calling event loop.
+
+        The asyncio front of the serving stack: the query executes via
+        :meth:`run` (every keyword argument passes through — backend,
+        strategy, deadline/budget/guard, fallback/retry, priority,
+        token) on the session's persistent worker pool while the event
+        loop stays free, so one process can hold thousands of in-flight
+        requests.  Pair with ``backend="procpool"`` to push the actual
+        evaluation into worker processes: the pool thread then only
+        waits on a pipe (releasing the GIL), and throughput scales with
+        cores instead of threads.  See docs/CONCURRENCY.md.
+        """
+        import asyncio
+        import functools
+
+        loop = asyncio.get_running_loop()
+        executor = self._ensure_executor(
+            max(2, min(32, (os.cpu_count() or 4) * 2)))
+        return await loop.run_in_executor(
+            executor, functools.partial(self.run, query, **kwargs))
+
+    def run_sharded(self, query: str,
+                    strategy: str | JoinStrategy | None = None,
+                    deadline: float | None = None,
+                    budget: "int | ResourceBudget | None" = None,
+                    guard: QueryGuard | None = None,
+                    token: CancellationToken | None = None,
+                    priority: str = INTERACTIVE) -> QueryResult:
+        """Scatter one query across document shards in the process pool.
+
+        Intra-query parallelism for root-distributive queries (the
+        result over a document equals the concatenation of results over
+        its top-level-tree partitions — path steps and single-document
+        FLWOR bodies qualify; queries that *join across* top-level trees
+        or aggregate globally do not, and must use :meth:`run`).  Each
+        pool worker holds a contiguous shard of every referenced
+        document in shared memory; the per-shard forests concatenate in
+        document order at the root.  Admission control, cancellation,
+        deadlines/budgets, and flight recording apply exactly as in
+        :meth:`run`.
+        """
+        name = "procpool"
+        if guard is None and (deadline is not None or budget is not None
+                              or token is not None):
+            guard = QueryGuard(deadline=deadline, budget=budget, token=token)
+        elif guard is not None and token is not None and guard.token is None:
+            guard.token = token
+        if guard is not None and not guard.enabled:
+            guard = None
+        admission = self.admission
+        ticket = None
+        if admission is not None:
+            try:
+                ticket = admission.try_acquire(
+                    priority,
+                    deadline=guard.remaining if guard is not None else None,
+                    token=token)
+            except (OverloadError, QueryCancelledError) as error:
+                self._record_rejected(query, name, error)
+                raise
+        self._m_queries.inc(backend=name)
+        recorder = self.recorder
+        extra: dict[str, object] = {}
+        result: QueryResult | None = None
+        error: BaseException | None = None
+        start = time.perf_counter()
+        try:
+            with self._state_lock.read_locked():
+                compiled = self.prepare(query)
+                target = self.backend_instance(name)
+                target.prepare(self._bindings(compiled))
+                if guard is not None:
+                    guard.backend = name
+                    guard.start().check_deadline()
+                options = ExecutionOptions(
+                    strategy=self._strategy(strategy), guard=guard,
+                    extra=extra)
+                forest = target.execute_sharded(compiled, options)
+                result = QueryResult(forest, backend=name)
+                return result
+        except BaseException as raised:
+            error = raised
+            raise
+        finally:
+            if ticket is not None:
+                admission.release(ticket)
+            if recorder is not None:
+                wall = time.perf_counter() - start
+                try:
+                    recorder.record_run(query=query, backend=name,
+                                        result=result, error=error,
+                                        wall_seconds=wall, guard=guard,
+                                        extra=extra)
+                except Exception:  # never let telemetry sink a result
+                    logger.exception("flight recorder failed for %.60s",
+                                     query)
+
     def _settle_cancelled(self, futures: "list[Future[QueryResult]]") -> None:
         """Cancel still-queued batch futures without leaking pool gauges.
 
@@ -496,14 +623,48 @@ class XQuerySession:
             if future.cancel():
                 self._g_pool_queued.dec()
 
+    def _tier_backend(self, tier: str, backend: str | None,
+                      batch_size: int) -> str | None:
+        """Resolve the ``run_many`` execution tier to a backend name.
+
+        ``"thread"`` leaves the caller's backend alone; ``"process"``
+        substitutes ``procpool`` (refusing incompatible explicit
+        backends); ``"auto"`` promotes engine-family batches to the
+        process tier when the host has more than one core and the batch
+        is large enough (≥ 4 queries) to amortize dispatch overhead.
+        """
+        if tier not in ("auto", "thread", "process"):
+            raise ValueError(
+                f"tier must be 'auto', 'thread', or 'process', got {tier!r}")
+        if tier == "thread":
+            return backend
+        name = backend or self.backend
+        if tier == "process":
+            if name not in self._PROCESS_CAPABLE:
+                raise ValueError(
+                    f"tier='process' runs the DI engine in pool workers; "
+                    f"backend {name!r} cannot be promoted (use "
+                    f"tier='thread' or an engine-family backend)")
+            return "procpool"
+        if (name in self._PROCESS_CAPABLE and batch_size >= 4
+                and (os.cpu_count() or 1) > 1):
+            return "procpool"
+        return backend
+
     def _ensure_executor(self, workers: int) -> ThreadPoolExecutor:
-        """The persistent batch pool, (re)built for ``workers`` threads."""
+        """The persistent batch pool, grown (never shrunk) to ``workers``.
+
+        Growing rebuilds the pool once; a smaller request reuses the
+        existing warm pool — idle threads are cheap, cold relational
+        connections are not.
+        """
         with self._executor_lock:
             if (self._executor is not None
-                    and self._executor_workers != workers):
+                    and workers > self._executor_workers):
                 self._executor.shutdown(wait=True)
                 self._executor = None
             if self._executor is None:
+                workers = max(workers, self._executor_workers)
                 self._executor = ThreadPoolExecutor(
                     max_workers=workers, thread_name_prefix="repro-worker")
                 self._executor_workers = workers

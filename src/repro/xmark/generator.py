@@ -114,6 +114,18 @@ def cached_document(scale: float, seed: int = 42,
     return document
 
 
+def seed_document_cache(scale: float, document: Node, seed: int = 42,
+                        description_richness: float = 1.0) -> None:
+    """Install a pre-generated document under its cache key.
+
+    The spawn-mode benchmark path: a spawned child inherits nothing, so
+    the harness pickles the parent's generated document over the pipe
+    and the child seeds its own cache with it — :func:`cached_document`
+    then behaves identically under ``fork`` and ``spawn``.
+    """
+    _DOCUMENT_CACHE[(scale, seed, description_richness)] = document
+
+
 def clear_document_cache() -> None:
     """Drop all cached documents (frees memory between experiment suites)."""
     _DOCUMENT_CACHE.clear()

@@ -146,3 +146,54 @@ class TestEngineBenchTelemetry:
         failures = check_regressions(grown, baseline)
         assert any("recorder_efficiency" in failure for failure in failures)
         assert check_regressions(baseline, baseline) == []
+
+
+class TestRunCellStartMethods:
+    def test_spawn_ships_the_document_explicitly(self):
+        # macOS/Windows (and Python >= 3.14) default: no fork, no
+        # inherited document cache — the parent must serialize the
+        # generated document to the child instead.
+        cell = run_cell("di-msj", "Q13", 0.0005, timeout=120,
+                        start_method="spawn")
+        assert cell.status == OK
+        assert cell.document_nodes > 0
+
+    def test_spawn_and_fork_agree(self):
+        forked = run_cell("di-msj", "Q13", 0.0005, timeout=120)
+        spawned = run_cell("di-msj", "Q13", 0.0005, timeout=120,
+                           start_method="spawn")
+        assert forked.status == spawned.status == OK
+        assert forked.result_size == spawned.result_size
+
+
+class TestEngineBenchProcessParallel:
+    def test_section_measures_all_three_modes(self):
+        from repro.bench.engine_bench import (
+            PROCESS_QUERIES, bench_process_parallel)
+
+        section = bench_process_parallel(scale=0.002, repeats=1, batch=4)
+        assert set(section) == {"meta"} | set(PROCESS_QUERIES)
+        assert section["meta"]["cpu_count"] >= 1
+        assert section["meta"]["workers"] >= 2
+        for name in PROCESS_QUERIES:
+            entry = section[name]
+            assert entry["serial_ops_per_sec"] > 0
+            assert entry["thread_ops_per_sec"] > 0
+            assert entry["process_ops_per_sec"] > 0
+            assert entry["process_over_serial"] > 0
+
+    def test_check_gates_only_multicore_hosts(self):
+        from repro.bench.engine_bench import check_regressions
+
+        slow = {"process_parallel": {
+            "meta": {"cpu_count": 4, "workers": 4, "batch": 8},
+            "fig8_q13": {"query": "Q13", "serial_ops_per_sec": 100.0,
+                         "process_ops_per_sec": 80.0,
+                         "process_over_serial": 0.8},
+        }}
+        failures = check_regressions(slow, {})
+        assert any("process_parallel" in failure for failure in failures)
+        # The same numbers on a single-core host are expected, not a
+        # regression: there is no parallelism to buy back the dispatch.
+        slow["process_parallel"]["meta"]["cpu_count"] = 1
+        assert check_regressions(slow, {}) == []

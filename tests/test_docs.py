@@ -60,6 +60,25 @@ class TestDocFilesExist:
         observability = (ROOT / "docs/OBSERVABILITY.md").read_text()
         assert "503" in observability and "shedding" in observability
 
+    def test_concurrency_covers_process_parallel_serving(self):
+        text = (ROOT / "docs/CONCURRENCY.md").read_text()
+        assert "## Process-parallel serving" in text
+        for term in ("ProcessQueryPool", "shared_memory", "zero-copy",
+                     'tier="process"', "run_sharded", "run_async",
+                     "WorkerDiedError", "root-distributive",
+                     "python -m repro serve", "Retry-After",
+                     "REPRO_POOL_WORKERS", "REPRO_START_METHOD",
+                     "repro_cols", "process_parallel"):
+            assert term in text, term
+        # README and the API reference both point at the section.
+        assert "Process-parallel serving" in (ROOT / "README.md").read_text()
+        assert "Process-parallel serving" in \
+            (ROOT / "docs/API.md").read_text()
+        # ...and the bench doc explains the multi-core-only gate.
+        performance = (ROOT / "docs/PERFORMANCE.md").read_text()
+        assert "process_parallel" in performance
+        assert "Process-parallel serving" in performance
+
     def test_design_per_experiment_index(self):
         text = (ROOT / "DESIGN.md").read_text()
         for experiment in ("fig8", "fig9", "fig10", "fig11",

@@ -1,0 +1,423 @@
+"""The process tier: shared-memory columns, the worker pool, session wiring.
+
+Every pool here is tiny (1–2 workers) and short-lived; the container
+running CI may have a single core, so these tests assert *correctness*
+of the process tier — result equality, crash recovery, cancellation,
+segment hygiene — never throughput (the bench's ``process_parallel``
+section owns that, gated on multi-core hosts only).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.concurrency.procpool import ProcessQueryPool
+from repro.engine.columns import (
+    IntervalColumns,
+    SharedColumns,
+    export_columns,
+)
+from repro.engine.evaluator import DIEngine
+from repro.errors import (
+    QueryCancelledError,
+    QueryTimeoutError,
+    ResourceBudgetError,
+    TransientBackendError,
+    WorkerDiedError,
+)
+from repro.resilience import CancellationToken, QueryGuard, ResourceBudget
+from repro.session import XQuerySession
+from repro.xmark.generator import generate_document
+
+NAMES = 'document("auction.xml")/site/people/person/name'
+COUNT = 'count(document("auction.xml")/site/people/person)'
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+def _encoding(document):
+    from repro.xquery.lowering import document_forest
+
+    return DIEngine.prepare_document(document_forest((document,)))
+
+
+def _doc_var(query: str) -> str:
+    from repro.api import compile_xquery
+
+    return next(iter(compile_xquery(query).documents.values()))
+
+
+# -- shared-memory columns across a real process boundary ----------------------
+
+def _round_trip_child(conn) -> None:
+    """Echo worker: rebuild whatever relation payload arrives, ship the
+    tuples back by value.  Top-level so spawn can import it."""
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        if message is None:
+            break
+        kind, payload = message
+        if kind == "shm":
+            attachment = payload.attach()
+            try:
+                conn.send(attachment.columns.tuples())
+            finally:
+                attachment.detach()
+        else:
+            conn.send(payload.tuples())
+    conn.close()
+
+
+@pytest.fixture(scope="module")
+def echo_child():
+    """One long-lived child process all hypothesis examples go through."""
+    import multiprocessing
+
+    context = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn")
+    parent, child = context.Pipe()
+    process = context.Process(target=_round_trip_child, args=(child,),
+                              daemon=True)
+    process.start()
+    child.close()
+
+    def round_trip(columns: IntervalColumns) -> list:
+        if len(columns) and columns.is_array \
+                and not any("\x00" in label for label in columns.s):
+            descriptor, shm = export_columns(columns)
+            try:
+                parent.send(("shm", descriptor))
+                return parent.recv()
+            finally:
+                shm.close()
+                shm.unlink()
+        parent.send(("pickle", columns))
+        return parent.recv()
+
+    yield round_trip
+    parent.send(None)
+    process.join(timeout=5)
+    parent.close()
+
+
+#: Rows whose endpoints straddle the int64 boundary, so both the
+#: ``array('q')`` / shared-memory path and the bignum list fallback get
+#: exercised by the same property.
+_rows = st.lists(
+    st.tuples(
+        st.text(alphabet="ab<>/@ xyz\x00é", min_size=0, max_size=6),
+        st.integers(min_value=0, max_value=2 ** 66),
+        st.integers(min_value=0, max_value=2 ** 66),
+    ),
+    max_size=12,
+)
+
+
+class TestColumnsAcrossProcesses:
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(rows=_rows)
+    def test_child_process_sees_equal_relation(self, echo_child, rows):
+        """A relation rebuilt in a child — attached zero-copy when it is
+        array-backed, pickled when bignum or NUL-labelled — equals the
+        parent's, row for row."""
+        columns = IntervalColumns.from_tuples(rows, sort=True)
+        assert echo_child(columns) == columns.tuples()
+
+    def test_bignum_columns_refuse_shared_memory(self):
+        columns = IntervalColumns.from_tuples(
+            [("<a>", 0, 2 ** 70)], sort=True)
+        assert not columns.is_array
+        with pytest.raises(ValueError, match="bignum"):
+            export_columns(columns)
+        # ...but the pickling contract still round-trips them by value
+        # (only the overflowing column falls back to a list).
+        clone = pickle.loads(pickle.dumps(columns))
+        assert clone == columns and isinstance(clone.r, list)
+
+    def test_nul_label_refuses_shared_memory(self):
+        columns = IntervalColumns.from_tuples([("a\x00b", 0, 1)])
+        with pytest.raises(ValueError, match="NUL"):
+            export_columns(columns)
+
+    def test_attached_view_is_zero_copy(self):
+        columns = IntervalColumns.from_tuples(
+            [("<a>", 0, 3), ("x", 1, 2)])
+        descriptor, shm = export_columns(columns)
+        try:
+            attachment = SharedColumns(
+                descriptor.name, descriptor.count,
+                descriptor.label_bytes).attach()
+            try:
+                assert isinstance(attachment.columns.l, memoryview)
+                assert attachment.columns.is_array
+                assert attachment.columns.tuples() == columns.tuples()
+            finally:
+                attachment.detach()
+        finally:
+            shm.close()
+            shm.unlink()
+
+
+# -- the pool itself -----------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def tiny_encoding():
+    return _encoding(generate_document(0.0005, seed=42))
+
+
+@pytest.fixture
+def pool(tiny_encoding):
+    active = ProcessQueryPool(workers=2)
+    active.register_document(_doc_var(NAMES), tiny_encoding)
+    yield active
+    active.close()
+
+
+def _reference(query: str, encoding) -> tuple:
+    from repro.api import compile_xquery
+    from repro.backends.base import ExecutionOptions
+    from repro.backends.registry import create_backend
+
+    backend = create_backend("engine")
+    try:
+        compiled = compile_xquery(query)
+        backend.adopt_encoded(_doc_var(query), encoding)
+        return backend.execute(compiled, ExecutionOptions())
+    finally:
+        backend.close()
+
+
+class TestProcessQueryPool:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            ProcessQueryPool(workers=0)
+        with pytest.raises(ValueError, match="positive"):
+            ProcessQueryPool(workers=-2)
+
+    def test_execute_matches_in_process_engine(self, pool, tiny_encoding):
+        forest, worker = pool.execute(NAMES)
+        assert worker.startswith("procpool-")
+        assert len(forest) > 0  # non-vacuous equality below
+        assert forest == _reference(NAMES, tiny_encoding)
+
+    def test_scatter_equals_execute(self, pool):
+        whole, _worker = pool.execute(NAMES)
+        pool.ensure_sharded(_doc_var(NAMES))
+        sharded, workers = pool.scatter(NAMES)
+        assert sharded == whole
+        assert len(workers) == pool.size
+
+    def test_document_replacement_propagates(self, pool):
+        var = _doc_var(COUNT)
+        before, _ = pool.execute(COUNT)
+        replacement = _encoding(generate_document(0.001, seed=7))
+        pool.register_document(var, replacement)
+        after, _ = pool.execute(COUNT)
+        assert after == _reference(COUNT, replacement)
+        assert after != before
+
+    def test_crashed_worker_respawns(self, tiny_encoding):
+        with ProcessQueryPool(workers=1) as pool:
+            pool.register_document(_doc_var(NAMES), tiny_encoding)
+            pool._workers[0].process.kill()
+            pool._workers[0].process.join(timeout=5)
+            with pytest.raises(WorkerDiedError) as exc:
+                pool.execute(NAMES)
+            # Transient: the retry/breaker/fallback machinery applies.
+            assert isinstance(exc.value, TransientBackendError)
+            # The pool respawned before surfacing, so a retry succeeds.
+            forest, _worker = pool.execute(NAMES)
+            assert forest == _reference(NAMES, tiny_encoding)
+
+    def test_cancellation_kills_the_worker(self, pool):
+        token = CancellationToken()
+        pool._acquire(0)
+        worker = pool._workers[0]
+        try:
+            worker.send(("sleep", 30.0))  # test hook: unresponsive worker
+            timer = threading.Timer(0.2, token.cancel, args=("user gone",))
+            timer.start()
+            try:
+                with pytest.raises(QueryCancelledError, match="user gone"):
+                    worker.wait(token=token)
+            finally:
+                timer.cancel()
+            assert not worker.alive
+            pool._respawn(0)
+        finally:
+            pool._release(0)
+        forest, _ = pool.execute(NAMES)  # the pool is healthy again
+        assert len(forest) > 0
+
+    def test_hung_worker_killed_after_grace(self, pool):
+        pool._acquire(0)
+        worker = pool._workers[0]
+        try:
+            worker.send(("sleep", 30.0))
+            started = time.monotonic()
+            with pytest.raises(QueryTimeoutError) as exc:
+                worker.wait(deadline_at=time.monotonic() + 0.3,
+                            deadline=0.1)
+            assert time.monotonic() - started < 5.0
+            assert exc.value.backend == "procpool"
+            pool._respawn(0)
+        finally:
+            pool._release(0)
+
+    def test_worker_side_budget_error_is_typed(self, pool):
+        # The worker raises inside its own process; the parent must see
+        # the same typed exception, not a pickled stand-in.
+        guard = QueryGuard(budget=ResourceBudget(max_tuples=1))
+        with pytest.raises(ResourceBudgetError) as exc:
+            pool.execute(NAMES, guard=guard)
+        assert exc.value.resource == "tuples"
+
+    def test_segments_unlinked_on_close(self, tiny_encoding):
+        from multiprocessing.shared_memory import SharedMemory
+
+        pool = ProcessQueryPool(workers=2)
+        pool.register_document(_doc_var(NAMES), tiny_encoding)
+        pool.ensure_sharded(_doc_var(NAMES))
+        names = pool.segment_names
+        assert names, "expected live segments for full + shard exports"
+        pool.close()
+        assert pool.segment_names == ()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                SharedMemory(name=name)
+
+    def test_unregister_unlinks_segments(self, pool):
+        from multiprocessing.shared_memory import SharedMemory
+
+        var = _doc_var(NAMES)
+        names = pool.segment_names
+        assert names
+        pool.unregister_document(var)
+        assert pool.segment_names == ()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                SharedMemory(name=name)
+
+    def test_spawn_start_method(self, tiny_encoding):
+        with ProcessQueryPool(workers=1, start_method="spawn") as pool:
+            assert pool.start_method == "spawn"
+            pool.register_document(_doc_var(NAMES), tiny_encoding)
+            forest, _ = pool.execute(NAMES)
+            assert forest == _reference(NAMES, tiny_encoding)
+
+    def test_bignum_document_is_pickled_not_shared(self, pool):
+        var = "$bignum"
+        columns = IntervalColumns.from_tuples(
+            [("<a>", 0, 2 ** 70), ("x", 1, 2)], sort=True)
+        segments_before = pool.segment_names
+        pool.register_document(var, (columns, 2 ** 70))
+        assert pool.segment_names == segments_before  # no new segment
+        pool.unregister_document(var)
+
+
+# -- session wiring ------------------------------------------------------------
+
+@pytest.fixture
+def session(monkeypatch):
+    monkeypatch.setenv("REPRO_POOL_WORKERS", "2")
+    with XQuerySession(slow_seconds=0.0) as active:
+        active.add_xmark_document("auction.xml", 0.0005)
+        yield active
+
+
+class TestSessionProcessTier:
+    def test_process_tier_matches_thread_tier(self, session):
+        batch = [NAMES, COUNT] * 2
+        threaded = session.run_many(batch, tier="thread")
+        processed = session.run_many(batch, tier="process")
+        assert [r.to_xml() for r in processed] \
+            == [r.to_xml() for r in threaded]
+        assert all(r.backend == "procpool" for r in processed)
+
+    def test_flight_recorder_attributes_worker(self, session):
+        session.run_many([NAMES] * 2, tier="process")
+        records = [r for r in session.recorder.records()
+                   if r.backend == "procpool"]
+        assert records
+        assert all(r.worker.startswith("procpool-") for r in records)
+        assert "worker" in records[-1].to_dict()
+
+    def test_thread_tier_never_attributes_worker(self, session):
+        session.run(NAMES)
+        record = session.recorder.records()[-1]
+        assert record.backend == "engine" and record.worker == ""
+
+    def test_run_async_matches_run(self, session):
+        expected = session.run(NAMES).to_xml()
+        result = asyncio.run(session.run_async(NAMES))
+        assert result.to_xml() == expected
+
+    def test_run_sharded_matches_run(self, session):
+        expected = session.run(NAMES).to_xml()
+        result = session.run_sharded(NAMES)
+        assert result.backend == "procpool"
+        assert result.to_xml() == expected
+        record = session.recorder.records()[-1]
+        # Scatter names every participating worker.
+        assert record.worker.count("procpool-") == 2
+
+    def test_process_tier_rejects_incompatible_backend(self, session):
+        with pytest.raises(ValueError, match="promoted"):
+            session.run_many([NAMES] * 2, tier="process", backend="sqlite")
+
+    def test_unknown_tier_rejected(self, session):
+        with pytest.raises(ValueError, match="tier"):
+            session.run_many([NAMES], tier="fiber")
+
+    @pytest.mark.parametrize("bad", [0, -1, True, 2.0])
+    def test_max_workers_must_be_positive_int(self, session, bad):
+        with pytest.raises(ValueError, match="max_workers"):
+            session.run_many([NAMES], max_workers=bad)
+
+    def test_executor_grows_but_never_churns_on_shrink(self, session):
+        session.run_many([NAMES] * 2, max_workers=4)
+        grown = session._executor
+        assert session._executor_workers == 4
+        session.run_many([NAMES] * 2, max_workers=2)
+        assert session._executor is grown  # smaller request: no rebuild
+        assert session._executor_workers == 4
+        session.run_many([NAMES] * 2, max_workers=6)
+        assert session._executor is not grown
+        assert session._executor_workers == 6
+
+    def test_auto_tier_promotes_only_multicore_big_batches(
+            self, session, monkeypatch):
+        monkeypatch.setattr("repro.session.os.cpu_count", lambda: 4)
+        assert session._tier_backend("auto", None, 8) == "procpool"
+        assert session._tier_backend("auto", None, 2) is None  # small batch
+        assert session._tier_backend("auto", "sqlite", 8) == "sqlite"
+        monkeypatch.setattr("repro.session.os.cpu_count", lambda: 1)
+        assert session._tier_backend("auto", None, 8) is None
+
+    def test_session_close_unlinks_all_segments(self, monkeypatch):
+        from multiprocessing.shared_memory import SharedMemory
+
+        monkeypatch.setenv("REPRO_POOL_WORKERS", "2")
+        active = XQuerySession()
+        active.add_xmark_document("auction.xml", 0.0005)
+        active.run_many([NAMES] * 2, tier="process")
+        active.run_sharded(NAMES)
+        target = active.backend_instance("procpool")
+        names = target.segment_names
+        assert names
+        active.close()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                SharedMemory(name=name)

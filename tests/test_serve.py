@@ -111,13 +111,20 @@ class TestEndpoints:
                 get(server.url + "/healthz")
             with exc.value as error:
                 assert error.code == 503
+                # The admission controller's hint must reach the client
+                # as an RFC 9110 Retry-After (whole seconds, rounded up).
+                retry_after = error.headers.get("Retry-After")
+                assert retry_after is not None
+                assert int(retry_after) >= 1
                 payload = json.loads(error.read())
                 assert payload["status"] == "shedding"
                 assert payload["admission"]["draining"] is True
+                assert payload["admission"]["retry_after"] > 0
         finally:
             session.admission.end_drain()
-        status, _headers, body = get(server.url + "/healthz")
+        status, headers, body = get(server.url + "/healthz")
         assert status == 200
+        assert "Retry-After" not in headers  # healthy replies carry none
         assert json.loads(body)["status"] == "ok"
 
     def test_healthz_503_when_all_breakers_open(self, session, server):
@@ -267,3 +274,34 @@ class TestTop:
 
         assert main(["top", "127.0.0.1:9"]) == 1  # discard port: refused
         assert "cannot reach" in capsys.readouterr().err
+
+
+class TestRetryAfterHeader:
+    """The 503 Retry-After plumbing from the admission snapshot."""
+
+    def _header(self, health):
+        from repro.obs.serve import _retry_after_header
+
+        return _retry_after_header(health)
+
+    def test_rounds_sub_second_hints_up(self):
+        assert self._header({"admission": {"retry_after": 0.05}}) == "1"
+        assert self._header({"admission": {"retry_after": 2.3}}) == "3"
+        assert self._header({"admission": {"retry_after": 4}}) == "4"
+
+    def test_absent_without_a_positive_hint(self):
+        assert self._header({}) is None
+        assert self._header({"admission": "disabled"}) is None
+        assert self._header({"admission": {}}) is None
+        assert self._header({"admission": {"retry_after": 0}}) is None
+        assert self._header({"admission": {"retry_after": -1.0}}) is None
+        assert self._header({"admission": {"retry_after": "soon"}}) is None
+
+    def test_snapshot_exposes_the_hint(self):
+        from repro.resilience.admission import (
+            AdmissionConfig, AdmissionController)
+
+        controller = AdmissionController(AdmissionConfig(max_concurrency=1))
+        snapshot = controller.snapshot()
+        assert isinstance(snapshot["retry_after"], float)
+        assert snapshot["retry_after"] > 0

@@ -1,0 +1,209 @@
+"""The asyncio HTTP query front-end (:mod:`repro.serving`).
+
+A real ``asyncio.start_server`` on an ephemeral port, driven with raw
+HTTP/1.1 over ``asyncio.open_connection`` — stdlib only, no test-client
+shims, exactly the bytes a load balancer would send.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serving import QueryServer, serve_until_stopped
+from repro.session import XQuerySession
+from repro.xmark.queries import FIGURE1_SAMPLE
+
+NAMES = 'document("a.xml")/site/people/person/name/text()'
+
+
+def http(server: QueryServer, method: str, path: str,
+         body: bytes = b"") -> tuple[int, dict[str, str], bytes]:
+    """One raw HTTP exchange against a running server."""
+
+    async def exchange():
+        reader, writer = await asyncio.open_connection(
+            server.host, server.port)
+        request = (f"{method} {path} HTTP/1.1\r\n"
+                   f"Host: {server.host}\r\n"
+                   f"Content-Length: {len(body)}\r\n"
+                   f"\r\n").encode("ascii") + body
+        writer.write(request)
+        await writer.drain()
+        raw = await reader.read()
+        writer.close()
+        await writer.wait_closed()
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        status = int(lines[0].split()[1])
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        return status, headers, payload
+
+    return exchange()
+
+
+def run(server: QueryServer, *exchanges):
+    """Start the server, run the exchanges, stop it — one event loop."""
+
+    async def session():
+        await server.start()
+        try:
+            return [await exchange for exchange in exchanges]
+        finally:
+            await server.stop()
+
+    return asyncio.run(session())
+
+
+@pytest.fixture
+def session():
+    with XQuerySession() as active:
+        active.add_document("a.xml", FIGURE1_SAMPLE)
+        yield active
+
+
+@pytest.fixture
+def server(session):
+    return QueryServer(session, port=0)
+
+
+class TestQueryEndpoint:
+    def test_plain_text_query_returns_xml(self, session, server):
+        ((status, headers, body),) = run(
+            server, http(server, "POST", "/query", NAMES.encode()))
+        assert status == 200
+        assert headers["content-type"].startswith("application/xml")
+        assert headers["x-backend"] == "engine"
+        assert body == session.run(NAMES).to_xml().encode()
+
+    def test_json_body_selects_knobs(self, server):
+        payload = json.dumps({"query": NAMES, "strategy": "nlj",
+                              "deadline": 30.0}).encode()
+        ((status, _headers, body),) = run(
+            server, http(server, "POST", "/query", payload))
+        assert status == 200
+        assert b"Jaak" in body
+
+    def test_bad_query_maps_to_400(self, server):
+        ((status, _headers, body),) = run(
+            server, http(server, "POST", "/query", b"let $x := "))
+        assert status == 400
+        assert json.loads(body)["error"]
+
+    def test_empty_body_maps_to_400(self, server):
+        ((status, _headers, body),) = run(
+            server, http(server, "POST", "/query"))
+        assert status == 400
+        assert json.loads(body)["error"] == "empty query"
+
+    def test_get_query_maps_to_405(self, server):
+        ((status, _headers, _body),) = run(
+            server, http(server, "GET", "/query"))
+        assert status == 405
+
+    def test_overload_maps_to_503_with_retry_after(self, session, server):
+        session.admission.begin_drain()
+        try:
+            ((status, headers, body),) = run(
+                server, http(server, "POST", "/query", NAMES.encode()))
+        finally:
+            session.admission.end_drain()
+        assert status == 503
+        assert int(headers["retry-after"]) >= 1
+        assert json.loads(body)["error"] == "overloaded"
+
+    def test_requests_interleave_on_one_loop(self, server):
+        results = run(server, *[
+            http(server, "POST", "/query", NAMES.encode())
+            for _ in range(8)
+        ])
+        assert [status for status, _h, _b in results] == [200] * 8
+
+
+class TestOtherEndpoints:
+    def test_index_lists_endpoints(self, server):
+        ((status, _headers, body),) = run(server, http(server, "GET", "/"))
+        assert status == 200
+        assert json.loads(body)["endpoints"] == ["/query", "/healthz"]
+
+    def test_unknown_path_404s(self, server):
+        ((status, _headers, body),) = run(
+            server, http(server, "GET", "/nope"))
+        assert status == 404
+        assert "unknown path" in json.loads(body)["error"]
+
+    def test_healthz_healthy(self, server):
+        ((status, headers, body),) = run(
+            server, http(server, "GET", "/healthz"))
+        assert status == 200
+        assert "retry-after" not in headers
+        assert json.loads(body)["status"] == "ok"
+
+    def test_healthz_shedding_carries_retry_after(self, session, server):
+        session.admission.begin_drain()
+        try:
+            ((status, headers, body),) = run(
+                server, http(server, "GET", "/healthz"))
+        finally:
+            session.admission.end_drain()
+        assert status == 503
+        assert int(headers["retry-after"]) >= 1
+        assert json.loads(body)["status"] == "shedding"
+
+    def test_malformed_request_line_400s(self, server):
+        async def garbage():
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port)
+            writer.write(b"NONSENSE\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            return raw
+
+        (raw,) = run(server, garbage())
+        assert b"400" in raw.split(b"\r\n", 1)[0]
+
+
+class TestLifecycle:
+    def test_ephemeral_port_and_url(self, server):
+        async def check():
+            await server.start()
+            try:
+                assert server.port > 0
+                assert server.url == f"http://127.0.0.1:{server.port}"
+            finally:
+                await server.stop()
+
+        asyncio.run(check())
+
+    def test_stop_is_idempotent(self, server):
+        async def check():
+            await server.start()
+            await server.stop()
+            await server.stop()
+
+        asyncio.run(check())
+
+    def test_serve_until_stopped(self, server):
+        async def check():
+            stop = asyncio.Event()
+            task = asyncio.create_task(serve_until_stopped(server, stop))
+            await asyncio.sleep(0.05)
+            status, _headers, _body = await http(server, "GET", "/healthz")
+            assert status == 200
+            stop.set()
+            await asyncio.wait_for(task, timeout=5)
+
+        asyncio.run(check())
+
+    def test_server_backend_default_applies(self, session, server):
+        server.backend = "naive"
+        ((_status, headers, _body),) = run(
+            server, http(server, "POST", "/query", NAMES.encode()))
+        assert headers["x-backend"] == "naive"
