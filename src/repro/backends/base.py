@@ -36,6 +36,7 @@ from repro.xml.forest import Forest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (api imports us)
     from repro.api import CompiledQuery
+    from repro.encoding.updates import DocumentUpdate
     from repro.resilience.guard import QueryGuard
 
 
@@ -48,6 +49,9 @@ class BackendCapabilities:
     * ``updates`` — prepared state survives in-place document updates via
       :meth:`Backend.invalidate`; backends without this are torn down and
       rebuilt by the session when a document changes;
+    * ``delta_updates`` — the backend can patch prepared state in place
+      from an :class:`~repro.encoding.updates.DocumentUpdate` via
+      :meth:`Backend.apply_update`, skipping the full re-encode;
     * ``max_width`` — largest interval width the backend can represent
       (``None`` = unbounded, e.g. Python bignums);
     * ``strategies`` — join strategies the backend distinguishes (empty
@@ -56,6 +60,7 @@ class BackendCapabilities:
 
     prepared_documents: bool = False
     updates: bool = True
+    delta_updates: bool = False
     max_width: int | None = None
     strategies: tuple[JoinStrategy, ...] = ()
     description: str = ""
@@ -159,16 +164,35 @@ class Backend(abc.ABC):
 
     # -- document lifecycle ---------------------------------------------------
 
-    def prepare(self, documents: Mapping[str, Forest]) -> None:
+    def prepare(
+        self, documents: "Mapping[str, Forest | Callable[[], Forest]]",
+    ) -> None:
         """Load ``documents`` (core variable name → forest), skipping names
         already prepared.  Call :meth:`invalidate` first to force a reload.
+
+        A binding may be a zero-argument callable producing the forest;
+        it is resolved only when the name actually needs loading, so
+        sessions can offer every binding on every query without paying to
+        materialize documents the backend already holds.
         """
         with self._lock:
             self._check_open()
             for name, forest in documents.items():
                 if name not in self._prepared:
+                    if callable(forest):
+                        forest = forest()
                     self._load(name, forest)
                     self._prepared[name] = forest
+
+    def apply_update(self, name: str, update: "DocumentUpdate") -> bool:
+        """Patch prepared state for ``name`` in place from ``update``.
+
+        Returns ``True`` when the backend absorbed the update (its
+        prepared state now reflects ``update.revision``); ``False`` means
+        the caller must fall back to :meth:`invalidate` + re-prepare.
+        Only meaningful on backends declaring ``delta_updates``.
+        """
+        return False
 
     def invalidate(self, name: str) -> None:
         """Drop prepared state for ``name`` (no-op when not prepared)."""

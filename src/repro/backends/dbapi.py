@@ -53,7 +53,8 @@ from typing import TYPE_CHECKING, Callable
 from repro.backends.base import Backend, BackendCapabilities, ExecutionOptions
 from repro.backends.registry import register_backend
 from repro.concurrency import ThreadLocalPool
-from repro.encoding.interval import EncodedForest, decode, encode
+from repro.encoding.interval import IntervalTuple, decode, encode
+from repro.encoding.updates import UpdateDelta, splice_rows
 from repro.errors import ExecutionError
 from repro.sql.sqlite_backend import (
     SQLITE_MAX_WIDTH,
@@ -65,8 +66,34 @@ from repro.xml.forest import Forest
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.api import CompiledQuery
+    from repro.encoding.updates import DocumentUpdate
 
 _PLACEHOLDERS = {"qmark": "?", "format": "%s"}
+
+#: Delta-log entries kept per document (see repro.backends.sqlite).
+_DELTA_LOG_LIMIT = 32
+
+
+class _DocState:
+    """Shared state of one prepared document (rows + generation pair).
+
+    Same major/minor protocol as :class:`repro.backends.sqlite._DocState`:
+    full loads bump ``generation``, incremental deltas bump ``minor`` and
+    ride the bounded ``log`` so connections replay the tail instead of
+    re-materializing.  ``rows`` is the authoritative encoded relation,
+    kept current by splicing.
+    """
+
+    __slots__ = ("generation", "rows", "width", "revision", "minor", "log")
+
+    def __init__(self, generation: int, rows: list[IntervalTuple],
+                 width: int):
+        self.generation = generation
+        self.rows = rows
+        self.width = width
+        self.revision: int | None = None
+        self.minor = 0
+        self.log: list[tuple[int, UpdateDelta]] = []
 
 
 class _ThreadConnection:
@@ -76,8 +103,9 @@ class _ThreadConnection:
 
     def __init__(self, connection):
         self.connection = connection
-        #: document name → generation shredded into this connection.
-        self.loaded: dict[str, int] = {}
+        #: document name → (major, minor) generation pair materialized
+        #: into this connection.
+        self.loaded: dict[str, tuple[int, int]] = {}
         #: table names CREATEd on this connection.
         self.created: set[str] = set()
 
@@ -101,6 +129,7 @@ class DBAPIBackend(Backend):
     capabilities = BackendCapabilities(
         prepared_documents=True,
         updates=True,
+        delta_updates=True,
         max_width=None,
         strategies=(),
         description="generic DB-API 2.0 relational engine",
@@ -123,8 +152,8 @@ class DBAPIBackend(Backend):
         #: name → (table, width); table names are stable per document so
         #: every thread's connection agrees with the shared translation.
         self._tables: dict[str, tuple[str, int]] = {}
-        #: name → (generation, encoded rows); what _sync replays.
-        self._generations: dict[str, tuple[int, EncodedForest]] = {}
+        #: name → shared document state; what _sync replays.
+        self._generations: dict[str, _DocState] = {}
         self._next_generation = 0
         #: Tables CREATEd in shared (non-isolated) engines, where table
         #: existence is global across connections; mutated only while the
@@ -148,19 +177,36 @@ class DBAPIBackend(Backend):
     def _sync(self, state: _ThreadConnection) -> None:
         """Materialize every document ``state`` has not seen yet.
 
-        For shared (non-isolated) engines only the preparing thread
-        materializes rows — other connections already see the shared
-        tables, so they merely record the generation.
+        Connections at the same major generation whose missing minors are
+        all still in the shared delta log replay just the tail (ranged
+        ``DELETE`` + batched ``INSERT``); everything else re-materializes
+        wholesale.  For shared (non-isolated) engines only the preparing
+        or updating thread runs SQL — other connections already see the
+        shared tables, so they merely record the generation pair.
         """
+        pending: list[tuple] = []
         with self._lock:
-            pending = [(name, generation, encoded)
-                       for name, (generation, encoded)
-                       in self._generations.items()
-                       if state.loaded.get(name) != generation]
-        for name, generation, encoded in pending:
+            for name, doc in self._generations.items():
+                current = (doc.generation, doc.minor)
+                have = state.loaded.get(name)
+                if have == current:
+                    continue
+                if (have is not None and have[0] == doc.generation
+                        and doc.minor > have[1]):
+                    tail = [delta for minor, delta in doc.log
+                            if minor > have[1]]
+                    if len(tail) == doc.minor - have[1]:
+                        pending.append((name, current, "delta", tail))
+                        continue
+                pending.append((name, current, "full", doc.rows))
+        for name, current, kind, payload in pending:
             if self._isolated:
-                self._materialize(state, name, encoded)
-            state.loaded[name] = generation
+                if kind == "delta":
+                    for delta in payload:
+                        self._apply_delta(state, name, delta)
+                else:
+                    self._materialize(state, name, payload)
+            state.loaded[name] = current
 
     def _load(self, name: str, forest: Forest) -> None:
         # Called under the backend lock (base.prepare).
@@ -171,13 +217,64 @@ class DBAPIBackend(Backend):
             table = self._tables[name][0]
         self._tables[name] = (table, encoded.width)
         self._next_generation += 1
-        self._generations[name] = (self._next_generation, encoded)
+        doc = _DocState(self._next_generation, list(encoded.tuples),
+                        encoded.width)
+        self._generations[name] = doc
         # Materialize eagerly for the calling thread — prepare is the
         # untimed phase.  Shared engines are now fully loaded; isolated
         # ones replay on each other thread via _sync.
         state = self._pool.get()
-        self._materialize(state, name, encoded)
-        state.loaded[name] = self._next_generation
+        self._materialize(state, name, doc.rows)
+        state.loaded[name] = (doc.generation, doc.minor)
+
+    def apply_update(self, name: str, update: "DocumentUpdate") -> bool:
+        """Delta-patch the shared tables (see repro.backends.sqlite).
+
+        Revision match → append to the shared delta log, splice the
+        authoritative rows forward, bump the minor generation, and run
+        the ranged ``DELETE`` + batched ``INSERT`` on the calling
+        thread's connection (once for shared engines; isolated peers
+        replay the tail from the log on their next sync).  Otherwise →
+        rebase from the update's wrapped snapshot under a new major
+        generation.
+        """
+        with self._lock:
+            self._check_open()
+            doc = self._generations.get(name)
+            if doc is None or name not in self._prepared:
+                return False
+            table = self._tables[name][0]
+            new_deltas: tuple[UpdateDelta, ...] = ()
+            if update.deltas and doc.revision == update.base_revision:
+                new_deltas = update.deltas
+                for delta in new_deltas:
+                    doc.rows = splice_rows(doc.rows, delta)
+                    doc.minor += 1
+                    doc.log.append((doc.minor, delta))
+                doc.width = new_deltas[-1].new_width
+                del doc.log[:-_DELTA_LOG_LIMIT]
+            else:
+                self._next_generation += 1
+                doc.generation = self._next_generation
+                doc.rows = update.rows()
+                doc.width = update.width
+                doc.minor = 0
+                doc.log.clear()
+            doc.revision = update.revision
+            self._tables[name] = (table, doc.width)
+            self._prepared[name] = ()
+            current = (doc.generation, doc.minor)
+            rows = doc.rows
+        # Apply eagerly on the calling thread (the untimed phase); for
+        # shared engines this is the one application every connection sees.
+        state = self._pool.get()
+        if new_deltas:
+            for delta in new_deltas:
+                self._apply_delta(state, name, delta)
+        else:
+            self._materialize(state, name, rows)
+        state.loaded[name] = current
+        return True
 
     def _unload(self, name: str) -> None:
         # Keep the table-name assignment (stable names); drop the
@@ -185,7 +282,7 @@ class DBAPIBackend(Backend):
         self._generations.pop(name, None)
 
     def _materialize(self, state: _ThreadConnection, name: str,
-                     encoded: EncodedForest) -> None:
+                     rows: list[IntervalTuple]) -> None:
         table, _width = self._tables[name]
         created = state.created if self._isolated else self._shared_created
         cursor = state.connection.cursor()
@@ -206,7 +303,34 @@ class DBAPIBackend(Backend):
                 f"({self._placeholder}, {self._placeholder}, "
                 f"{self._placeholder})"
             )
-            cursor.executemany(statement, encoded.tuples)
+            cursor.executemany(statement, rows)
+            state.connection.commit()
+        except ExecutionError:
+            raise
+        except Exception as error:  # driver-specific exception types
+            raise wrap_driver_error(error, statement) from error
+
+    def _apply_delta(self, state: _ThreadConnection, name: str,
+                     delta: UpdateDelta) -> None:
+        """One delta as SQL: ranged ``DELETE`` + batched ``INSERT``.
+
+        The delete predicate is the delta's inclusive left-endpoint
+        bounds, served by the ``l`` primary key — O(affected subtree),
+        not O(document).
+        """
+        table, _width = self._tables[name]
+        cursor = state.connection.cursor()
+        marker = self._placeholder
+        statement = f"DELETE FROM {table} WHERE l >= {marker} AND l <= {marker}"
+        try:
+            for low, high in delta.deleted_ranges:
+                cursor.execute(statement, (low, high))
+            if delta.inserted:
+                statement = (
+                    f"INSERT INTO {table} (s, l, r) VALUES "
+                    f"({marker}, {marker}, {marker})"
+                )
+                cursor.executemany(statement, delta.inserted)
             state.connection.commit()
         except ExecutionError:
             raise
@@ -281,6 +405,7 @@ class SQLiteDBAPIBackend(DBAPIBackend):
     capabilities = BackendCapabilities(
         prepared_documents=True,
         updates=True,
+        delta_updates=True,
         max_width=SQLITE_MAX_WIDTH,
         strategies=(),
         description="generic DB-API 2.0 path on the stdlib sqlite3 driver",

@@ -7,6 +7,7 @@ from typing import TYPE_CHECKING, Callable, Mapping
 from repro.backends.base import Backend, BackendCapabilities, ExecutionOptions
 from repro.backends.registry import register_backend
 from repro.compiler.cache import (
+    DEVIATION_FACTOR,
     CacheEntry,
     CacheKey,
     PlanCache,
@@ -16,12 +17,19 @@ from repro.compiler.cost import CostModel
 from repro.compiler.pipeline import optimize_stage, plan_stage
 from repro.compiler.plan import JoinStrategy, PlanNode
 from repro.compiler.planner import OptimizedPlan
-from repro.encoding.stats import DocumentStats, collect_stats, combine_digests
+from repro.encoding.stats import (
+    DocumentStats,
+    apply_delta_to_stats,
+    collect_stats,
+    combine_digests,
+)
+from repro.engine.columns import IntervalColumns, splice_columns
 from repro.engine.evaluator import DIEngine, Value
 from repro.xml.forest import Forest
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.api import CompiledQuery
+    from repro.encoding.updates import DocumentUpdate
 
 
 @register_backend
@@ -44,6 +52,7 @@ class EngineBackend(Backend):
     capabilities = BackendCapabilities(
         prepared_documents=True,
         updates=True,
+        delta_updates=True,
         max_width=None,  # Python bignums: width growth is unbounded
         strategies=(JoinStrategy.MSJ, JoinStrategy.NLJ),
         description="DI prototype with merge-sort / nested-loop joins",
@@ -53,6 +62,7 @@ class EngineBackend(Backend):
         super().__init__()
         self._encoded: dict[str, Value] = {}
         self._stats: dict[str, DocumentStats] = {}
+        self._revisions: dict[str, int] = {}
         self._cache = PlanCache()
 
     @property
@@ -90,9 +100,67 @@ class EngineBackend(Backend):
             # prepared so _bindings() accepts it.
             self._prepared[name] = ()
 
+    def apply_update(self, name: str, update: "DocumentUpdate") -> bool:
+        """Patch the cached encoding in place instead of re-encoding.
+
+        When the recorded revision matches the update's base, the carried
+        deltas are spliced into the immutable columnar encoding —
+        O(affected subtree) plus two column copies — and statistics are
+        maintained incrementally, so the stats digest is *identical* to a
+        fresh collection.  Otherwise (first update after a forest-based
+        prepare, or a relabel in the chain) the encoding is rebased from
+        the update's wrapped snapshot, which still never materializes a
+        ``Forest``.  Either way, plans whose cardinality estimates remain
+        within ``DEVIATION_FACTOR`` of the new statistics migrate to the
+        new digest rather than being dropped.
+        """
+        with self._lock:
+            self._check_open()
+            if name not in self._prepared:
+                return False
+            value = self._encoded.get(name)
+            stats = self._stats.get(name)
+            old_nodes = stats.nodes if stats is not None else 0
+            spliced = False
+            if (update.deltas and value is not None and stats is not None
+                    and self._revisions.get(name) == update.base_revision
+                    and isinstance(value[0], IntervalColumns)):
+                rel, width = value
+                if all(delta.old_width == width for delta in update.deltas):
+                    for delta in update.deltas:
+                        rel = splice_columns(rel, delta)
+                        stats = apply_delta_to_stats(stats, delta)
+                    spliced = True
+            if not spliced:
+                rel = IntervalColumns.from_tuples(update.rows())
+                width = update.width
+                stats = collect_stats(rel, width)
+            self._encoded[name] = (rel, width)
+            self._stats[name] = stats
+            self._revisions[name] = update.revision
+            # The stale forest (if any) must not linger; the sentinel
+            # marks the variable prepared without one (adopt_encoded
+            # idiom).
+            self._prepared[name] = ()
+            new_nodes = stats.nodes
+
+            def keep(entry: CacheEntry) -> bool:
+                ratio = max((old_nodes + 1.0) / (new_nodes + 1.0),
+                            (new_nodes + 1.0) / (old_nodes + 1.0))
+                return ratio < DEVIATION_FACTOR
+
+            self._cache.migrate_document(
+                name,
+                new_digest=lambda doc_vars: combine_digests(self._stats,
+                                                            doc_vars),
+                keep=keep,
+            )
+        return True
+
     def _unload(self, name: str) -> None:
         self._encoded.pop(name, None)
         self._stats.pop(name, None)
+        self._revisions.pop(name, None)
         # New contents mean new statistics: the digest half of every
         # affected cache key moves (so a hit is impossible), and the old
         # entries are dropped eagerly to bound memory.

@@ -25,11 +25,13 @@ from repro.backends.base import Backend, BackendCapabilities, ExecutionOptions
 from repro.backends.registry import register_backend
 from repro.compiler.plan import JoinStrategy
 from repro.concurrency.procpool import ProcessQueryPool
+from repro.engine.columns import IntervalColumns
 from repro.engine.evaluator import DIEngine
 from repro.xml.forest import Forest
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.api import CompiledQuery
+    from repro.encoding.updates import DocumentUpdate
 
 
 @register_backend
@@ -54,6 +56,7 @@ class ProcPoolBackend(Backend):
     capabilities = BackendCapabilities(
         prepared_documents=True,
         updates=True,
+        delta_updates=True,
         max_width=None,
         strategies=(JoinStrategy.MSJ, JoinStrategy.NLJ),
         description="process-parallel DI engine over shared-memory columns",
@@ -68,6 +71,8 @@ class ProcPoolBackend(Backend):
         self._workers = workers
         self._start_method = start_method
         self._pool: ProcessQueryPool | None = None
+        #: Updatable-document revision each registered document reflects.
+        self._revisions: dict[str, int] = {}
 
     @property
     def pool(self) -> ProcessQueryPool | None:
@@ -86,11 +91,39 @@ class ProcPoolBackend(Backend):
         value = DIEngine.prepare_document(forest)
         self._ensure_pool().register_document(name, value)
 
+    def apply_update(self, name: str, update: "DocumentUpdate") -> bool:
+        """Splice the update into the pool's shared-memory encodings.
+
+        Revision match → each carried delta is spliced into the parent's
+        columns and re-exported (only the touched shard gets a fresh
+        segment; see :meth:`ProcessQueryPool.apply_delta`).  Otherwise the
+        document is re-registered wholesale from the update's wrapped
+        snapshot — still no ``Forest`` materialization.
+        """
+        with self._lock:
+            self._check_open()
+            if name not in self._prepared or self._pool is None:
+                return False
+            pool = self._pool
+            spliced = False
+            if (update.deltas
+                    and self._revisions.get(name) == update.base_revision):
+                spliced = all(pool.apply_delta(name, delta)
+                              for delta in update.deltas)
+            if not spliced:
+                columns = IntervalColumns.from_tuples(update.rows())
+                pool.register_document(name, (columns, update.width))
+            self._revisions[name] = update.revision
+            self._prepared[name] = ()
+        return True
+
     def _unload(self, name: str) -> None:
+        self._revisions.pop(name, None)
         if self._pool is not None:
             self._pool.unregister_document(name)
 
     def _close(self) -> None:
+        self._revisions.clear()
         if self._pool is not None:
             self._pool.close()
             self._pool = None

@@ -24,6 +24,14 @@ document,
   p99 inside the default SLO under a 4× flood, and sub-millisecond
   rejection latency on a saturated controller — all three gated as
   absolute service levels by ``--check``, and
+* **updates** — the O(affected-subtree) write path: single-subtree
+  insert/delete latency (commit **plus first post-commit read**, so lazy
+  invalidation cannot hide the full path's deferred cost) through the
+  incremental delta protocol versus the full re-encode fallback on every
+  delta-capable backend, a 90/10 read-write mix, and plan-cache
+  retention across a small update.  ``--check`` gates the incremental
+  path at ≥ 10× full re-encode and requires the plan cache to keep a
+  migrated, warm-hittable plan, and
 * **process_parallel** — the process tier: warm serial ``session.run``
   versus ``run_many`` on the thread tier versus ``run_many`` on the
   ``procpool`` backend (worker processes attached zero-copy to the
@@ -67,7 +75,7 @@ from repro.engine.evaluator import DIEngine
 from repro.engine.relation import group_by_env
 from repro.engine.structural import tree_keys
 from repro.xmark.generator import cached_document
-from repro.xmark.queries import QUERIES
+from repro.xmark.queries import DOCUMENT as XMARK_DOCUMENT, QUERIES
 from repro.xml.forest import is_text_label
 from repro.xquery.lowering import document_forest
 
@@ -659,6 +667,209 @@ def bench_process_parallel(scale: float, repeats: int,
     return results
 
 
+#: Minimum incremental-over-full speedup the ``--check`` gate demands of
+#: every single-subtree update measurement (docs/UPDATES.md's promise).
+UPDATE_GATE_MIN_SPEEDUP = 10.0
+
+#: Floor for the update-attributable latency (seconds) when computing
+#: gated speedups: keeps timer noise around a near-zero incremental cost
+#: from turning the ratio negative or infinite.
+UPDATE_EPSILON = 5e-5
+
+#: Backends the update section measures (both declare ``delta_updates``).
+UPDATE_BACKENDS = ("engine", "sqlite")
+
+
+def bench_updates(scale: float, repeats: int) -> dict[str, Any]:
+    """The O(affected-subtree) write path versus full re-encoding.
+
+    For each delta-capable backend, one warm session commits a
+    single-subtree insert and delete through ``session.apply_update``
+    and immediately re-reads through a cheap probe query on the updated
+    document.  The *latency* numbers deliberately include that first
+    post-commit read: the full path defers its real cost (Forest decode
+    + backend reload) to the next query via lazy invalidation, so timing
+    the commit alone would flatter it.  Insert and delete alternate at
+    one position so the relabeling gap is restored every round and the
+    incremental chain never spreads.
+
+    The probe's own evaluation cost is identical in both modes (a pure
+    read of the same relation, including rebuilding any staged-execution
+    cache that *every* update mode invalidates), so each session also
+    records that post-invalidation probe time as its baseline and the
+    gated ``speedup`` compares the *update-attributable* latencies —
+    total minus baseline — while the raw totals are recorded alongside.
+    Without the subtraction a backend whose reads scan the relation
+    (SQLite's staged translation) would see its ratio pinned near 1 by
+    read cost neither path controls.
+
+    ``mixed_90_10`` interleaves nine probe reads with one commit — the
+    read-mostly serving mix updates are designed for — and
+    ``plan_retention`` checks that the engine's stats-keyed plan cache
+    *migrates* its entry across a small update (a warm hit afterwards)
+    instead of dropping it.
+    """
+    from repro.xml.forest import element, text
+    from repro.session import XQuerySession
+
+    document = cached_document(scale, seed=SEED)
+    probes = {
+        "engine": f'document("{XMARK_DOCUMENT}")/site/regions/australia',
+        "sqlite": f'for $x in document("{XMARK_DOCUMENT}")/site '
+                  f'return <ok>found</ok>',
+    }
+    subtree = [element("item", [element("name", [text("bench")])])]
+    rounds = max(repeats, 5)
+    results: dict[str, Any] = {
+        "meta": {"gate_min_speedup": UPDATE_GATE_MIN_SPEEDUP,
+                 "rounds": rounds},
+    }
+
+    def measure(backend: str,
+                incremental: bool) -> tuple[float, float, float]:
+        """Best (baseline read, insert, delete) seconds for one mode.
+
+        ``baseline`` is the probe read every update mode pays anyway:
+        for SQLite the staged-execution cache is explicitly dropped
+        first (any update drops it, incremental or full), so the
+        baseline includes the rebuild; insert/delete are commit + first
+        post-commit probe read.
+        """
+        probe = probes[backend]
+        session = XQuerySession(admission=False)
+        try:
+            session.add_document(XMARK_DOCUMENT, (document,))
+            session.run(probe, backend=backend)
+            # Throwaway commit: rebases the backend into updatable
+            # coordinates so measured rounds hit steady state.
+            session.apply_update(XMARK_DOCUMENT,
+                                 session.updatable(XMARK_DOCUMENT))
+            session.run(probe, backend=backend)
+            target = session.backend_instance(backend)
+            drop_staged = getattr(getattr(target, "database", None),
+                                  "_invalidate_staged", None)
+
+            def baseline_read() -> None:
+                if drop_staged is not None:
+                    drop_staged()
+                session.run(probe, backend=backend)
+
+            baseline = _best_seconds(baseline_read, rounds + 1)
+            best_insert = best_delete = float("inf")
+            for _ in range(rounds):
+                doc = session.updatable(XMARK_DOCUMENT)
+                site = next(row for row in doc.encoded.tuples
+                            if row[0] == "<site>")
+                inserted = doc.insert_child(site[1], 0, subtree)
+                started = time.perf_counter()
+                session.apply_update(XMARK_DOCUMENT, inserted,
+                                     incremental=incremental)
+                session.run(probe, backend=backend)
+                best_insert = min(best_insert,
+                                  time.perf_counter() - started)
+                victim = next(row for row in inserted.encoded.tuples
+                              if row[0] == "<item>")
+                deleted = inserted.delete_subtree(victim[1])
+                started = time.perf_counter()
+                session.apply_update(XMARK_DOCUMENT, deleted,
+                                     incremental=incremental)
+                session.run(probe, backend=backend)
+                best_delete = min(best_delete,
+                                  time.perf_counter() - started)
+            return baseline, best_insert, best_delete
+        finally:
+            session.close()
+
+    for backend in UPDATE_BACKENDS:
+        delta_base, delta_insert, delta_delete = measure(
+            backend, incremental=True)
+        full_base, full_insert, full_delete = measure(
+            backend, incremental=False)
+        entry: dict[str, Any] = {
+            "probe_read_ms": round(delta_base * 1e3, 3),
+        }
+        for operation, delta_total, delta_own, full_total, full_own in (
+                ("insert", delta_insert, delta_base, full_insert, full_base),
+                ("delete", delta_delete, delta_base, full_delete, full_base)):
+            delta_cost = max(delta_total - delta_own, UPDATE_EPSILON)
+            full_cost = max(full_total - full_own, UPDATE_EPSILON)
+            entry[operation] = {
+                "incremental_ms": round(delta_total * 1e3, 4),
+                "full_reencode_ms": round(full_total * 1e3, 3),
+                "incremental_update_ms": round(delta_cost * 1e3, 4),
+                "full_update_ms": round(full_cost * 1e3, 3),
+                "speedup": round(full_cost / delta_cost, 1),
+            }
+        results[backend] = entry
+
+    def mixed(incremental: bool) -> float:
+        """Ops/sec over a 90/10 read-write mix on the engine backend."""
+        probe = probes["engine"]
+        session = XQuerySession(admission=False)
+        try:
+            session.add_document(XMARK_DOCUMENT, (document,))
+            session.run(probe, backend="engine")
+            session.apply_update(XMARK_DOCUMENT,
+                                 session.updatable(XMARK_DOCUMENT))
+            session.run(probe, backend="engine")
+            cycles = 4 * rounds
+            started = time.perf_counter()
+            for cycle in range(cycles):
+                doc = session.updatable(XMARK_DOCUMENT)
+                if cycle % 2 == 0:
+                    site = next(row for row in doc.encoded.tuples
+                                if row[0] == "<site>")
+                    updated = doc.insert_child(site[1], 0, subtree)
+                else:
+                    victim = next(row for row in doc.encoded.tuples
+                                  if row[0] == "<item>")
+                    updated = doc.delete_subtree(victim[1])
+                session.apply_update(XMARK_DOCUMENT, updated,
+                                     incremental=incremental)
+                for _ in range(9):
+                    session.run(probe, backend="engine")
+            return (cycles * 10) / (time.perf_counter() - started)
+        finally:
+            session.close()
+
+    delta_mixed = mixed(incremental=True)
+    full_mixed = mixed(incremental=False)
+    results["mixed_90_10"] = {
+        "backend": "engine",
+        "incremental_ops_per_sec": round(delta_mixed, 2),
+        "full_reencode_ops_per_sec": round(full_mixed, 2),
+        "speedup": round(delta_mixed / full_mixed, 3),
+    }
+
+    session = XQuerySession(admission=False)
+    try:
+        join_query = QUERIES["Q9"]
+        compiled = compile_xquery(join_query)
+        for uri in compiled.documents:
+            session.add_document(uri, (document,))
+        session.run(join_query, backend="engine")
+        cache = session.backend_instance("engine").plan_cache
+        before = cache.snapshot()
+        doc = session.updatable(XMARK_DOCUMENT)
+        site = next(row for row in doc.encoded.tuples
+                    if row[0] == "<site>")
+        session.apply_update(XMARK_DOCUMENT,
+                             doc.insert_child(site[1], 0, subtree))
+        after_update = cache.snapshot()
+        session.run(join_query, backend="engine")
+        after_run = cache.snapshot()
+        results["plan_retention"] = {
+            "query": "Q9",
+            "plans_retained": after_update["entries"],
+            "migrations": after_update["migrations"] - before["migrations"],
+            "hit_after_update":
+                after_run["hits"] > after_update["hits"],
+        }
+    finally:
+        session.close()
+    return results
+
+
 def run_bench(scale: float, repeats: int, workers: int = 4,
               batch: int = 8) -> dict[str, Any]:
     document = cached_document(scale, seed=SEED)
@@ -679,6 +890,7 @@ def run_bench(scale: float, repeats: int, workers: int = 4,
         "overload": bench_overload(scale, repeats),
         "process_parallel": bench_process_parallel(scale, repeats,
                                                    batch=batch),
+        "updates": bench_updates(scale, repeats),
     }
 
 
@@ -771,6 +983,36 @@ def check_regressions(current: dict[str, Any], baseline: dict[str, Any],
                         f"{entry['serial_ops_per_sec']:.1f} ops/s "
                         f"(ratio {ratio:.3f}) on a "
                         f"{parallel['meta']['cpu_count']}-core host")
+    updates = current.get("updates")
+    if updates:
+        # Absolute service-level gates on the current run (like overload):
+        # the incremental write path must beat full re-encoding by the
+        # documented factor on every backend and operation, and a small
+        # update must leave the plan cache holding a migrated, hittable
+        # plan rather than starting cold.
+        floor = updates.get("meta", {}).get("gate_min_speedup",
+                                            UPDATE_GATE_MIN_SPEEDUP)
+        for backend in UPDATE_BACKENDS:
+            entry = updates.get(backend)
+            if not entry:
+                failures.append(
+                    f"updates {backend}: section missing (gate is armed "
+                    f"for every delta-capable backend)")
+                continue
+            for operation in ("insert", "delete"):
+                ratio = entry[operation]["speedup"]
+                if ratio < floor:
+                    failures.append(
+                        f"updates {backend}/{operation}: incremental "
+                        f"commit+read only {ratio:.1f}x faster than full "
+                        f"re-encode (gate ≥ {floor:.0f}x)")
+        retention = updates.get("plan_retention", {})
+        if retention.get("plans_retained", 0) < 1 \
+                or retention.get("migrations", 0) < 1 \
+                or not retention.get("hit_after_update"):
+            failures.append(
+                f"updates plan_retention: expected ≥ 1 migrated plan and "
+                f"a warm hit after a small update, got {retention}")
     return failures
 
 
@@ -838,6 +1080,24 @@ def main(argv: list[str] | None = None) -> int:
               f"{entry['serial_ops_per_sec']:.1f} ops/s, thread tier "
               f"{entry['thread_ops_per_sec']:.1f}) on "
               f"{meta['cpu_count']} cpus / {meta['workers']} workers")
+    updates = result["updates"]
+    for backend in UPDATE_BACKENDS:
+        entry = updates[backend]
+        print(f"  updates/{backend}: insert "
+              f"{entry['insert']['incremental_ms']:.2f}ms vs "
+              f"{entry['insert']['full_reencode_ms']:.1f}ms "
+              f"({entry['insert']['speedup']:.0f}x), delete "
+              f"{entry['delete']['incremental_ms']:.2f}ms vs "
+              f"{entry['delete']['full_reencode_ms']:.1f}ms "
+              f"({entry['delete']['speedup']:.0f}x)")
+    mixed = updates["mixed_90_10"]
+    retention = updates["plan_retention"]
+    print(f"  updates/mixed_90_10: {mixed['incremental_ops_per_sec']:.1f} "
+          f"vs {mixed['full_reencode_ops_per_sec']:.1f} ops/s "
+          f"({mixed['speedup']:.1f}x); plan cache kept "
+          f"{retention['plans_retained']} plan(s), "
+          f"{retention['migrations']} migrated, warm hit: "
+          f"{retention['hit_after_update']}")
 
     if args.check:
         with open(args.check, encoding="utf-8") as handle:

@@ -101,6 +101,7 @@ class PlanCache:
         self.misses = 0
         self.invalidations = 0
         self.evictions = 0
+        self.migrations = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -143,6 +144,42 @@ class PlanCache:
                 del self._entries[key]
             self.invalidations += len(stale)
             return len(stale)
+
+    def migrate_document(self, var: str, new_digest, keep) -> int:
+        """Carry plans for document ``var`` across an incremental update.
+
+        A small update barely moves the statistics, so plans optimized for
+        the old contents usually still estimate within ``DEVIATION_FACTOR``
+        of the truth.  Rather than dropping them (:meth:`invalidate_document`)
+        we re-key the survivors under the document's new digest:
+
+        - ``new_digest(doc_vars)`` returns the combined stats digest the
+          backend would now compute for an entry reading those variables;
+        - ``keep(entry)`` decides whether the entry's estimates are still
+          close enough to trust.
+
+        Entries that fail ``keep`` are dropped (counted as invalidations);
+        the rest move to their new key (counted as migrations).  Returns
+        the number of entries migrated.
+        """
+        import dataclasses
+
+        with self._lock:
+            touched = [(key, entry) for key, entry in self._entries.items()
+                       if var in entry.doc_vars]
+            moved = 0
+            for key, entry in touched:
+                del self._entries[key]
+                if not keep(entry):
+                    self.invalidations += 1
+                    continue
+                rekeyed = dataclasses.replace(
+                    key, stats_digest=new_digest(entry.doc_vars))
+                self._entries[rekeyed] = entry
+                self._entries.move_to_end(rekeyed)
+                moved += 1
+            self.migrations += moved
+            return moved
 
     def clear(self) -> None:
         with self._lock:
@@ -196,6 +233,7 @@ class PlanCache:
                 "misses": self.misses,
                 "invalidations": self.invalidations,
                 "evictions": self.evictions,
+                "migrations": self.migrations,
             }
 
     def keys(self) -> Iterable[CacheKey]:

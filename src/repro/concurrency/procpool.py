@@ -50,7 +50,12 @@ import time
 import traceback
 from typing import TYPE_CHECKING, Iterable, Mapping
 
-from repro.engine.columns import IntervalColumns, as_columns, export_columns
+from repro.engine.columns import (
+    IntervalColumns,
+    as_columns,
+    export_columns,
+    splice_columns,
+)
 from repro.errors import (
     ExecutionError,
     QueryCancelledError,
@@ -420,8 +425,12 @@ class ProcessQueryPool:
         self._documents: dict[str, tuple] = {}
         self._values: dict[str, tuple] = {}
         self._shards: dict[str, list[tuple]] = {}
-        #: var → every live segment backing it (full + shards).
-        self._doc_segments: "dict[str, list[SharedMemory]]" = {}
+        #: var → parent-side shard columns (splice source for deltas).
+        self._shard_values: dict[str, list[IntervalColumns]] = {}
+        #: Live segments, full scope and shard scope kept apart so a
+        #: delta can replace exactly the touched one.
+        self._full_segments: "dict[str, SharedMemory | None]" = {}
+        self._shard_segments: "dict[str, list[SharedMemory | None]]" = {}
         try:
             for index in range(self.size):
                 self._spawn(index)
@@ -445,15 +454,113 @@ class ProcessQueryPool:
         columns = as_columns(columns)
         self._check_open()
         payload, segment = self._export(columns, width)
-        old_segments = self._doc_segments.get(var, [])
+        old_full = self._full_segments.get(var)
+        old_shards = self._shard_segments.pop(var, [])
         self._documents[var] = payload
         self._values[var] = (columns, width)
         self._shards.pop(var, None)
-        self._doc_segments[var] = [segment] if segment is not None else []
+        self._shard_values.pop(var, None)
+        self._full_segments[var] = segment
         for index in range(self.size):
             self._request_worker(index, ("doc", var, "full", payload))
-        for shm in old_segments:
-            self._unlink(shm)
+        if old_full is not None:
+            self._unlink(old_full)
+        for shm in old_shards:
+            if shm is not None:
+                self._unlink(shm)
+
+    def apply_delta(self, var: str, delta) -> bool:
+        """Splice an incremental ``UpdateDelta`` into a registered document.
+
+        The parent-side columns are patched copy-on-write
+        (:func:`~repro.engine.columns.splice_columns`) and the replicated
+        scope gets one fresh segment (a single C-level export of the
+        spliced columns).  When the document is sharded, only the shard
+        whose contiguous root-tree run contains the affected interval
+        range is re-exported — the other workers' shard segments are
+        untouched (they merely re-attach).  A delta that is not
+        localizable to one shard (a top-level insert between shard
+        boundaries) drops the shards for lazy re-export.  Returns
+        ``False`` when the delta cannot be spliced (unknown variable,
+        pickled fallback payload, width mismatch) — callers then
+        re-register wholesale.
+        """
+        self._check_open()
+        if var not in self._values or not delta.incremental:
+            return False
+        columns, width = self._values[var]
+        if delta.old_width != width or not isinstance(columns,
+                                                      IntervalColumns):
+            return False
+        new_columns = splice_columns(columns, delta)
+        payload, segment = self._export(new_columns, width)
+        old_full = self._full_segments.get(var)
+        self._documents[var] = payload
+        self._values[var] = (new_columns, width)
+        self._full_segments[var] = segment
+
+        old_piece_segment: "SharedMemory | None" = None
+        shard_payloads = self._shards.get(var)
+        if shard_payloads is not None:
+            touched = self._touched_shard(var, delta)
+            if touched is None:
+                self._drop_shards(var)
+                shard_payloads = None
+            else:
+                pieces = self._shard_values[var]
+                new_piece = splice_columns(pieces[touched], delta)
+                piece_payload, piece_segment = self._export(new_piece, width)
+                pieces[touched] = new_piece
+                shard_payloads[touched] = piece_payload
+                segments = self._shard_segments[var]
+                old_piece_segment = segments[touched]
+                segments[touched] = piece_segment
+        for index in range(self.size):
+            self._request_worker(index, ("doc", var, "full", payload))
+            if shard_payloads is not None:
+                # Adopting a full replacement drops the worker's shard
+                # scope; restore it — untouched workers re-attach their
+                # existing segment, the touched one adopts the new piece.
+                self._request_worker(index, ("doc", var, "shard",
+                                             shard_payloads[index]))
+        if old_full is not None:
+            self._unlink(old_full)
+        if old_piece_segment is not None:
+            self._unlink(old_piece_segment)
+        return True
+
+    def _touched_shard(self, var: str, delta) -> int | None:
+        """Index of the single shard containing the delta's affected range.
+
+        ``None`` when the range spans shard boundaries or falls between
+        shards (top-level inserts into the gap separating two pieces).
+        """
+        spans: list[tuple[int, int]] = list(delta.deleted_ranges)
+        if delta.inserted:
+            spans.append((delta.inserted[0][1],
+                          max(row[2] for row in delta.inserted)))
+        if not spans:
+            return None
+        low = min(span[0] for span in spans)
+        high = max(span[1] for span in spans)
+        touched = None
+        for index, piece in enumerate(self._shard_values[var]):
+            if not len(piece):
+                continue
+            if piece.l[0] <= low and high <= piece.max_right():
+                if touched is not None:  # pragma: no cover - defensive
+                    return None
+                touched = index
+            elif low <= piece.max_right() and piece.l[0] <= high:
+                return None  # overlaps but is not contained: spans pieces
+        return touched
+
+    def _drop_shards(self, var: str) -> None:
+        self._shards.pop(var, None)
+        self._shard_values.pop(var, None)
+        for shm in self._shard_segments.pop(var, []):
+            if shm is not None:
+                self._unlink(shm)
 
     def ensure_sharded(self, var: str) -> None:
         """Export per-worker shards of ``var`` (idempotent until replaced)."""
@@ -470,13 +577,14 @@ class ProcessQueryPool:
         while len(pieces) < self.size:  # fewer roots than workers
             pieces.append(IntervalColumns.empty())
         payloads: list[tuple] = []
-        segments = self._doc_segments.setdefault(var, [])
+        segments: "list[SharedMemory | None]" = []
         for piece in pieces:
             payload, segment = self._export(piece, width)
             payloads.append(payload)
-            if segment is not None:
-                segments.append(segment)
+            segments.append(segment)
         self._shards[var] = payloads
+        self._shard_values[var] = pieces
+        self._shard_segments[var] = segments
         for index in range(self.size):
             self._request_worker(index, ("doc", var, "shard",
                                          payloads[index]))
@@ -486,12 +594,17 @@ class ProcessQueryPool:
         self._documents.pop(var, None)
         self._values.pop(var, None)
         self._shards.pop(var, None)
-        segments = self._doc_segments.pop(var, [])
+        self._shard_values.pop(var, None)
+        full = self._full_segments.pop(var, None)
+        shard_segments = self._shard_segments.pop(var, [])
         if not self._closed:
             for index in range(self.size):
                 self._request_worker(index, ("drop", var))
-        for shm in segments:
-            self._unlink(shm)
+        if full is not None:
+            self._unlink(full)
+        for shm in shard_segments:
+            if shm is not None:
+                self._unlink(shm)
 
     @property
     def documents(self) -> tuple[str, ...]:
@@ -500,9 +613,11 @@ class ProcessQueryPool:
     @property
     def segment_names(self) -> tuple[str, ...]:
         """Names of every live segment (the shm-leak check reads this)."""
-        return tuple(sorted(
-            shm.name for segments in self._doc_segments.values()
-            for shm in segments))
+        names = [shm.name for shm in self._full_segments.values()
+                 if shm is not None]
+        names.extend(shm.name for segments in self._shard_segments.values()
+                     for shm in segments if shm is not None)
+        return tuple(sorted(names))
 
     def warmup(self, queries: "Iterable[str]") -> None:
         """Compile (and cache) query texts on every worker ahead of load."""
@@ -595,13 +710,19 @@ class ProcessQueryPool:
             if worker is not None:
                 worker.stop()
             self._workers[index] = None
-        for segments in self._doc_segments.values():
-            for shm in segments:
+        for shm in self._full_segments.values():
+            if shm is not None:
                 self._unlink(shm)
-        self._doc_segments.clear()
+        for segments in self._shard_segments.values():
+            for shm in segments:
+                if shm is not None:
+                    self._unlink(shm)
+        self._full_segments.clear()
+        self._shard_segments.clear()
         self._documents.clear()
         self._values.clear()
         self._shards.clear()
+        self._shard_values.clear()
 
     def __enter__(self) -> "ProcessQueryPool":
         return self

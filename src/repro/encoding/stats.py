@@ -128,6 +128,63 @@ def collect_stats(rel, width: int) -> DocumentStats:
     )
 
 
+def apply_delta_to_stats(stats: DocumentStats,
+                         delta: "UpdateDelta") -> DocumentStats:
+    """Statistics after an incremental update, in O(delta) time.
+
+    Produces exactly what :func:`collect_stats` would compute over the
+    spliced relation — same counts, same histogram folding, same digest —
+    without touching the unaffected rows (the property suite in
+    ``tests/test_update_delta.py`` pins the equivalence).  Only valid for
+    :attr:`~repro.encoding.updates.UpdateDelta.incremental` deltas; a
+    relabel moves every endpoint and requires a fresh collection pass.
+    """
+    if delta.relabeled:
+        raise ValueError("relabeled deltas carry no incremental statistics; "
+                         "re-collect from the rebased relation")
+    label_counts = dict(stats.label_counts)
+    for label in delta.deleted_labels:
+        remaining = label_counts.get(label, 0) - 1
+        if remaining > 0:
+            label_counts[label] = remaining
+        else:
+            label_counts.pop(label, None)
+    for row in delta.inserted:
+        label_counts[row[0]] = label_counts.get(row[0], 0) + 1
+    histogram = list(stats.depth_histogram)
+    # collect_stats folds depths ≥ MAX_DEPTH_BUCKETS into the last bucket
+    # (depth never exceeds nodes - 1, so small documents are unaffected).
+    fold = MAX_DEPTH_BUCKETS - 1
+    for depth in delta.inserted_depths:
+        bucket = min(depth, fold)
+        if bucket >= len(histogram):
+            histogram.extend([0] * (bucket + 1 - len(histogram)))
+        histogram[bucket] += 1
+    for depth in delta.deleted_depths:
+        histogram[min(depth, fold)] -= 1
+    while histogram and histogram[-1] == 0:
+        histogram.pop()
+    nodes = stats.nodes + len(delta.inserted) - len(delta.deleted_labels)
+    roots = histogram[0] if histogram else 0
+    elements = sum(count for label, count in label_counts.items()
+                   if is_element_label(label))
+    fanout = (nodes - roots) / elements if elements else 0.0
+    updated = DocumentStats(
+        nodes=nodes,
+        width=int(delta.new_width),
+        roots=roots,
+        label_counts=label_counts,
+        depth_histogram=tuple(histogram),
+        fanout=fanout,
+    )
+    return DocumentStats(
+        nodes=updated.nodes, width=updated.width, roots=updated.roots,
+        label_counts=updated.label_counts,
+        depth_histogram=updated.depth_histogram,
+        fanout=updated.fanout, digest=_digest(updated),
+    )
+
+
 def _digest(stats: DocumentStats) -> str:
     """A stable content digest of the statistics (hex, 16 chars)."""
     hasher = hashlib.sha256()

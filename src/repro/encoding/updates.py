@@ -16,11 +16,17 @@ Deletion never needs renumbering — dropping a subtree's tuples leaves a
 valid (now gappy) encoding.
 
 All operations return new :class:`UpdatableDocument` states; nothing is
-mutated, matching the package's value semantics.
+mutated, matching the package's value semantics.  Each operation also
+emits a typed :class:`UpdateDelta` — the O(affected-subtree) difference
+between the old and new encodings — which the session propagates to
+prepared backends so they can *patch* their document state (columnar
+splice, ranged SQL ``DELETE`` + batched ``INSERT``) instead of
+re-encoding and re-shredding the whole document.  See ``docs/UPDATES.md``.
 """
 
 from __future__ import annotations
 
+import itertools
 from bisect import bisect_left
 from dataclasses import dataclass
 
@@ -35,6 +41,13 @@ from repro.xml.forest import Forest, Node
 
 #: Default spread stride: integers of slack left after each endpoint.
 DEFAULT_STRIDE = 16
+_MAX_SPREAD_STRIDE = 4096  # stride-doubling cap: bounds label growth
+
+#: Process-wide revision ids for updatable documents.  Unique across all
+#: documents, so a backend comparing its recorded revision against a
+#: delta's base revision can never be fooled by two unrelated update
+#: chains that happen to share a counter value.
+_REVISIONS = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -44,6 +57,131 @@ class UpdateStats:
     inserted_nodes: int = 0
     deleted_nodes: int = 0
     relabeled: bool = False
+
+
+@dataclass(frozen=True)
+class UpdateDelta:
+    """The difference one update made, in O(affected-subtree) form.
+
+    ``deleted_ranges`` holds inclusive ``(lo, hi)`` left-endpoint bounds:
+    a deleted subtree rooted at ``(l, r)`` contributes the range
+    ``(l, r)``, and every deleted row satisfies ``lo <= row.l <= hi``
+    (descendants open strictly inside the root's interval) — which is
+    exactly the predicate of a ranged SQL ``DELETE`` and of a
+    ``bisect``-bounded columnar splice.  ``inserted`` is one contiguous
+    run of new rows (gap-based placement never interleaves new rows with
+    existing endpoints).  Labels and depths of the affected rows ride
+    along so document statistics can be maintained incrementally; depths
+    are *true* document depths (deleted rows: in the base document,
+    inserted rows: in the result).
+
+    A spread (``relabeled=True``) moves every endpoint, so the delta
+    carries no incremental information and appliers must rebase from the
+    update's full snapshot.
+    """
+
+    inserted: tuple[IntervalTuple, ...] = ()
+    inserted_depths: tuple[int, ...] = ()
+    deleted_ranges: tuple[tuple[int, int], ...] = ()
+    deleted_labels: tuple[str, ...] = ()
+    deleted_depths: tuple[int, ...] = ()
+    old_width: int = 0
+    new_width: int = 0
+    relabeled: bool = False
+
+    @property
+    def incremental(self) -> bool:
+        """Whether appliers can splice (no relabel, width preserved).
+
+        A width change would also move the enclosing document-node row
+        of the backends' wrapped encodings, so it forces a rebase too —
+        it only happens when appending top-level trees past the current
+        width, or on a spread.
+        """
+        return not self.relabeled and self.old_width == self.new_width
+
+    @property
+    def size(self) -> int:
+        """Affected rows (delta \"size\" on flight-recorder records)."""
+        return len(self.inserted) + len(self.deleted_labels)
+
+    def wrapped(self) -> "UpdateDelta":
+        """The delta in *document-wrapped* coordinates.
+
+        Backends bind ``document(uri)`` to the forest wrapped in one
+        document node (:func:`repro.xquery.lowering.document_forest`), so
+        their encodings are :func:`wrap_document_rows` of the updatable
+        encoding: every endpoint shifted by +1 under a document-node row
+        spanning ``[0, width + 1]``.  The same fixed shift maps a delta.
+        """
+        return UpdateDelta(
+            inserted=tuple((s, l + 1, r + 1) for (s, l, r) in self.inserted),
+            inserted_depths=tuple(d + 1 for d in self.inserted_depths),
+            deleted_ranges=tuple((lo + 1, hi + 1)
+                                 for (lo, hi) in self.deleted_ranges),
+            deleted_labels=self.deleted_labels,
+            deleted_depths=tuple(d + 1 for d in self.deleted_depths),
+            old_width=self.old_width + 2,
+            new_width=self.new_width + 2,
+            relabeled=self.relabeled,
+        )
+
+
+def wrap_document_rows(encoded: EncodedForest) -> list[IntervalTuple]:
+    """The document-wrapped relation of an updatable encoding.
+
+    Every endpoint is shifted by +1 and a document-node row spans
+    ``[0, width + 1]`` (total width ``width + 2``) — structurally the
+    same shape :func:`repro.encoding.interval.encode` produces for
+    ``document_forest(trees)``, just in the updatable document's gappy
+    coordinate system.  The shift is a *fixed* +1, so incremental deltas
+    translate in O(delta) (:meth:`UpdateDelta.wrapped`).
+    """
+    from repro.xquery.lowering import DOCUMENT_LABEL
+
+    rows: list[IntervalTuple] = [(DOCUMENT_LABEL, 0, encoded.width + 1)]
+    rows.extend((s, l + 1, r + 1) for (s, l, r) in encoded.tuples)
+    return rows
+
+
+class DocumentUpdate:
+    """Everything a backend needs to bring one prepared document current.
+
+    ``deltas`` are already in document-wrapped coordinates.  A backend
+    whose recorded revision equals ``base_revision`` applies them as an
+    O(affected-subtree) patch; any other backend (first update after a
+    forest-based prepare, divergent update branch, relabel in the chain)
+    *rebases* from :meth:`rows` — the wrapped snapshot of the updated
+    encoding, built lazily and shared by every rebasing backend.  Either
+    way no :class:`~repro.xml.forest.Forest` is materialized.
+    """
+
+    __slots__ = ("revision", "base_revision", "deltas", "_source", "_rows")
+
+    def __init__(self, revision: int, base_revision: int | None,
+                 deltas: tuple[UpdateDelta, ...],
+                 source: "UpdatableDocument"):
+        self.revision = revision
+        self.base_revision = base_revision if deltas else None
+        self.deltas = deltas
+        self._source = source
+        self._rows: list[IntervalTuple] | None = None
+
+    @property
+    def width(self) -> int:
+        """Width of the wrapped snapshot (updatable width + 2)."""
+        return self._source.encoded.width + 2
+
+    @property
+    def delta_rows(self) -> int:
+        """Total affected rows across the carried deltas."""
+        return sum(delta.size for delta in self.deltas)
+
+    def rows(self) -> list[IntervalTuple]:
+        """The wrapped snapshot rows (cached; built on first rebase)."""
+        if self._rows is None:
+            self._rows = wrap_document_rows(self._source.encoded)
+        return self._rows
 
 
 class UpdatableDocument:
@@ -60,15 +198,60 @@ class UpdatableDocument:
         self.encoded = encoded
         self.stride = stride
         self.last_stats = UpdateStats()
+        #: Unique id of this state; deltas chain base → derived states.
+        self.revision: int = next(_REVISIONS)
+        #: The state this one was derived from (``None`` for roots, and
+        #: cleared by :meth:`release_base` once a session commits — see
+        #: ``docs/UPDATES.md`` on bounding chain memory).
+        self.base: "UpdatableDocument | None" = None
+        #: The delta that produced this state from :attr:`base`.
+        self.last_delta: UpdateDelta | None = None
 
     @classmethod
     def from_forest(cls, trees: Forest | Node,
                     stride: int = DEFAULT_STRIDE) -> "UpdatableDocument":
         if isinstance(trees, Node):
             trees = (trees,)
-        document = cls(EncodedForest([], 0), stride)
         rows, width = _spread_rows(_encode_flat(trees), stride)
         return cls(EncodedForest(rows, width, sort=False), stride)
+
+    # -- delta chains ----------------------------------------------------------
+
+    def deltas_since(self, base: "UpdatableDocument") -> \
+            "tuple[UpdateDelta, ...] | None":
+        """The ordered incremental deltas turning ``base`` into ``self``.
+
+        ``None`` when no O(affected-subtree) chain exists: ``base`` is not
+        an ancestor of this state, the chain was released, or some step
+        relabeled / changed the width (appliers must rebase from a
+        snapshot instead).
+        """
+        chain: list[UpdateDelta] = []
+        state: "UpdatableDocument | None" = self
+        while state is not None and state is not base:
+            delta = state.last_delta
+            if delta is None or not delta.incremental:
+                return None
+            chain.append(delta)
+            state = state.base
+        if state is not base:
+            return None
+        chain.reverse()
+        return tuple(chain)
+
+    def release_base(self) -> None:
+        """Drop the base-chain link (the session calls this on commit, so
+        committed states never anchor their whole update history)."""
+        self.base = None
+
+    def _derive(self, encoded: EncodedForest, stats: UpdateStats,
+                delta: UpdateDelta,
+                stride: int | None = None) -> "UpdatableDocument":
+        result = UpdatableDocument(encoded, stride or self.stride)
+        result.last_stats = stats
+        result.base = self
+        result.last_delta = delta
+        return result
 
     # -- inspection ------------------------------------------------------------
 
@@ -91,13 +274,32 @@ class UpdatableDocument:
     def delete_subtree(self, left: int) -> "UpdatableDocument":
         """Remove the node at ``left`` together with its whole subtree."""
         root = self.find(left)
-        kept = [row for row in self.encoded.tuples
-                if not (root[1] <= row[1] and row[2] <= root[2])]
-        removed = len(self.encoded) - len(kept)
-        result = UpdatableDocument(
-            EncodedForest(kept, self.encoded.width, sort=False), self.stride)
-        result.last_stats = UpdateStats(deleted_nodes=removed)
-        return result
+        kept: list[IntervalTuple] = []
+        dropped_labels: list[str] = []
+        dropped_depths: list[int] = []
+        # One pass in document order: the open-rights stack gives each
+        # row's depth, so the delta carries what incremental statistics
+        # maintenance needs without a second scan.
+        open_rights: list[int] = []
+        for row in self.encoded.tuples:
+            while open_rights and open_rights[-1] < row[1]:
+                open_rights.pop()
+            if root[1] <= row[1] and row[2] <= root[2]:
+                dropped_labels.append(row[0])
+                dropped_depths.append(len(open_rights))
+            else:
+                kept.append(row)
+            open_rights.append(row[2])
+        delta = UpdateDelta(
+            deleted_ranges=((root[1], root[2]),),
+            deleted_labels=tuple(dropped_labels),
+            deleted_depths=tuple(dropped_depths),
+            old_width=self.encoded.width,
+            new_width=self.encoded.width,
+        )
+        return self._derive(
+            EncodedForest(kept, self.encoded.width, sort=False),
+            UpdateStats(deleted_nodes=len(dropped_labels)), delta)
 
     def insert_child(self, parent_left: int, child_index: int,
                      trees: Forest | Node) -> "UpdatableDocument":
@@ -112,7 +314,8 @@ class UpdatableDocument:
         boundaries = self._child_boundaries(parent)
         index = min(child_index, len(boundaries) - 1)
         low, high = boundaries[index]
-        return self._insert_between(low, high, trees)
+        return self._insert_between(low, high, trees,
+                                    base_depth=self._depth_of(parent_left) + 1)
 
     def insert_tree(self, position: int,
                     trees: Forest | Node) -> "UpdatableDocument":
@@ -162,14 +365,27 @@ class UpdatableDocument:
         bounds.append((previous, parent[2]))
         return bounds
 
+    def _depth_of(self, left: int) -> int:
+        """Depth of the node at ``left`` (one document-order pass)."""
+        open_rights: list[int] = []
+        for row in self.encoded.tuples:
+            while open_rights and open_rights[-1] < row[1]:
+                open_rights.pop()
+            if row[1] == left:
+                return len(open_rights)
+            open_rights.append(row[2])
+        raise EncodingError(f"no node with left endpoint {left}")
+
     def _insert_between(self, low: int, high: int, trees: Forest,
-                        allow_widening: bool = False) -> "UpdatableDocument":
+                        allow_widening: bool = False,
+                        base_depth: int = 0) -> "UpdatableDocument":
         new_rows = _encode_flat(trees)
         needed = 2 * len(new_rows)
         if needed == 0:
-            result = UpdatableDocument(self.encoded, self.stride)
-            result.last_stats = UpdateStats()
-            return result
+            return self._derive(
+                self.encoded, UpdateStats(),
+                UpdateDelta(old_width=self.encoded.width,
+                            new_width=self.encoded.width))
         gap = high - low - 1
         if allow_widening:
             gap = max(gap, needed)  # free to extend width at the end
@@ -180,22 +396,39 @@ class UpdatableDocument:
             width = max(self.encoded.width,
                         max(row[2] for row in placed) + 1)
             validate_encoding(rows, width)
-            result = UpdatableDocument(EncodedForest(rows, width, sort=False),
-                                       self.stride)
-            result.last_stats = UpdateStats(inserted_nodes=len(new_rows))
-            return result
+            delta = UpdateDelta(
+                inserted=tuple(placed),
+                inserted_depths=tuple(base_depth + depth
+                                      for depth in _tight_depths(new_rows)),
+                old_width=self.encoded.width,
+                new_width=width,
+            )
+            return self._derive(EncodedForest(rows, width, sort=False),
+                                UpdateStats(inserted_nodes=len(new_rows)),
+                                delta)
         # Not enough room: spread the whole document, then retry (the
         # spread stride guarantees success for this insertion size).
-        stride = max(self.stride, needed + 1)
+        # The stride doubles (capped) so a hot insertion point costs
+        # amortized-logarithmic spreads instead of one per insert.
+        stride = min(max(self.stride * 2, needed + 1),
+                     max(_MAX_SPREAD_STRIDE, needed + 1))
         spread_doc = self.relabel(stride)
         mapping = _endpoint_mapping(self.encoded.tuples,
                                     spread_doc.encoded.tuples)
         retried = spread_doc._insert_between(
             mapping.get(low, -1 if low < 0 else low * stride + stride - 1),
             mapping.get(high, spread_doc.encoded.width),
-            trees, allow_widening)
+            trees, allow_widening, base_depth)
         retried.last_stats = UpdateStats(
             inserted_nodes=len(new_rows), relabeled=True)
+        # Collapse the spread+retry pair into one relabeled step from
+        # *this* state: every endpoint moved, so the delta is a spread
+        # event and appliers rebase from the snapshot.
+        retried.base = self
+        retried.last_delta = UpdateDelta(
+            old_width=self.encoded.width,
+            new_width=retried.encoded.width,
+            relabeled=True)
         return retried
 
     def relabel(self, stride: int | None = None) -> "UpdatableDocument":
@@ -203,10 +436,56 @@ class UpdatableDocument:
         reduce to some scheme of this kind)."""
         stride = stride or self.stride
         rows, width = _spread_rows(_encode_flat(self.to_forest()), stride)
-        result = UpdatableDocument(EncodedForest(rows, width, sort=False),
-                                   max(self.stride, stride))
-        result.last_stats = UpdateStats(relabeled=True)
-        return result
+        delta = UpdateDelta(old_width=self.encoded.width, new_width=width,
+                            relabeled=True)
+        return self._derive(EncodedForest(rows, width, sort=False),
+                            UpdateStats(relabeled=True), delta,
+                            stride=max(self.stride, stride))
+
+
+def splice_rows(rows: list[IntervalTuple],
+                delta: UpdateDelta) -> list[IntervalTuple]:
+    """Apply a delta to a document-ordered ``(s, l, r)`` row list.
+
+    The row-form twin of :func:`repro.engine.columns.splice_columns`:
+    deleted ranges and the inserted run's position are found by bisect on
+    the left endpoints, everything else is C-level list slicing.  The
+    input list is never mutated.
+    """
+    out: list[IntervalTuple] = []
+    cursor = 0
+    size = len(rows)
+    drops = []
+    for lo, hi in delta.deleted_ranges:
+        start = bisect_left(rows, lo, key=lambda row: row[1])
+        stop = bisect_left(rows, hi + 1, lo=start, key=lambda row: row[1])
+        if start < stop:
+            drops.append((start, stop))
+    drops.sort()
+    insert_at = bisect_left(rows, delta.inserted[0][1],
+                            key=lambda row: row[1]) if delta.inserted \
+        else None
+    placed = insert_at is None
+
+    def emit(start: int, stop: int) -> None:
+        nonlocal placed
+        if not placed and start <= insert_at <= stop:
+            out.extend(rows[start:insert_at])
+            out.extend(delta.inserted)
+            placed = True
+            out.extend(rows[insert_at:stop])
+            return
+        out.extend(rows[start:stop])
+
+    for start, stop in drops:
+        if cursor < start:
+            emit(cursor, start)
+        cursor = max(cursor, stop)
+    if cursor < size:
+        emit(cursor, size)
+    if not placed:
+        out.extend(delta.inserted)
+    return out
 
 
 def _encode_flat(trees: Forest) -> list[IntervalTuple]:
@@ -214,6 +493,18 @@ def _encode_flat(trees: Forest) -> list[IntervalTuple]:
     from repro.encoding.interval import encode
 
     return list(encode(trees).tuples)
+
+
+def _tight_depths(rows: list[IntervalTuple]) -> list[int]:
+    """Per-row depths of a document-ordered encoding (relative to it)."""
+    depths: list[int] = []
+    open_rights: list[int] = []
+    for row in rows:
+        while open_rights and open_rights[-1] < row[1]:
+            open_rights.pop()
+        depths.append(len(open_rights))
+        open_rights.append(row[2])
+    return depths
 
 
 def _spread_rows(rows: list[IntervalTuple],
@@ -232,11 +523,17 @@ def _place_rows(rows: list[IntervalTuple], low: int, high: int,
     if allow_widening:
         high = max(high, low + needed + 1)
     gap = high - low - 1
-    # Spread the 2k tight endpoints (0 … 2k-1) across the gap evenly.
+    # Spread the 2k tight endpoints (0 … 2k-1) across the gap evenly,
+    # centred so slack survives on *both* sides — a flush-left placement
+    # would leave gap 0 before the first row and force the next insert
+    # at the same slot to spread the whole document.  Appends stay tight
+    # to ``low`` so widening never pads the document's width.
     step = gap // needed
+    span = (needed - 1) * step + 1
+    start = low + 1 if allow_widening else low + 1 + (gap - span) // 2
 
     def place(endpoint: int) -> int:
-        return low + 1 + endpoint * step + (step - 1 if step > 1 else 0) * 0
+        return start + endpoint * step
 
     return [(s, place(l), place(r)) for (s, l, r) in rows]
 

@@ -46,7 +46,7 @@ from __future__ import annotations
 
 import os
 from array import array
-from bisect import bisect_left
+from bisect import bisect_left, bisect_right
 from itertools import count as _counter
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
@@ -54,6 +54,8 @@ from repro.encoding.interval import IntervalTuple
 
 if TYPE_CHECKING:  # pragma: no cover
     from multiprocessing.shared_memory import SharedMemory
+
+    from repro.encoding.updates import UpdateDelta
 
 #: Inclusive bounds of ``array('q')`` storage (two's-complement int64).
 INT64_MAX = 2 ** 63 - 1
@@ -301,6 +303,96 @@ class IntervalColumns:
         if start < count:
             pieces.append(self[start:count])
         return pieces
+
+
+def _concat_int_column(parts: "list[object]") -> "array | list[int]":
+    """Concatenate endpoint-column pieces into one fresh column.
+
+    ``parts`` mixes C-level slices of the source column (``array``,
+    ``list``, or shm ``memoryview``) with small tuples of inserted
+    endpoints; the result is ``array('q')`` when everything fits int64,
+    else a plain list (bignum mode, matching :func:`make_int_column`).
+    """
+    try:
+        out = array("q")
+        for part in parts:
+            out.extend(part)
+        return out
+    except OverflowError:
+        flat: list[int] = []
+        for part in parts:
+            flat.extend(part)
+        return flat
+
+
+def splice_columns(columns: "IntervalColumns",
+                   delta: "UpdateDelta") -> "IntervalColumns":
+    """Apply an :class:`~repro.encoding.updates.UpdateDelta` copy-on-write.
+
+    The deleted interval ranges and the inserted run's position are
+    located with ``bisect`` on the sorted ``l`` column, so only
+    O(log n) comparisons happen at Python speed — everything else is
+    C-level slice copying of machine words (or pointer blocks in bignum
+    mode).  The source relation is never mutated; callers swap the
+    returned relation in atomically.
+    """
+    lows = columns.l
+    size = len(lows)
+    # Keep-spans of the source, minus every deleted range (a deleted
+    # subtree rooted at (lo, hi) is exactly the rows with lo <= l <= hi).
+    drops: list[tuple[int, int]] = []
+    for lo, hi in delta.deleted_ranges:
+        start = bisect_left(lows, lo)
+        stop = bisect_right(lows, hi, lo=start)
+        if start < stop:
+            drops.append((start, stop))
+    drops.sort()
+    keeps: list[tuple[int, int]] = []
+    cursor = 0
+    for start, stop in drops:
+        if cursor < start:
+            keeps.append((cursor, start))
+        cursor = max(cursor, stop)
+    if cursor < size:
+        keeps.append((cursor, size))
+    # The inserted run is contiguous in l-order: place it at its bisect
+    # position, splitting the keep-span it falls inside.
+    insert_at = bisect_left(lows, delta.inserted[0][1]) if delta.inserted \
+        else None
+    s_parts: list[list[str] | tuple[str, ...]] = []
+    l_parts: list[object] = []
+    r_parts: list[object] = []
+
+    def emit(start: int, stop: int) -> None:
+        if start < stop:
+            s_parts.append(columns.s[start:stop])
+            l_parts.append(columns.l[start:stop])
+            r_parts.append(columns.r[start:stop])
+
+    def emit_inserted() -> None:
+        s_parts.append([row[0] for row in delta.inserted])
+        l_parts.append(tuple(row[1] for row in delta.inserted))
+        r_parts.append(tuple(row[2] for row in delta.inserted))
+
+    placed = insert_at is None
+    for start, stop in keeps:
+        if not placed and insert_at <= start:
+            emit_inserted()
+            placed = True
+        if not placed and start < insert_at <= stop:
+            emit(start, insert_at)
+            emit_inserted()
+            placed = True
+            emit(insert_at, stop)
+            continue
+        emit(start, stop)
+    if not placed:
+        emit_inserted()
+    s_out: list[str] = []
+    for part in s_parts:
+        s_out.extend(part)
+    return IntervalColumns(s_out, _concat_int_column(l_parts),
+                           _concat_int_column(r_parts))
 
 
 #: Either relation representation, as accepted by the public operators.

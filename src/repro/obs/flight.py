@@ -132,6 +132,47 @@ class AttemptRecord:
 
 
 @dataclass(slots=True)
+class UpdateRecord:
+    """One ``session.apply_update`` in the recorder's update ring.
+
+    Updates are rare next to queries, so they get their own small ring
+    (like operator events) instead of competing with query records for
+    buffer space.  ``lock_hold_seconds`` is the time the session write
+    lock was held — the window during which readers were excluded — and
+    is the number the O(affected-subtree) write path exists to shrink.
+    """
+
+    seq: int
+    uri: str
+    incremental: bool               #: delta fast path vs full re-encode
+    deltas: int                     #: deltas in the committed chain
+    delta_rows: int                 #: rows touched (inserted + deleted)
+    relabeled: bool                 #: a spread forced full relabeling
+    backends_applied: int           #: backends that spliced the delta
+    backends_invalidated: int       #: backends that fell back to reload
+    lock_hold_seconds: float
+    wall_seconds: float
+    thread: str = ""
+    unix_time: float = 0.0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "seq": self.seq,
+            "uri": self.uri,
+            "incremental": self.incremental,
+            "deltas": self.deltas,
+            "delta_rows": self.delta_rows,
+            "relabeled": self.relabeled,
+            "backends_applied": self.backends_applied,
+            "backends_invalidated": self.backends_invalidated,
+            "lock_hold_ms": round(self.lock_hold_seconds * 1e3, 3),
+            "wall_ms": round(self.wall_seconds * 1e3, 3),
+            "thread": self.thread,
+            "unix_time": self.unix_time,
+        }
+
+
+@dataclass(slots=True)
 class QueryRecord:
     """One ``session.run`` in the flight recorder's ring buffer."""
 
@@ -328,6 +369,11 @@ class FlightRecorder:
         self._events: deque[dict[str, object]] = deque(
             maxlen=DEFAULT_EVENT_CAPACITY)
         self._next_event_seq = 0
+        #: Document updates, separate ring (rare next to queries).
+        self._updates: deque[UpdateRecord] = deque(
+            maxlen=DEFAULT_EVENT_CAPACITY)
+        self._next_update_seq = 0
+        self._updates_total = 0
         self._outcomes: dict[str, int] = {}
         self._slo_totals: dict[str, int] = {name: 0 for name in
                                             (slo.name for slo in self.slos)}
@@ -355,6 +401,13 @@ class FlightRecorder:
         self._m_slo_violations = self.metrics.counter(
             "repro_slo_violations_total",
             "queries that burned SLO error budget", ("slo",))
+        self._m_updates = self.metrics.counter(
+            "repro_flight_updates_total",
+            "document updates recorded by the flight recorder", ("mode",))
+        self._h_update_lock = self.metrics.histogram(
+            "repro_update_lock_hold_seconds",
+            "session write-lock hold time per document update",
+            ("mode",), buckets=LATENCY_BUCKETS)
         for slo in self.slos:
             self._g_slo_target.set(slo.target_seconds, slo=slo.name)
             self._g_slo_burn.set(0.0, slo=slo.name)
@@ -443,6 +496,46 @@ class FlightRecorder:
                 self._m_tail_sampled.inc(reason=reason)
             log_slow_query(record)
         return record
+
+    def record_update(self, *, uri: str, incremental: bool,
+                      deltas: int = 0, delta_rows: int = 0,
+                      relabeled: bool = False,
+                      backends_applied: int = 0,
+                      backends_invalidated: int = 0,
+                      lock_hold_seconds: float,
+                      wall_seconds: float) -> UpdateRecord:
+        """Append the record for one finished ``session.apply_update``."""
+        record = UpdateRecord(
+            seq=0,  # assigned under the lock below
+            uri=uri,
+            incremental=incremental,
+            deltas=deltas,
+            delta_rows=delta_rows,
+            relabeled=relabeled,
+            backends_applied=backends_applied,
+            backends_invalidated=backends_invalidated,
+            lock_hold_seconds=lock_hold_seconds,
+            wall_seconds=wall_seconds,
+            thread=threading.current_thread().name,
+            unix_time=time.time(),
+        )
+        mode = "delta" if incremental else "full"
+        with self._lock:
+            record.seq = self._next_update_seq
+            self._next_update_seq += 1
+            self._updates.append(record)
+            self._updates_total += 1
+        self._m_updates.inc(mode=mode)
+        self._h_update_lock.observe(lock_hold_seconds, mode=mode)
+        return record
+
+    def updates(self, limit: int | None = None) -> list[UpdateRecord]:
+        """Buffered update records, oldest first."""
+        with self._lock:
+            selected = list(self._updates)
+        if limit is not None and limit >= 0:
+            selected = selected[len(selected) - limit:] if limit else []
+        return selected
 
     def append(self, record: QueryRecord) -> QueryRecord:
         """Append a fully-built record (sequence number assigned here)."""
@@ -588,6 +681,8 @@ class FlightRecorder:
                 "slow_seconds": self.slow_seconds,
                 "sampling_enabled": self._sampling_enabled,
                 "events": len(self._events),
+                "updates": len(self._updates),
+                "updates_total": self._updates_total,
             }
 
     def slo_status(self) -> list[dict[str, object]]:

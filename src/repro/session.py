@@ -34,7 +34,7 @@ from repro.backends.base import Backend, ExecutionOptions, coerce_strategy
 from repro.backends.registry import backend_breaker, create_backend
 from repro.compiler.plan import JoinStrategy
 from repro.concurrency import RWLock
-from repro.encoding.updates import UpdatableDocument
+from repro.encoding.updates import DocumentUpdate, UpdatableDocument
 from repro.engine.stats import EngineStats
 from repro.errors import (
     CircuitOpenError,
@@ -132,6 +132,10 @@ class XQuerySession:
         self._m_invalidations = self.metrics.counter(
             "repro_session_invalidations_total",
             "backend cache invalidations after document changes")
+        self._m_delta_updates = self.metrics.counter(
+            "repro_session_delta_updates_total",
+            "document updates absorbed by backends as incremental deltas",
+            ("backend",))
         self._m_retries = self.metrics.counter(
             "repro_resilience_retries_total",
             "backend attempts retried after transient failures", ("backend",))
@@ -217,33 +221,136 @@ class XQuerySession:
     def document(self, uri: str) -> Forest:
         with self._state_lock.read_locked():
             try:
-                return self._documents[uri]
+                forest = self._documents[uri]
             except KeyError:
                 raise DocumentNotFoundError(uri, self.documents) from None
+            if forest is None:
+                # The delta fast path of apply_update leaves the Forest
+                # unmaterialized; decode from the committed encoding on
+                # first demand and cache.  Concurrent first readers may
+                # each decode once — the assignments agree, so the race
+                # is benign.
+                forest = self._updatable[uri].to_forest()
+                self._documents[uri] = forest
+            return forest
 
     # -- updates --------------------------------------------------------------------
 
     def updatable(self, uri: str) -> UpdatableDocument:
         """The updatable encoding of a document (created on first use)."""
+        with self._state_lock.read_locked():
+            existing = self._updatable.get(uri)
+        if existing is not None:
+            return existing
+        # The first encoding is the slow part — build it outside any
+        # lock (readers keep running); setdefault makes concurrent
+        # builders agree on one winner, mirroring prepare().
+        built = UpdatableDocument.from_forest(self.document(uri))
         with self._state_lock.write_locked():
-            if uri not in self._updatable:
-                self._updatable[uri] = UpdatableDocument.from_forest(
-                    self.document(uri))
-            return self._updatable[uri]
+            return self._updatable.setdefault(uri, built)
 
-    def apply_update(self, uri: str,
-                     updated: UpdatableDocument) -> None:
+    def apply_update(self, uri: str, updated: UpdatableDocument, *,
+                     incremental: bool | None = None) -> None:
         """Commit an updated encoding back as the document's new state.
 
         Takes the session write lock: in-flight queries finish against
         the old state, queries started afterwards see the new one — a
         concurrent reader never observes half an update.
+
+        By default the commit is *incremental*: the deltas recorded since
+        the previously committed revision are handed to every backend
+        whose capabilities declare ``delta_updates``, which splices them
+        into its existing encoding in O(affected subtree); the session's
+        own ``Forest`` view is re-materialized lazily on the next
+        :meth:`document` call.  Backends that cannot absorb the delta
+        fall back to the usual invalidate/close path.  Setting
+        ``incremental=False`` (or the ``REPRO_FULL_REENCODE`` environment
+        variable) forces the original full re-encode path — the oracle
+        the property tests compare against.
         """
-        forest = updated.to_forest()
+        if incremental is None:
+            incremental = not os.environ.get("REPRO_FULL_REENCODE")
+        started = time.perf_counter()
+        if not incremental:
+            forest = updated.to_forest()  # decode outside the write lock
+            lock_started = time.perf_counter()
+            with self._state_lock.write_locked():
+                self._documents[uri] = forest
+                self._updatable[uri] = updated
+                with self._backend_lock:
+                    invalidated = len(self._backends)
+                self._invalidate(uri)
+            self._record_update(uri, update=None, applied=0,
+                                invalidated=invalidated,
+                                lock_started=lock_started, started=started)
+            return
+        # Build the document-coordinate update outside every lock: the
+        # delta chain since the committed base when unbroken, otherwise
+        # an empty chain whose lazily-built wrapped snapshot lets
+        # backends rebase without ever materializing a Forest.
+        with self._state_lock.read_locked():
+            base = self._updatable.get(uri)
+        deltas = updated.deltas_since(base) if base is not None else None
+        update = DocumentUpdate(
+            updated.revision,
+            base.revision if base is not None and deltas else None,
+            tuple(delta.wrapped() for delta in (deltas or ())),
+            updated)
+        var = document_variable(uri)
+        applied = 0
+        invalidated = 0
+        lock_started = time.perf_counter()
         with self._state_lock.write_locked():
-            self._documents[uri] = forest
+            self._documents[uri] = None  # re-decoded lazily by document()
             self._updatable[uri] = updated
-            self._invalidate(uri)
+            with self._backend_lock:
+                items = list(self._backends.items())
+            for name, target in items:
+                ok = False
+                if target.capabilities.delta_updates:
+                    ok = target.apply_update(var, update)
+                if ok:
+                    applied += 1
+                    self._m_delta_updates.inc(backend=name)
+                    logger.debug("delta-updated %r on backend %r", uri, name)
+                elif target.capabilities.updates:
+                    target.invalidate(var)
+                    invalidated += 1
+                    self._m_invalidations.inc()
+                else:
+                    target.close()
+                    with self._backend_lock:
+                        self._backends.pop(name, None)
+                    invalidated += 1
+                    self._m_invalidations.inc()
+        updated.release_base()
+        self._record_update(uri, update=update, applied=applied,
+                            invalidated=invalidated,
+                            lock_started=lock_started, started=started,
+                            relabeled=deltas is None)
+
+    def _record_update(self, uri: str, update: "DocumentUpdate | None",
+                       applied: int, invalidated: int,
+                       lock_started: float, started: float,
+                       relabeled: bool = False) -> None:
+        recorder = self.recorder
+        if recorder is None:
+            return
+        now = time.perf_counter()
+        try:
+            recorder.record_update(
+                uri=uri,
+                incremental=update is not None,
+                deltas=len(update.deltas) if update is not None else 0,
+                delta_rows=(sum(delta.size for delta in update.deltas)
+                            if update is not None else 0),
+                relabeled=relabeled,
+                backends_applied=applied,
+                backends_invalidated=invalidated,
+                lock_hold_seconds=now - lock_started,
+                wall_seconds=now - started)
+        except Exception:  # pragma: no cover - telemetry must not break commits
+            logger.exception("flight recorder rejected update record")
 
     # -- querying ----------------------------------------------------------------------
 
@@ -351,7 +458,7 @@ class XQuerySession:
                 if active is None:
                     compiled = self.prepare(query)
                     target = self.backend_instance(name)
-                    target.prepare(self._bindings(compiled))
+                    target.prepare(self._prepare_bindings(compiled))
                     options = ExecutionOptions(
                         strategy=self._strategy(strategy), stats=stats)
                     return QueryResult(target.execute(compiled, options),
@@ -585,7 +692,7 @@ class XQuerySession:
             with self._state_lock.read_locked():
                 compiled = self.prepare(query)
                 target = self.backend_instance(name)
-                target.prepare(self._bindings(compiled))
+                target.prepare(self._prepare_bindings(compiled))
                 if guard is not None:
                     guard.backend = name
                     guard.start().check_deadline()
@@ -742,7 +849,7 @@ class XQuerySession:
                 compiled = self.prepare(query)
             target = self.backend_instance(name)
             with active.span("prepare") as prepare_span:
-                target.prepare(self._bindings(compiled))
+                target.prepare(self._prepare_bindings(compiled))
                 prepare_span.set(documents=len(compiled.documents))
             if full:
                 target.instrument(active)
@@ -889,7 +996,7 @@ class XQuerySession:
                 with tr.span("attempt", backend=name):
                     try:
                         with tr.span("prepare") as prepare_span:
-                            target.prepare(self._bindings(compiled))
+                            target.prepare(self._prepare_bindings(compiled))
                             prepare_span.set(
                                 documents=len(compiled.documents))
                         if instrument:
@@ -1057,7 +1164,7 @@ class XQuerySession:
         target = self.backend_instance("engine")
         options = ExecutionOptions(strategy=self._strategy(strategy))
         with self._state_lock.read_locked():
-            target.prepare(self._bindings(compiled))
+            target.prepare(self._prepare_bindings(compiled))
             optimized = target.analyze_for(compiled, options)
         rendered = optimized.explain()
         if not verbose:
@@ -1168,6 +1275,24 @@ class XQuerySession:
         bindings = {}
         for uri, var in compiled.documents.items():
             bindings[var] = document_forest(self.document(uri))
+        return bindings
+
+    def _prepare_bindings(
+            self, compiled: CompiledQuery) -> "dict[str, object]":
+        """Lazy bindings for ``Backend.prepare``: var → Forest thunk.
+
+        ``prepare`` only materializes a ``Forest`` for documents the
+        backend has not loaded yet, so the thunks keep already-prepared
+        (and delta-updated) documents from forcing a full decode on
+        every run.  Missing documents still fail eagerly, here.
+        """
+        bindings: dict[str, object] = {}
+        for uri, var in compiled.documents.items():
+            with self._state_lock.read_locked():
+                if uri not in self._documents:
+                    raise DocumentNotFoundError(uri, self.documents)
+            bindings[var] = \
+                (lambda u=uri: document_forest(self.document(u)))
         return bindings
 
     def _invalidate(self, uri: str) -> None:

@@ -18,8 +18,8 @@ import sqlite3
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Mapping
 
-from repro.encoding.interval import decode, encode
-from repro.encoding.stats import collect_stats
+from repro.encoding.interval import IntervalTuple, decode, encode
+from repro.encoding.stats import apply_delta_to_stats, collect_stats
 from repro.errors import ExecutionError, TransientBackendError
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import Tracer
@@ -183,6 +183,16 @@ class SQLiteDatabase:
         if isinstance(trees, Node):
             trees = (trees,)
         encoded = encode(trees)
+        return self.load_encoded(name, list(encoded.tuples), encoded.width)
+
+    def load_encoded(self, name: str, rows: list[IntervalTuple],
+                     width: int) -> tuple[str, int]:
+        """Shred pre-encoded ``(s, l, r)`` rows; returns ``(table, width)``.
+
+        The rebase half of the delta-update protocol: a session-supplied
+        :class:`~repro.encoding.updates.DocumentUpdate` snapshot is loaded
+        without ever materializing (or re-encoding) a ``Forest``.
+        """
         # Cached staged temp tables materialize document contents; any
         # (re)load makes them stale.
         self._invalidate_staged()
@@ -201,13 +211,41 @@ class SQLiteDatabase:
             )
         insert = f"INSERT INTO {table} (s, l, r) VALUES (?, ?, ?)"
         try:
-            self.connection.executemany(insert, encoded.tuples)
+            self.connection.executemany(insert, rows)
             self.connection.commit()
         except sqlite3.Error as error:
             raise wrap_driver_error(error, insert) from error
-        self._documents[name] = (table, encoded.width)
-        self._stats[name] = collect_stats(list(encoded.tuples),
-                                          max(encoded.width, 1))
+        self._documents[name] = (table, int(width))
+        self._stats[name] = collect_stats(rows, max(width, 1))
+        return self._documents[name]
+
+    def apply_delta(self, name: str, delta) -> tuple[str, int]:
+        """Patch a loaded document in place from an incremental delta.
+
+        O(affected subtree): one ranged ``DELETE`` per deleted subtree
+        (the range predicate is exactly the delta's inclusive left-endpoint
+        bounds, served by the ``l`` primary key) plus one batched
+        ``INSERT`` for the contiguous run of new rows.  Statistics are
+        maintained incrementally, digest included.
+        """
+        if name not in self._documents:
+            raise ExecutionError(f"document {name!r} is not loaded")
+        table, _width = self._documents[name]
+        self._invalidate_staged()
+        statement = f"DELETE FROM {table} WHERE l >= ? AND l <= ?"
+        try:
+            for low, high in delta.deleted_ranges:
+                self.connection.execute(statement, (low, high))
+            if delta.inserted:
+                statement = f"INSERT INTO {table} (s, l, r) VALUES (?, ?, ?)"
+                self.connection.executemany(statement, delta.inserted)
+            self.connection.commit()
+        except sqlite3.Error as error:
+            raise wrap_driver_error(error, statement) from error
+        self._documents[name] = (table, int(delta.new_width))
+        stats = self._stats.get(name)
+        if stats is not None:
+            self._stats[name] = apply_delta_to_stats(stats, delta)
         return self._documents[name]
 
     @property

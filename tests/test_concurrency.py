@@ -273,10 +273,92 @@ class TestUpdateConsistency:
     def test_invalidations_count_each_backend_once(self, session):
         for backend in ALL_BACKENDS:
             session.run(QUERY_ALL, backend=backend)
-        counter = session.metrics.get("repro_session_invalidations_total")
-        before = counter.value()
+        invalidations = session.metrics.get(
+            "repro_session_invalidations_total")
+        deltas = session.metrics.get("repro_session_delta_updates_total")
+
+        def delta_total() -> float:
+            return sum(value for _, value in deltas.samples())
+
+        before = invalidations.value()
+        before_deltas = delta_total()
         session.apply_update("d.xml",
                              session.updatable("d.xml"))
+        # Every live backend is accounted for exactly once: either it
+        # absorbed the update as a delta or it was invalidated/closed.
+        absorbed = delta_total() - before_deltas
+        invalidated = invalidations.value() - before
+        assert absorbed + invalidated == len(ALL_BACKENDS)
+        assert absorbed >= 1  # at least the engine backend splices
+
+    @pytest.mark.parametrize("backend", ("engine", "sqlite"))
+    def test_delta_hammer_readers_never_see_half_a_delta(self, backend):
+        """Mixed read/write load over the incremental commit path.
+
+        An updater commits a chain of single-subtree inserts while
+        readers hammer the same document.  Every observed answer must be
+        one of the committed snapshots (never a blend of two), and each
+        reader's sequence of snapshots must be monotone — the write lock
+        makes commits linearizable, so a reader can never travel back to
+        an older snapshot after seeing a newer one.
+        """
+        from repro.xml.forest import element, text
+
+        steps = 6
+        with XQuerySession() as session:
+            session.add_document("d.xml", DOC_OLD)
+            query = 'document("d.xml")//a'
+            session.run(query, backend=backend)
+            snapshots = [session.run(query, backend=backend).to_xml()]
+            updates = []
+            doc = session.updatable("d.xml")
+            with XQuerySession() as reference:
+                reference.add_document("d.xml", DOC_OLD)
+                for step in range(steps):
+                    site = next(row for row in doc.encoded.tuples
+                                if row[0] == "<site>")
+                    doc = doc.insert_child(
+                        site[1], 0, [element("a", [text(f"n{step}")])])
+                    updates.append(doc)
+                    reference.add_document("d.xml", doc.to_forest())
+                    snapshots.append(
+                        reference.run(query, backend=backend).to_xml())
+            assert len(set(snapshots)) == steps + 1
+            rank = {xml: index for index, xml in enumerate(snapshots)}
+            stop = threading.Event()
+            histories: dict[int, list[str]] = {}
+
+            def reader(index: int) -> None:
+                history: list[str] = []
+                while not stop.is_set():
+                    history.append(
+                        session.run(query, backend=backend).to_xml())
+                histories[index] = history
+
+            def updater(index: int) -> None:
+                try:
+                    for updated in updates:
+                        session.apply_update("d.xml", updated)
+                        time.sleep(0.005)  # let readers overlap commits
+                finally:
+                    stop.set()
+                histories[index] = []
+
+            targets = [reader, reader, reader, updater]
+            run_threads(4, lambda index: targets[index](index))
+            final = session.run(query, backend=backend).to_xml()
+            assert final == snapshots[-1]
+            for history in histories.values():
+                ranks = [rank[xml] for xml in history]  # KeyError = torn read
+                assert ranks == sorted(ranks)
+
+    def test_full_reencode_invalidates_each_backend_once(self, session):
+        for backend in ALL_BACKENDS:
+            session.run(QUERY_ALL, backend=backend)
+        counter = session.metrics.get("repro_session_invalidations_total")
+        before = counter.value()
+        session.apply_update("d.xml", session.updatable("d.xml"),
+                             incremental=False)
         assert counter.value() - before == len(ALL_BACKENDS)
 
 

@@ -14,6 +14,7 @@ class TestDocFilesExist:
         "docs/TRANSLATION.md", "docs/OPERATORS.md", "docs/API.md",
         "docs/OBSERVABILITY.md", "docs/ROBUSTNESS.md",
         "docs/CONCURRENCY.md", "docs/PERFORMANCE.md",
+        "docs/UPDATES.md",
     ])
     def test_exists_and_nonempty(self, name):
         path = ROOT / name
@@ -78,6 +79,23 @@ class TestDocFilesExist:
         performance = (ROOT / "docs/PERFORMANCE.md").read_text()
         assert "process_parallel" in performance
         assert "Process-parallel serving" in performance
+
+    def test_updates_covers_incremental_write_path(self):
+        text = (ROOT / "docs/UPDATES.md").read_text()
+        assert "# Incremental updates" in text
+        for term in ("UpdateDelta", "deleted_ranges", "relabeled",
+                     "delta.wrapped()", "deltas_since", "delta_updates",
+                     "apply_delta_to_stats", "migrate_document",
+                     "REPRO_FULL_REENCODE",
+                     "repro_session_delta_updates_total",
+                     "repro_update_lock_hold_seconds",
+                     "major/minor generation"):
+            assert term in text, term
+        # README and the API reference both point at the doc.
+        assert "docs/UPDATES.md" in (ROOT / "README.md").read_text()
+        assert "docs/UPDATES.md" in (ROOT / "docs/API.md").read_text()
+        # ...and the benchmark doc of record mentions the gate.
+        assert "updates" in (ROOT / "EXPERIMENTS.md").read_text()
 
     def test_design_per_experiment_index(self):
         text = (ROOT / "DESIGN.md").read_text()

@@ -30,7 +30,8 @@ class TestLookup:
         cache.put(key, _entry())
         assert cache.get(key) is not None
         assert cache.snapshot() == {"entries": 1, "hits": 1, "misses": 1,
-                                    "invalidations": 0, "evictions": 0}
+                                    "invalidations": 0, "evictions": 0,
+                                    "migrations": 0}
 
     def test_peek_touches_nothing(self):
         cache = PlanCache()
@@ -138,6 +139,23 @@ class TestSessionInvalidation:
             new_keys = set(engine.plan_cache.keys())
             # The stats digest moved, so the stale key cannot collide.
             assert old_keys.isdisjoint(new_keys)
+            # A small update migrates the cached plan to the new digest
+            # instead of dropping it (the stats stayed within the
+            # deviation factor), so the re-run was a cache hit.
+            assert engine.plan_cache.migrations >= 1
+            assert engine.plan_cache.hits >= 1
+
+    def test_full_reencode_update_invalidates(self):
+        with self._session() as session:
+            session.run(NAMES)
+            engine = session.backend_instance("engine")
+            updatable = session.updatable("a.xml")
+            person = next(row for row in updatable.encoded.tuples
+                          if row[0] == "<person>")
+            session.apply_update("a.xml",
+                                 updatable.delete_subtree(person[1]),
+                                 incremental=False)
+            assert len(session.run(NAMES)) == 1
             assert engine.plan_cache.invalidations >= 1
 
     def test_rerun_after_update_reflects_new_contents(self):
